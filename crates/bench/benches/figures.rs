@@ -1,0 +1,21 @@
+//! `cargo bench` entry point that regenerates every paper table and
+//! figure (harness = false: this is the experiment suite, not a timing
+//! benchmark — use the `kernels` bench for Criterion timings).
+//!
+//! Honors `GNNIE_SCALE`; at the default scales the full suite takes a few
+//! minutes.
+
+fn main() {
+    // Under `cargo bench -- --test` style filters, still run everything:
+    // each experiment is cheap relative to dataset generation, which is
+    // cached within the process.
+    let ctx = gnnie_bench::Ctx::from_env();
+    let t0 = std::time::Instant::now();
+    for (id, runner) in gnnie_bench::all_experiments() {
+        let t = std::time::Instant::now();
+        let result = runner(&ctx);
+        result.print();
+        eprintln!("[{id} regenerated in {:.2} s]", t.elapsed().as_secs_f64());
+    }
+    eprintln!("[figures suite completed in {:.1} s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,22 @@
+//! Debug: per-phase cycle breakdown (temporary diagnostic).
+use gnnie_bench::Ctx;
+use gnnie_gnn::model::GnnModel;
+use gnnie_graph::Dataset;
+
+fn main() {
+    let ctx = Ctx::from_env();
+    for dataset in [Dataset::Pubmed, Dataset::Ppi, Dataset::Reddit] {
+        let r = ctx.run_gnnie(GnnModel::Gcn, dataset);
+        println!("== {} GCN: total {} cycles ({:.1} us), V={} E={}", dataset.abbrev(), r.total_cycles, r.latency_s*1e6, r.vertices, r.edges);
+        println!("   preprocessing {}  writeback {}", r.preprocessing_cycles, r.writeback_cycles);
+        for l in &r.layers {
+            let w = &l.weighting;
+            let a = &l.aggregation;
+            println!("   L{} weighting: total {} compute {} dram {} stalls {} lr_ovh {} passes {} pass_cycles {}",
+                l.layer, w.total_cycles, w.compute_cycles, w.dram_cycles, w.mpe_stall_cycles, w.lr_overhead_cycles, w.passes, w.pass_cycles);
+            println!("      aggregation: total {} compute {} dram {} stall {} attn {} iters {:?} rounds {:?} refetch {:?}",
+                a.total_cycles, a.compute_cycles, a.dram_cycles, a.stall_cycles, a.attention_cycles,
+                a.cache.as_ref().map(|c| c.iterations), a.cache.as_ref().map(|c| c.rounds), a.cache.as_ref().map(|c| c.refetches));
+        }
+    }
+}

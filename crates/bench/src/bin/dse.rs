@@ -1,0 +1,7 @@
+//! Regenerates the design-space exploration; see
+//! `gnnie_bench::experiments::dse`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::dse::run(&ctx).print();
+}

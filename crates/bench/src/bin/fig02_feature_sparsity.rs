@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `gnnie_bench::experiments::fig02_feature_sparsity`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::fig02_feature_sparsity::run(&ctx).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `gnnie_bench::experiments::fig10_alpha_rounds`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::fig10_alpha_rounds::run(&ctx).print();
+}

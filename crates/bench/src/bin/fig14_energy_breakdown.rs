@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `gnnie_bench::experiments::fig14_energy_breakdown`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::fig14_energy_breakdown::run(&ctx).print();
+}

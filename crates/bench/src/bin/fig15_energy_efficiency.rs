@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `gnnie_bench::experiments::fig15_energy_efficiency`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::fig15_energy_efficiency::run(&ctx).print();
+}

@@ -1,0 +1,6 @@
+//! Regenerates the paper artifact; see `gnnie_bench::experiments::fig16_weighting_balance`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::fig16_weighting_balance::run(&ctx).print();
+}

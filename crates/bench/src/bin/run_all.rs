@@ -1,0 +1,11 @@
+//! Runs every experiment of the paper's evaluation section in order,
+//! printing each table/figure with paper-reported reference values.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    let t0 = std::time::Instant::now();
+    for (_, runner) in gnnie_bench::all_experiments() {
+        runner(&ctx).print();
+    }
+    eprintln!("[run_all completed in {:.1} s]", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,6 @@
+//! Regenerates the extension table; see `gnnie_bench::experiments::table4_scaling`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::table4_scaling::run(&ctx).print();
+}

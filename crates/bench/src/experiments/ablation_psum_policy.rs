@@ -1,0 +1,132 @@
+//! Ablation — output-buffer psum retention policy (§VI).
+//!
+//! The paper keeps partial sums for high-degree vertices in the output
+//! buffer and spills the rest ("we use a degree-based criterion for
+//! prioritizing writes to the output buffer vs. DRAM"), and §VII argues
+//! the same idea against GRASP's most-recently-used history: degree
+//! measures *future* update potential where recency measures the past.
+//! This sweep replays the exact cache-driven edge order through three
+//! retention policies — the paper's degree priority, LRU (the GRASP-style
+//! counterfactual), and FIFO — at several psum-buffer capacities, and
+//! reports hit rate and spill/refetch DRAM traffic.
+
+use gnnie_graph::reorder::Permutation;
+use gnnie_graph::Dataset;
+use gnnie_mem::psum::{simulate_psum_traffic, RetentionPolicy};
+use gnnie_mem::CacheConfig;
+
+use crate::{table::fmt_count, Ctx, ExperimentResult, Table};
+
+/// Psum-buffer capacities swept (vertices; the paper's 1 MB output buffer
+/// holds ~2048 psums at 128 × 4 B).
+pub const CAPACITY_SWEEP: [usize; 3] = [512, 2048, 8192];
+
+/// Bytes per spilled/refetched psum vector (F_out = 128 floats).
+pub const PSUM_BYTES: u64 = 128 * 4;
+
+/// Datasets swept.
+pub const DATASETS: [Dataset; 3] = [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed];
+
+/// Stats for one (dataset, policy, capacity) point.
+pub fn point(
+    ctx: &Ctx,
+    dataset: Dataset,
+    policy: RetentionPolicy,
+    capacity: usize,
+) -> gnnie_mem::PsumStats {
+    let ds = ctx.dataset(dataset);
+    let ordered = Permutation::descending_degree(&ds.graph).apply(&ds.graph);
+    // Input-buffer capacity mirrors the paper config: the psum study only
+    // depends on the edge order it induces.
+    let cache_cfg = CacheConfig::with_capacity(1024.min(ordered.num_vertices().max(2)), 64);
+    simulate_psum_traffic(&ordered, cache_cfg, policy, capacity)
+}
+
+/// Regenerates the ablation table.
+pub fn run(ctx: &Ctx) -> ExperimentResult {
+    let mut t = Table::new(&[
+        "dataset",
+        "psum slots",
+        "policy",
+        "hit rate",
+        "spills",
+        "refetches",
+        "DRAM KiB",
+    ]);
+    for dataset in DATASETS {
+        for capacity in CAPACITY_SWEEP {
+            for policy in RetentionPolicy::ALL {
+                let s = point(ctx, dataset, policy, capacity);
+                t.row(vec![
+                    format!("{dataset:?}"),
+                    capacity.to_string(),
+                    policy.to_string(),
+                    format!("{:.1}%", s.hit_rate() * 100.0),
+                    fmt_count(s.spill_writes),
+                    fmt_count(s.refetches),
+                    fmt_count(s.dram_bytes(PSUM_BYTES) / 1024),
+                ]);
+            }
+        }
+    }
+    let mut lines = t.render();
+    lines.push(String::new());
+    lines.push(
+        "the paper's degree criterion keeps the psums with the most future \
+         updates resident, beating recency (LRU/GRASP-style) and FIFO on \
+         spill traffic wherever the buffer is tight and the degree \
+         distribution is skewed — §VI's retention rule and §VII's argument \
+         against history-based caching, quantified"
+            .to_string(),
+    );
+    ExperimentResult {
+        id: "Ablation A9",
+        title: "Output-buffer psum retention policy (§VI)",
+        lines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_priority_never_loses_on_tight_buffers() {
+        let ctx = Ctx::with_scale(0.25);
+        for dataset in DATASETS {
+            let dp = point(&ctx, dataset, RetentionPolicy::DegreePriority, 256);
+            let fifo = point(&ctx, dataset, RetentionPolicy::Fifo, 256);
+            assert!(
+                dp.dram_bytes(PSUM_BYTES) <= fifo.dram_bytes(PSUM_BYTES),
+                "{dataset:?}: {dp:?} vs {fifo:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bigger_psum_buffers_spill_less() {
+        let ctx = Ctx::with_scale(0.25);
+        let small = point(&ctx, Dataset::Pubmed, RetentionPolicy::DegreePriority, 256);
+        let large = point(&ctx, Dataset::Pubmed, RetentionPolicy::DegreePriority, 4096);
+        assert!(large.spill_writes <= small.spill_writes);
+        assert!(large.hit_rate() >= small.hit_rate());
+    }
+
+    #[test]
+    fn accesses_are_policy_invariant() {
+        let ctx = Ctx::with_scale(0.2);
+        let a = point(&ctx, Dataset::Cora, RetentionPolicy::DegreePriority, 512);
+        let b = point(&ctx, Dataset::Cora, RetentionPolicy::Lru, 512);
+        let c = point(&ctx, Dataset::Cora, RetentionPolicy::Fifo, 512);
+        assert_eq!(a.accesses, b.accesses);
+        assert_eq!(b.accesses, c.accesses);
+    }
+
+    #[test]
+    fn table_covers_every_combination() {
+        let ctx = Ctx::with_scale(0.1);
+        let r = run(&ctx);
+        // header + separator + 3 datasets x 3 capacities x 3 policies + 2.
+        assert_eq!(r.lines.len(), 2 + 27 + 2);
+    }
+}

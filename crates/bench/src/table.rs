@@ -1,0 +1,130 @@
+//! Minimal column-aligned table rendering for the experiment output.
+
+/// A simple left-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (shorter rows are right-padded with empty cells).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table into printable lines.
+    pub fn render(&self) -> Vec<String> {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut width = vec![0usize; cols];
+        let all = std::iter::once(&self.header).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let fmt = |row: &[String]| -> String {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = Vec::with_capacity(self.rows.len() + 2);
+        out.push(fmt(&self.header));
+        out.push(width.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+        for row in &self.rows {
+            out.push(fmt(row));
+        }
+        out
+    }
+}
+
+/// Formats a speedup-style ratio compactly (`123456x`, `3.1x`, `0.42x`).
+pub fn fmt_ratio(x: f64) -> String {
+    if !x.is_finite() {
+        return "inf".into();
+    }
+    if x >= 100.0 {
+        format!("{:.0}x", x)
+    } else if x >= 1.0 {
+        format!("{:.1}x", x)
+    } else {
+        format!("{:.2}x", x)
+    }
+}
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.2} us", s * 1e6)
+    } else {
+        format!("{:.0} ns", s * 1e9)
+    }
+}
+
+/// Formats a large count with thousands separators.
+pub fn fmt_count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::with_capacity(s.len() + s.len() / 3);
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(vec!["xx".into(), "y".into()]);
+        let lines = t.render();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xx"));
+    }
+
+    #[test]
+    fn ratio_formats_by_magnitude() {
+        assert_eq!(fmt_ratio(21233.4), "21233x");
+        assert_eq!(fmt_ratio(2.13), "2.1x");
+        assert_eq!(fmt_ratio(0.5), "0.50x");
+    }
+
+    #[test]
+    fn seconds_pick_sane_units() {
+        assert_eq!(fmt_seconds(2.5), "2.50 s");
+        assert_eq!(fmt_seconds(0.0025), "2.50 ms");
+        assert_eq!(fmt_seconds(2.5e-6), "2.50 us");
+    }
+
+    #[test]
+    fn count_groups_thousands() {
+        assert_eq!(fmt_count(1234567), "1,234,567");
+        assert_eq!(fmt_count(12), "12");
+    }
+}

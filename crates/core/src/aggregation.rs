@@ -1,0 +1,383 @@
+//! The Aggregation-phase cycle model (paper §V–VI).
+//!
+//! Aggregation walks the dynamic subgraph held in the input buffer by the
+//! degree-aware cache (`gnnie-mem`). Per cache iteration the edges with
+//! both endpoints resident are executed as pairwise vector operations on
+//! the CPEs:
+//!
+//! * with **LB** (degree-dependent load distribution, §V-C) the directed
+//!   edge updates spread evenly over the whole array — the iteration costs
+//!   the ideal `⌈ops / total MACs⌉`;
+//! * without LB each vertex's adder chain serializes on one CPE, so the
+//!   highest-degree vertex in the iteration gates it (the power-law tail
+//!   the paper calls out);
+//! * for **GATs** each edge additionally runs
+//!   `add → LeakyReLU → exp(LUT) → multiply` through the SFUs (Fig. 7),
+//!   preceded by the two linear-complexity attention dot passes (§V-A/B)
+//!   and followed by the softmax division.
+//!
+//! DRAM fetches overlap compute through double buffering; the phase total
+//! uses `gnnie-mem`'s [`DoubleBuffer`] accounting.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_graph::CsrGraph;
+use gnnie_mem::cache::IterationStats;
+use gnnie_mem::{CacheConfig, CacheSimResult, DegreeAwareCache, DoubleBuffer, HbmModel};
+
+use crate::config::AcceleratorConfig;
+use crate::cpe::{div_ceil, CpeArray};
+use crate::gat::AttentionCost;
+
+/// Cap on the coordinate-array entries pinned per cached vertex; hub
+/// lists beyond this stream through in chunks (see capacity sizing in
+/// [`simulate_aggregation`]).
+pub const MAX_CACHED_NEIGHBORS_PER_VERTEX: u64 = 64;
+
+/// Parameters of one Aggregation invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct AggregationParams {
+    /// Feature width being aggregated (`F_out` of the layer).
+    pub f_out: usize,
+    /// GAT mode: per-edge attention ops and the softmax pipeline.
+    pub is_gat: bool,
+}
+
+/// Outcome of the Aggregation cycle model for one layer.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregationReport {
+    /// Whether the degree-aware cache policy (CP) drove the walk.
+    pub cache_policy_used: bool,
+    /// Whether LB spread edge updates across the array.
+    pub load_balanced: bool,
+    /// Full cache simulation result (None for the id-order baseline).
+    pub cache: Option<CacheSimResult>,
+    /// CPE compute cycles across all iterations.
+    pub compute_cycles: u64,
+    /// SFU-bound cycles (GAT only; included in `compute_cycles`).
+    pub sfu_cycles: u64,
+    /// GAT-only: attention partial dot passes plus softmax division.
+    pub attention_cycles: u64,
+    /// DRAM cycles for vertex/psum traffic.
+    pub dram_cycles: u64,
+    /// Stall cycles where compute waited on DRAM despite double buffering.
+    pub stall_cycles: u64,
+    /// Phase total (compute/fetch overlapped, plus attention passes).
+    pub total_cycles: u64,
+    /// Directed edge updates executed (2 per undirected edge).
+    pub edge_updates: u64,
+    /// MAC operations issued.
+    pub macs_issued: u64,
+    /// Exponential evaluations (GAT softmax numerators).
+    pub exp_evals: u64,
+    /// Vertices the walk covered.
+    pub vertices: u64,
+}
+
+impl AggregationReport {
+    /// An all-zero report for layers whose aggregation is a dense matmul
+    /// folded elsewhere (DiffPool's coarsened levels).
+    pub fn empty() -> Self {
+        AggregationReport {
+            cache_policy_used: false,
+            load_balanced: false,
+            cache: None,
+            compute_cycles: 0,
+            sfu_cycles: 0,
+            attention_cycles: 0,
+            dram_cycles: 0,
+            stall_cycles: 0,
+            total_cycles: 0,
+            edge_updates: 0,
+            macs_issued: 0,
+            exp_evals: 0,
+            vertices: 0,
+        }
+    }
+
+    /// Folds another head's pass over the same graph into this report
+    /// (multi-head GAT: each head re-runs the weighted aggregation with
+    /// its own coefficients). Extensive quantities add; the vertex set
+    /// and policy flags are shared, and the first head's cache trace is
+    /// kept (every head walks the identical subgraph sequence).
+    pub fn absorb(&mut self, other: &AggregationReport) {
+        self.compute_cycles += other.compute_cycles;
+        self.sfu_cycles += other.sfu_cycles;
+        self.attention_cycles += other.attention_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.stall_cycles += other.stall_cycles;
+        self.total_cycles += other.total_cycles;
+        self.edge_updates += other.edge_updates;
+        self.macs_issued += other.macs_issued;
+        self.exp_evals += other.exp_evals;
+    }
+}
+
+/// Runs the Aggregation cycle model over `graph`.
+///
+/// `graph` must already be relabeled into descending-degree order when the
+/// cache policy is enabled (the engine does this as preprocessing, §VI).
+pub fn simulate_aggregation(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    graph: &CsrGraph,
+    params: AggregationParams,
+    dram: &mut HbmModel,
+) -> AggregationReport {
+    let f = params.f_out.max(1);
+    // Per-vertex payload: the weighted feature vector, for GATs the
+    // appended {e_i1, e_i2} pair (§VI), the α word, and the connectivity
+    // share. The coordinate-array slice held per cached vertex is capped:
+    // hub adjacency lists stream through the buffer in chunks rather than
+    // pinning kilobytes per vertex (otherwise a dense graph collapses the
+    // window to a handful of vertices and the policy cannot form
+    // subgraphs at all).
+    let payload = (f * 4) as u64 + if params.is_gat { 8 } else { 0 };
+    let mean_deg = if graph.num_vertices() == 0 {
+        0
+    } else {
+        (2 * graph.num_edges() / graph.num_vertices()) as u64
+    };
+    let connectivity_bytes = 4 * mean_deg.min(MAX_CACHED_NEIGHBORS_PER_VERTEX);
+    let capacity = (cfg.input_buffer_bytes as u64 / (payload + connectivity_bytes + 4).max(1))
+        .max(4) as usize;
+
+    let (iteration_stats, cache, cache_dram_cycles) = if cfg.enable_cache_policy {
+        let mut cache_cfg = CacheConfig::with_capacity(capacity, payload);
+        cache_cfg.gamma = cfg.gamma;
+        let result = DegreeAwareCache::new(graph, cache_cfg).run(dram);
+        let cycles = result.dram_cycles;
+        (result.iteration_stats.clone(), Some(result), cycles)
+    } else {
+        let (stats, cycles, _) =
+            gnnie_mem::cache::simulate_id_order_baseline(graph, capacity, payload, dram);
+        (stats, None, cycles)
+    };
+
+    let total_arrivals: u64 =
+        iteration_stats.iter().map(|s| s.arrivals as u64).sum::<u64>().max(1);
+    let total_macs = arr.total_macs() as u64;
+    let min_macs = (0..arr.rows()).map(|r| arr.macs_in_row(r)).min().unwrap_or(1) as u64;
+
+    let mut compute_cycles = 0u64;
+    let mut sfu_cycles_total = 0u64;
+    let mut edge_updates = 0u64;
+    let mut overlap = DoubleBuffer::new();
+    for s in &iteration_stats {
+        let (iter_compute, iter_sfu) =
+            iteration_cycles(s, f as u64, params.is_gat, cfg, total_macs, min_macs);
+        compute_cycles += iter_compute;
+        sfu_cycles_total += iter_sfu;
+        edge_updates += updates_of(s);
+        // This iteration's share of the DRAM stream, fetched while the
+        // previous iteration computes.
+        let fetch = cache_dram_cycles * s.arrivals as u64 / total_arrivals;
+        overlap.push_batch(iter_compute, fetch);
+    }
+
+    // GAT pre/post passes: the e₁/e₂ dot products and the softmax divide.
+    let attention_cycles = if params.is_gat {
+        let v = graph.num_vertices() as u64;
+        let e = graph.num_edges() as u64;
+        let dots = AttentionCost::linear(v, e, f as u64).dot_macs;
+        div_ceil(dots, total_macs) + div_ceil(v * f as u64, cfg.sfu_units as u64)
+    } else {
+        0
+    };
+
+    let exp_evals = if params.is_gat {
+        edge_updates + graph.num_vertices() as u64
+    } else {
+        0
+    };
+    let macs_issued = edge_updates * f as u64
+        + if params.is_gat { 2 * graph.num_vertices() as u64 * f as u64 } else { 0 };
+
+    let total_cycles = overlap.total_cycles() + attention_cycles;
+    AggregationReport {
+        cache_policy_used: cfg.enable_cache_policy,
+        load_balanced: cfg.enable_agg_lb,
+        cache,
+        compute_cycles,
+        sfu_cycles: sfu_cycles_total,
+        attention_cycles,
+        dram_cycles: cache_dram_cycles,
+        stall_cycles: overlap.stall_cycles(),
+        total_cycles,
+        edge_updates,
+        macs_issued,
+        exp_evals,
+        vertices: graph.num_vertices() as u64,
+    }
+}
+
+/// Directed updates of one iteration: each undirected edge updates both
+/// endpoint accumulators.
+fn updates_of(s: &IterationStats) -> u64 {
+    2 * s.edges
+}
+
+/// Cycle cost of one cache iteration. Returns `(compute, sfu_bound)`.
+fn iteration_cycles(
+    s: &IterationStats,
+    f: u64,
+    is_gat: bool,
+    cfg: &AcceleratorConfig,
+    total_macs: u64,
+    min_macs: u64,
+) -> (u64, u64) {
+    let updates = updates_of(s);
+    if updates == 0 {
+        return (0, 0);
+    }
+    // Each update: f MACs (weighted accumulate); GAT adds the scalar edge
+    // pipeline (add + denominator accumulate).
+    let mac_ops = updates * f + if is_gat { 2 * updates } else { 0 };
+    let ideal = div_ceil(mac_ops, total_macs);
+    let chain = if cfg.enable_agg_lb {
+        0
+    } else {
+        // Unbalanced: the iteration's highest-degree vertex serializes its
+        // adder chain on a single CPE.
+        s.max_vertex_edges as u64 * CpeArray::vector_op_cycles(f as usize, min_macs as usize)
+    };
+    let sfu = if is_gat {
+        // LeakyReLU + exp per directed update through the SFU columns.
+        div_ceil(2 * updates, cfg.sfu_units as u64)
+    } else {
+        0
+    };
+    let compute = ideal.max(chain).max(sfu);
+    (compute, sfu)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_graph::reorder::Permutation;
+    use gnnie_graph::{generate, Dataset, SyntheticDataset};
+
+    fn paper_setup() -> (AcceleratorConfig, CpeArray) {
+        let cfg = AcceleratorConfig::paper(Dataset::Cora);
+        let arr = CpeArray::new(&cfg);
+        (cfg, arr)
+    }
+
+    fn degree_ordered(g: &CsrGraph) -> CsrGraph {
+        Permutation::descending_degree(g).apply(g)
+    }
+
+    fn run(
+        cfg: &AcceleratorConfig,
+        arr: &CpeArray,
+        g: &CsrGraph,
+        params: AggregationParams,
+    ) -> AggregationReport {
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        simulate_aggregation(cfg, arr, g, params, &mut dram)
+    }
+
+    #[test]
+    fn absorb_doubles_extensive_quantities() {
+        let (cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(200, 1000, 2.0, 5));
+        let params = AggregationParams { f_out: 32, is_gat: true };
+        let one = run(&cfg, &arr, &g, params);
+        let mut two = one.clone();
+        two.absorb(&run(&cfg, &arr, &g, params));
+        assert_eq!(two.total_cycles, 2 * one.total_cycles);
+        assert_eq!(two.edge_updates, 2 * one.edge_updates);
+        assert_eq!(two.exp_evals, 2 * one.exp_evals);
+        assert_eq!(two.macs_issued, 2 * one.macs_issued);
+        assert_eq!(two.vertices, one.vertices, "vertex set is shared, not doubled");
+    }
+
+    #[test]
+    fn processes_all_edges_once() {
+        let (cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(500, 2500, 2.0, 3));
+        let r = run(&cfg, &arr, &g, AggregationParams { f_out: 64, is_gat: false });
+        assert!(r.cache.as_ref().unwrap().completed);
+        assert_eq!(r.edge_updates, 2 * g.num_edges() as u64);
+        assert_eq!(r.macs_issued, r.edge_updates * 64);
+        assert_eq!(r.exp_evals, 0);
+        assert_eq!(r.attention_cycles, 0);
+    }
+
+    #[test]
+    fn gat_adds_attention_and_sfu_work() {
+        let (cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(300, 1500, 2.0, 5));
+        let gcn = run(&cfg, &arr, &g, AggregationParams { f_out: 64, is_gat: false });
+        let gat = run(&cfg, &arr, &g, AggregationParams { f_out: 64, is_gat: true });
+        assert!(gat.attention_cycles > 0);
+        assert!(gat.exp_evals == 2 * g.num_edges() as u64 + g.num_vertices() as u64);
+        assert!(gat.total_cycles > gcn.total_cycles, "GAT must cost more than GCN");
+        assert!(gat.macs_issued > gcn.macs_issued);
+    }
+
+    #[test]
+    fn lb_speeds_up_powerlaw_aggregation() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(800, 6000, 1.9, 7));
+        cfg.enable_agg_lb = true;
+        let with_lb = run(&cfg, &arr, &g, AggregationParams { f_out: 128, is_gat: false });
+        cfg.enable_agg_lb = false;
+        let without = run(&cfg, &arr, &g, AggregationParams { f_out: 128, is_gat: false });
+        assert!(
+            with_lb.compute_cycles < without.compute_cycles,
+            "LB {} vs no-LB {}",
+            with_lb.compute_cycles,
+            without.compute_cycles
+        );
+    }
+
+    #[test]
+    fn cache_policy_beats_id_order_on_dram() {
+        let (mut cfg, arr) = paper_setup();
+        let raw = generate::powerlaw_chung_lu(1000, 8000, 2.0, 9);
+        let ordered = degree_ordered(&raw);
+        cfg.enable_cache_policy = true;
+        let cp = run(&cfg, &arr, &ordered, AggregationParams { f_out: 128, is_gat: false });
+        cfg.enable_cache_policy = false;
+        let base = run(&cfg, &arr, &raw, AggregationParams { f_out: 128, is_gat: false });
+        assert!(cp.cache_policy_used && !base.cache_policy_used);
+        assert!(base.cache.is_none());
+        assert!(
+            cp.dram_cycles < base.dram_cycles,
+            "CP {} vs baseline {}",
+            cp.dram_cycles,
+            base.dram_cycles
+        );
+    }
+
+    #[test]
+    fn total_includes_stalls_and_attention() {
+        let (cfg, arr) = paper_setup();
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.2, 3);
+        let g = degree_ordered(&ds.graph);
+        let r = run(&cfg, &arr, &g, AggregationParams { f_out: 128, is_gat: true });
+        assert!(r.total_cycles >= r.attention_cycles);
+        assert!(r.total_cycles >= r.compute_cycles);
+    }
+
+    #[test]
+    fn empty_graph_is_free() {
+        let (cfg, arr) = paper_setup();
+        let g = CsrGraph::from_edges(8, std::iter::empty());
+        let r = run(&cfg, &arr, &g, AggregationParams { f_out: 32, is_gat: false });
+        assert_eq!(r.edge_updates, 0);
+        assert_eq!(r.compute_cycles, 0);
+    }
+
+    #[test]
+    fn bigger_buffer_never_hurts_dram() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(600, 4000, 2.0, 11));
+        cfg.input_buffer_bytes = 16 * 1024;
+        let small = run(&cfg, &arr, &g, AggregationParams { f_out: 128, is_gat: false });
+        cfg.input_buffer_bytes = 512 * 1024;
+        let large = run(&cfg, &arr, &g, AggregationParams { f_out: 128, is_gat: false });
+        assert!(large.dram_cycles <= small.dram_cycles);
+    }
+}

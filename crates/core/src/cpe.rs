@@ -1,0 +1,157 @@
+//! The CPE array abstraction: row groups, per-row MAC counts, and the
+//! cycle cost of the primitive vector operations the mappers issue.
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::AcceleratorConfig;
+
+/// A static description of the CPE array derived from a configuration:
+/// per-row MAC counts and group membership, plus op-level cycle helpers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpeArray {
+    rows: usize,
+    cols: usize,
+    macs_per_row: Vec<usize>,
+    group_of_row: Vec<usize>,
+    num_groups: usize,
+}
+
+impl CpeArray {
+    /// Builds the array description from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`AcceleratorConfig::validate`]).
+    pub fn new(config: &AcceleratorConfig) -> Self {
+        config.validate();
+        let mut macs_per_row = Vec::with_capacity(config.array_rows);
+        let mut group_of_row = Vec::with_capacity(config.array_rows);
+        for (gi, g) in config.row_groups.iter().enumerate() {
+            for _ in 0..g.rows {
+                macs_per_row.push(g.macs_per_cpe);
+                group_of_row.push(gi);
+            }
+        }
+        CpeArray {
+            rows: config.array_rows,
+            cols: config.array_cols,
+            macs_per_row,
+            group_of_row,
+            num_groups: config.row_groups.len(),
+        }
+    }
+
+    /// Number of CPE rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of CPE columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of CPEs.
+    pub fn num_cpes(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Number of FM row groups.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// MACs per CPE in row `r`.
+    pub fn macs_in_row(&self, r: usize) -> usize {
+        self.macs_per_row[r]
+    }
+
+    /// Group index of row `r`.
+    pub fn group_of_row(&self, r: usize) -> usize {
+        self.group_of_row[r]
+    }
+
+    /// Rows belonging to group `g`, in order.
+    pub fn rows_in_group(&self, g: usize) -> Vec<usize> {
+        (0..self.rows).filter(|&r| self.group_of_row[r] == g).collect()
+    }
+
+    /// Total MACs in the array.
+    pub fn total_macs(&self) -> usize {
+        self.macs_per_row.iter().map(|m| m * self.cols).sum()
+    }
+
+    /// Mean MACs per CPE (used by the balanced aggregation model).
+    pub fn mean_macs_per_cpe(&self) -> f64 {
+        self.total_macs() as f64 / self.num_cpes() as f64
+    }
+
+    /// Cycles for one CPE in row `r` to process a (sub)vector MAC op of
+    /// `nnz` useful elements: `⌈nnz / |MAC|_r⌉`; zero-length ops are free
+    /// (zero-skipping, §IV-A).
+    pub fn block_cycles(&self, r: usize, nnz: usize) -> u64 {
+        div_ceil(nnz as u64, self.macs_per_row[r] as u64)
+    }
+
+    /// Cycles for a vector op of `len` elements on a CPE with `macs` MACs.
+    pub fn vector_op_cycles(len: usize, macs: usize) -> u64 {
+        div_ceil(len as u64, macs.max(1) as u64)
+    }
+}
+
+/// Ceiling division helper shared by the cycle models.
+pub fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use gnnie_graph::Dataset;
+
+    fn paper_array() -> CpeArray {
+        CpeArray::new(&AcceleratorConfig::paper(Dataset::Cora))
+    }
+
+    #[test]
+    fn row_groups_resolve_per_row() {
+        let arr = paper_array();
+        assert_eq!(arr.rows(), 16);
+        assert_eq!(arr.num_groups(), 3);
+        assert_eq!(arr.macs_in_row(0), 4);
+        assert_eq!(arr.macs_in_row(10), 5);
+        assert_eq!(arr.macs_in_row(15), 6);
+        assert_eq!(arr.group_of_row(0), 0);
+        assert_eq!(arr.group_of_row(9), 1);
+        assert_eq!(arr.group_of_row(13), 2);
+        assert_eq!(arr.rows_in_group(1), vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn totals_match_config() {
+        let cfg = AcceleratorConfig::with_design(Design::E, 1024);
+        let arr = CpeArray::new(&cfg);
+        assert_eq!(arr.total_macs(), cfg.total_macs());
+        assert!((arr.mean_macs_per_cpe() - 1216.0 / 256.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_cycles_zero_skips() {
+        let arr = paper_array();
+        assert_eq!(arr.block_cycles(0, 0), 0);
+        assert_eq!(arr.block_cycles(0, 1), 1);
+        assert_eq!(arr.block_cycles(0, 4), 1);
+        assert_eq!(arr.block_cycles(0, 5), 2);
+        assert_eq!(arr.block_cycles(15, 12), 2);
+    }
+
+    #[test]
+    fn vector_op_cycles_rounds_up() {
+        assert_eq!(CpeArray::vector_op_cycles(128, 4), 32);
+        assert_eq!(CpeArray::vector_op_cycles(129, 4), 33);
+        assert_eq!(CpeArray::vector_op_cycles(0, 4), 0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Per-operation energy constants and the ledger-filling helpers.
+//!
+//! The paper extracts per-op/per-access energies once from Synopsys DC
+//! (32 nm) and CACTI 6.5, then multiplies by activity counts; we encode
+//! equivalent constants (DESIGN.md §1). HBM energy is the paper's
+//! 3.97 pJ/bit. The constants are calibrated so that the evaluated
+//! configuration lands near the paper's 3.9 W envelope at full activity
+//! (§VIII-D) — see `power_envelope_watts` and its test.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_mem::{Component, EnergyLedger};
+
+use crate::config::AcceleratorConfig;
+
+/// Per-operation dynamic energy at 32 nm, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpEnergy {
+    /// One multiply-accumulate (datapath + local registers).
+    pub mac_pj: f64,
+    /// One SFU op (LeakyReLU / LUT exp / divide).
+    pub sfu_pj: f64,
+    /// One MPE psum update (accumulate + spad access).
+    pub mpe_update_pj: f64,
+    /// CPE spad access, per byte.
+    pub spad_pj_per_byte: f64,
+    /// Input buffer access, per byte (CACTI-like, 256–512 KB SRAM).
+    pub input_buf_pj_per_byte: f64,
+    /// Output buffer access, per byte (1 MB SRAM).
+    pub output_buf_pj_per_byte: f64,
+    /// Weight buffer access, per byte (128 KB SRAM).
+    pub weight_buf_pj_per_byte: f64,
+    /// HBM 2.0 transfer, per byte (paper: 3.97 pJ/bit).
+    pub dram_pj_per_byte: f64,
+    /// Static/leakage + controller power in watts, charged by time.
+    pub static_watts: f64,
+}
+
+impl OpEnergy {
+    /// The 32 nm constants used throughout the reproduction.
+    pub fn paper_32nm() -> Self {
+        OpEnergy {
+            mac_pj: 1.7,
+            sfu_pj: 3.2,
+            mpe_update_pj: 0.6,
+            spad_pj_per_byte: 0.2,
+            input_buf_pj_per_byte: 0.35,
+            output_buf_pj_per_byte: 0.52,
+            weight_buf_pj_per_byte: 0.28,
+            dram_pj_per_byte: 3.97 * 8.0,
+            static_watts: 0.55,
+        }
+    }
+
+    /// Dynamic power at full MAC activity for `cfg`, in watts — the
+    /// quantity the paper reports as 3.9 W for the evaluated design.
+    pub fn power_envelope_watts(&self, cfg: &AcceleratorConfig) -> f64 {
+        // Full activity: every MAC busy each cycle, spads feeding them
+        // (2 operand bytes per MAC), MPEs absorbing one update per column.
+        let macs = cfg.total_macs() as f64;
+        let per_cycle_pj = macs * self.mac_pj
+            + macs * 2.0 * self.spad_pj_per_byte
+            + (cfg.array_cols as f64) * self.mpe_update_pj;
+        per_cycle_pj * 1e-12 * cfg.clock_hz + self.static_watts
+    }
+}
+
+impl Default for OpEnergy {
+    fn default() -> Self {
+        Self::paper_32nm()
+    }
+}
+
+/// Activity counts of one phase, converted to energy via [`OpEnergy`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivityCounts {
+    /// MAC operations issued.
+    pub macs: u64,
+    /// SFU operations (exp, LeakyReLU, divide).
+    pub sfu_ops: u64,
+    /// MPE psum updates.
+    pub mpe_updates: u64,
+    /// CPE spad bytes moved.
+    pub spad_bytes: u64,
+    /// Input buffer bytes accessed.
+    pub input_buf_bytes: u64,
+    /// Output buffer bytes accessed.
+    pub output_buf_bytes: u64,
+    /// Weight buffer bytes accessed.
+    pub weight_buf_bytes: u64,
+    /// DRAM bytes serving the input buffer.
+    pub dram_input_bytes: u64,
+    /// DRAM bytes serving the output buffer (psum spills + writebacks).
+    pub dram_output_bytes: u64,
+    /// DRAM bytes serving the weight buffer.
+    pub dram_weight_bytes: u64,
+}
+
+impl ActivityCounts {
+    /// Charges these counts to `ledger` at the given constants.
+    pub fn charge(&self, ops: &OpEnergy, ledger: &mut EnergyLedger) {
+        ledger.add(Component::Mac, self.macs as f64 * ops.mac_pj);
+        ledger.add(Component::Sfu, self.sfu_ops as f64 * ops.sfu_pj);
+        ledger.add(Component::Mpe, self.mpe_updates as f64 * ops.mpe_update_pj);
+        ledger.add(Component::Spad, self.spad_bytes as f64 * ops.spad_pj_per_byte);
+        ledger.add(
+            Component::InputBuffer,
+            self.input_buf_bytes as f64 * ops.input_buf_pj_per_byte,
+        );
+        ledger.add(
+            Component::OutputBuffer,
+            self.output_buf_bytes as f64 * ops.output_buf_pj_per_byte,
+        );
+        ledger.add(
+            Component::WeightBuffer,
+            self.weight_buf_bytes as f64 * ops.weight_buf_pj_per_byte,
+        );
+        ledger.add(Component::DramInput, self.dram_input_bytes as f64 * ops.dram_pj_per_byte);
+        ledger
+            .add(Component::DramOutput, self.dram_output_bytes as f64 * ops.dram_pj_per_byte);
+        ledger
+            .add(Component::DramWeight, self.dram_weight_bytes as f64 * ops.dram_pj_per_byte);
+    }
+
+    /// Merges another set of counts into this one.
+    pub fn merge(&mut self, other: &ActivityCounts) {
+        self.macs += other.macs;
+        self.sfu_ops += other.sfu_ops;
+        self.mpe_updates += other.mpe_updates;
+        self.spad_bytes += other.spad_bytes;
+        self.input_buf_bytes += other.input_buf_bytes;
+        self.output_buf_bytes += other.output_buf_bytes;
+        self.weight_buf_bytes += other.weight_buf_bytes;
+        self.dram_input_bytes += other.dram_input_bytes;
+        self.dram_output_bytes += other.dram_output_bytes;
+        self.dram_weight_bytes += other.dram_weight_bytes;
+    }
+}
+
+/// Static energy for `cycles` at `clock_hz`, in picojoules.
+pub fn static_energy_pj(ops: &OpEnergy, cycles: u64, clock_hz: f64) -> f64 {
+    ops.static_watts * (cycles as f64 / clock_hz) * 1e12
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_graph::Dataset;
+
+    #[test]
+    fn power_envelope_matches_paper_ballpark() {
+        let ops = OpEnergy::paper_32nm();
+        let cfg = AcceleratorConfig::paper(Dataset::Pubmed);
+        let w = ops.power_envelope_watts(&cfg);
+        // Paper §VIII-D: 3.9 W in 32 nm. Accept ±15%.
+        assert!((w - 3.9).abs() / 3.9 < 0.15, "power envelope {w} W");
+    }
+
+    #[test]
+    fn charge_fills_all_components() {
+        let ops = OpEnergy::paper_32nm();
+        let counts = ActivityCounts {
+            macs: 100,
+            sfu_ops: 10,
+            mpe_updates: 20,
+            spad_bytes: 400,
+            input_buf_bytes: 100,
+            output_buf_bytes: 100,
+            weight_buf_bytes: 100,
+            dram_input_bytes: 1000,
+            dram_output_bytes: 2000,
+            dram_weight_bytes: 500,
+        };
+        let mut ledger = EnergyLedger::new();
+        counts.charge(&ops, &mut ledger);
+        assert!(ledger.pj_of(Component::Mac) > 0.0);
+        assert!(ledger.dram_pj() > ledger.pj_of(Component::Mac), "DRAM dominates per byte");
+        // DRAM output was 2× input bytes.
+        assert!(
+            (ledger.pj_of(Component::DramOutput) / ledger.pj_of(Component::DramInput) - 2.0)
+                .abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = ActivityCounts { macs: 1, ..Default::default() };
+        let b = ActivityCounts { macs: 2, sfu_ops: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.macs, 3);
+        assert_eq!(a.sfu_ops, 3);
+    }
+
+    #[test]
+    fn static_energy_scales_with_cycles() {
+        let ops = OpEnergy::paper_32nm();
+        let e1 = static_energy_pj(&ops, 1_000, 1.3e9);
+        let e2 = static_energy_pj(&ops, 2_000, 1.3e9);
+        assert!((e2 / e1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dram_per_byte_matches_397_pj_per_bit() {
+        let ops = OpEnergy::paper_32nm();
+        assert!((ops.dram_pj_per_byte - 31.76).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,76 @@
+//! The Merge-PE psum pressure model (paper §IV-B).
+//!
+//! Each CPE column feeds one MPE that accumulates partial sums across the
+//! column's k-blocks, tagged by vertex. Because rows run at different
+//! speeds ("rabbits" and "turtles"), an MPE must hold psums for every
+//! vertex whose blocks have started but not all finished. The psum spad
+//! has a fixed number of slots; when the rabbit/turtle spread exceeds it,
+//! the fast rows stall until the slow rows drain slots.
+
+use crate::cpe::div_ceil;
+
+/// Estimated stall cycles per pass from psum-slot exhaustion.
+///
+/// Model: the fastest row leads the slowest by `max − min` cycles at the
+/// end of a pass. Each in-flight vertex occupies one slot; the slowest row
+/// retires a vertex every `max/V` cycles, so the lead corresponds to
+/// `lead · V / max` outstanding vertices. Any excess beyond the slot count
+/// must be absorbed by stalling the fast rows for the retire time of the
+/// excess vertices.
+pub fn psum_stall_cycles(per_row_cycles: &[u64], vertices: u64, psum_slots: u64) -> u64 {
+    if vertices == 0 || per_row_cycles.is_empty() {
+        return 0;
+    }
+    let max = per_row_cycles.iter().copied().max().unwrap_or(0);
+    let min = per_row_cycles.iter().copied().min().unwrap_or(0);
+    if max == 0 {
+        return 0;
+    }
+    let lead = max - min;
+    // Outstanding vertices implied by the lead.
+    let in_flight = div_ceil(lead * vertices, max);
+    if in_flight <= psum_slots {
+        return 0;
+    }
+    let excess = in_flight - psum_slots;
+    // Retiring one vertex takes max/V cycles on the bottleneck row.
+    div_ceil(excess * max, vertices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_rows_never_stall() {
+        assert_eq!(psum_stall_cycles(&[100, 100, 100], 50, 4), 0);
+    }
+
+    #[test]
+    fn small_spread_fits_in_slots() {
+        // lead 10 of 100 cycles over 50 vertices → 5 in flight ≤ 8 slots.
+        assert_eq!(psum_stall_cycles(&[100, 95, 90], 50, 8), 0);
+    }
+
+    #[test]
+    fn large_spread_stalls() {
+        // lead 80 of 100 over 100 vertices → 80 in flight; 16 slots → 64
+        // excess × 1 cycle each.
+        let stalls = psum_stall_cycles(&[100, 20], 100, 16);
+        assert_eq!(stalls, 64);
+    }
+
+    #[test]
+    fn more_slots_reduce_stalls() {
+        let few = psum_stall_cycles(&[1000, 100], 500, 8);
+        let many = psum_stall_cycles(&[1000, 100], 500, 128);
+        assert!(few > many);
+    }
+
+    #[test]
+    fn zero_vertices_or_rows_are_free() {
+        assert_eq!(psum_stall_cycles(&[], 10, 4), 0);
+        assert_eq!(psum_stall_cycles(&[5, 5], 0, 4), 0);
+        assert_eq!(psum_stall_cycles(&[0, 0], 10, 4), 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Inference reports: the per-phase cycle, traffic, and energy record a
+//! simulation run produces. Everything the bench harness prints for the
+//! paper's tables and figures comes out of these structures.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_gnn::model::GnnModel;
+use gnnie_graph::Dataset;
+use gnnie_mem::{DramCounters, EnergyLedger};
+
+use crate::aggregation::AggregationReport;
+use crate::weighting::WeightingReport;
+
+/// One layer's phase pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LayerReport {
+    /// Layer index (0 = input layer).
+    pub layer: usize,
+    /// Weighting phase (including any extra graph-free linear passes).
+    pub weighting: WeightingReport,
+    /// Aggregation phase.
+    pub aggregation: AggregationReport,
+}
+
+/// A named phase and its cycle count, for coarse summaries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (e.g. "weighting", "aggregation", "preprocessing").
+    pub name: String,
+    /// Cycles attributed to the phase.
+    pub cycles: u64,
+}
+
+/// The full record of one inference simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InferenceReport {
+    /// The GNN model simulated.
+    pub model: GnnModel,
+    /// The dataset identity.
+    pub dataset: Dataset,
+    /// Scale the dataset was generated at (1.0 = paper size).
+    pub scale: f64,
+    /// Vertices in the simulated graph.
+    pub vertices: u64,
+    /// Undirected edges in the simulated graph.
+    pub edges: u64,
+    /// One-time preprocessing cycles (degree sort + workload binning;
+    /// included in every speedup, §VIII-B).
+    pub preprocessing_cycles: u64,
+    /// Per-layer phase reports.
+    pub layers: Vec<LayerReport>,
+    /// DiffPool-only: coarsening matmul cycles.
+    pub coarsening_cycles: u64,
+    /// Final writeback cycles.
+    pub writeback_cycles: u64,
+    /// End-to-end cycles.
+    pub total_cycles: u64,
+    /// End-to-end latency in seconds.
+    pub latency_s: f64,
+    /// Per-component energy.
+    pub energy: EnergyLedger,
+    /// DRAM byte/transaction counters for the whole run.
+    pub dram: DramCounters,
+    /// Zero-skipped effective operations executed (for TOPS).
+    pub effective_ops: u64,
+}
+
+impl InferenceReport {
+    /// Total Weighting cycles across layers.
+    pub fn weighting_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.weighting.total_cycles).sum()
+    }
+
+    /// Total Aggregation cycles across layers.
+    pub fn aggregation_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.aggregation.total_cycles).sum()
+    }
+
+    /// Effective throughput in TOPS (executed ops over latency).
+    pub fn effective_tops(&self) -> f64 {
+        if self.latency_s <= 0.0 {
+            return 0.0;
+        }
+        self.effective_ops as f64 / self.latency_s / 1e12
+    }
+
+    /// Inferences per kilojoule (Fig. 15's metric).
+    pub fn inferences_per_kj(&self) -> f64 {
+        let joules = self.energy.total_joules();
+        if joules <= 0.0 {
+            return 0.0;
+        }
+        1000.0 / joules
+    }
+
+    /// Coarse per-phase summary rows.
+    pub fn phases(&self) -> Vec<PhaseReport> {
+        let mut v = vec![
+            PhaseReport { name: "preprocessing".into(), cycles: self.preprocessing_cycles },
+            PhaseReport { name: "weighting".into(), cycles: self.weighting_cycles() },
+            PhaseReport { name: "aggregation".into(), cycles: self.aggregation_cycles() },
+        ];
+        if self.coarsening_cycles > 0 {
+            v.push(PhaseReport { name: "coarsening".into(), cycles: self.coarsening_cycles });
+        }
+        v.push(PhaseReport { name: "writeback".into(), cycles: self.writeback_cycles });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empty_report() -> InferenceReport {
+        InferenceReport {
+            model: GnnModel::Gcn,
+            dataset: Dataset::Cora,
+            scale: 1.0,
+            vertices: 10,
+            edges: 20,
+            preprocessing_cycles: 5,
+            layers: Vec::new(),
+            coarsening_cycles: 0,
+            writeback_cycles: 2,
+            total_cycles: 100,
+            latency_s: 100.0 / 1.3e9,
+            energy: EnergyLedger::new(),
+            dram: DramCounters::default(),
+            effective_ops: 1_000,
+        }
+    }
+
+    #[test]
+    fn tops_and_inferences_per_kj() {
+        let mut r = empty_report();
+        assert!(r.effective_tops() > 0.0);
+        assert_eq!(r.inferences_per_kj(), 0.0, "no energy recorded yet");
+        r.energy.add(gnnie_mem::Component::Mac, 1e9); // 1 mJ
+        assert!((r.inferences_per_kj() - 1e6).abs() / 1e6 < 1e-9);
+    }
+
+    #[test]
+    fn phases_include_coarsening_only_when_present() {
+        let mut r = empty_report();
+        assert_eq!(r.phases().len(), 4);
+        r.coarsening_cycles = 7;
+        let names: Vec<String> = r.phases().into_iter().map(|p| p.name).collect();
+        assert!(names.contains(&"coarsening".to_string()));
+    }
+
+    #[test]
+    fn zero_latency_yields_zero_tops() {
+        let mut r = empty_report();
+        r.latency_s = 0.0;
+        assert_eq!(r.effective_tops(), 0.0);
+    }
+}

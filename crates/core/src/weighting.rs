@@ -1,0 +1,704 @@
+//! The Weighting-phase cycle model (paper §IV).
+//!
+//! Weighting multiplies each (sparse) vertex feature vector by the dense
+//! weight matrix under a weight-stationary dataflow:
+//!
+//! * the feature vector is split into `M` **k-blocks** (`k = ⌈F_in/M⌉`),
+//!   one per CPE row; zero blocks are skipped entirely (§IV-A);
+//! * a **pass** processes all vertices against `N` weight columns; the
+//!   layer needs `⌈F_out/N⌉` passes, each with identical block workload;
+//! * without FM, block `b` is pinned to row `b`, so rows inherit the
+//!   sparsity imbalance of feature regions (Fig. 2 → Fig. 16 baseline);
+//! * with **FM** (§IV-C), blocks are binned by nonzero count (linear-time
+//!   counting sort) and bins are assigned to row groups in ascending-MAC
+//!   order, the work share of each group proportional to its MAC capacity;
+//! * with **LR**, heavily- and lightly-loaded rows are paired and whole
+//!   blocks are offloaded while that reduces the pair's makespan, each
+//!   move paying a weight-transfer toll.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_mem::HbmModel;
+use gnnie_tensor::CsrMatrix;
+
+use crate::config::AcceleratorConfig;
+use crate::cpe::{div_ceil, CpeArray};
+use crate::mpe;
+
+/// Cycles to stream the weights of one offloaded block into the target
+/// row's spad (k words over the 16-wide row broadcast bus).
+const LR_WEIGHT_WORDS_PER_CYCLE: u64 = 16;
+
+/// Which §IV load-balancing mechanisms are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WeightingMode {
+    /// Block `b` pinned to row `b`; no reordering.
+    Baseline,
+    /// Flexible-MAC workload reordering.
+    Fm,
+    /// FM plus pairwise load redistribution.
+    FmLr,
+}
+
+impl WeightingMode {
+    /// Derives the mode from a configuration's feature flags.
+    pub fn from_config(cfg: &AcceleratorConfig) -> Self {
+        match (cfg.enable_fm, cfg.enable_lr) {
+            (true, true) => WeightingMode::FmLr,
+            (true, false) => WeightingMode::Fm,
+            _ => WeightingMode::Baseline,
+        }
+    }
+}
+
+impl std::fmt::Display for WeightingMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            WeightingMode::Baseline => "baseline",
+            WeightingMode::Fm => "FM",
+            WeightingMode::FmLr => "FM+LR",
+        })
+    }
+}
+
+/// Per-(vertex, block) nonzero counts: the workload the scheduler bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockProfile {
+    vertices: usize,
+    f_in: usize,
+    k: usize,
+    blocks_per_vertex: usize,
+    /// Row-major `vertices × blocks_per_vertex` nonzero counts.
+    nnz: Vec<u32>,
+}
+
+impl BlockProfile {
+    /// Profiles a sparse feature matrix for an `array_rows`-row CPE array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array_rows` is zero.
+    pub fn from_sparse(features: &CsrMatrix, array_rows: usize) -> Self {
+        assert!(array_rows > 0, "need at least one CPE row");
+        let vertices = features.rows();
+        let f_in = features.cols();
+        let k = div_ceil(f_in.max(1) as u64, array_rows as u64) as usize;
+        let mut nnz = vec![0u32; vertices * array_rows];
+        for v in 0..vertices {
+            for b in 0..array_rows {
+                let lo = b * k;
+                if lo >= f_in {
+                    break;
+                }
+                let hi = ((b + 1) * k).min(f_in);
+                nnz[v * array_rows + b] = features.row_nnz_in_range(v, lo, hi) as u32;
+            }
+        }
+        BlockProfile { vertices, f_in, k, blocks_per_vertex: array_rows, nnz }
+    }
+
+    /// Profiles dense features (`nnz = block width` everywhere): the
+    /// hidden-layer case where the RLC decoder is bypassed (§III).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array_rows` is zero.
+    pub fn dense(vertices: usize, f_in: usize, array_rows: usize) -> Self {
+        assert!(array_rows > 0, "need at least one CPE row");
+        let k = div_ceil(f_in.max(1) as u64, array_rows as u64) as usize;
+        let mut nnz = vec![0u32; vertices * array_rows];
+        for v in 0..vertices {
+            for b in 0..array_rows {
+                let lo = b * k;
+                if lo >= f_in {
+                    break;
+                }
+                nnz[v * array_rows + b] = (((b + 1) * k).min(f_in) - lo) as u32;
+            }
+        }
+        BlockProfile { vertices, f_in, k, blocks_per_vertex: array_rows, nnz }
+    }
+
+    /// Number of vertices profiled.
+    pub fn vertices(&self) -> usize {
+        self.vertices
+    }
+
+    /// Input feature width.
+    pub fn f_in(&self) -> usize {
+        self.f_in
+    }
+
+    /// Block size `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total nonzeros across all blocks.
+    pub fn total_nnz(&self) -> u64 {
+        self.nnz.iter().map(|&z| z as u64).sum()
+    }
+
+    /// Nonzero count of block `b` of vertex `v`.
+    pub fn block_nnz(&self, v: usize, b: usize) -> u32 {
+        self.nnz[v * self.blocks_per_vertex + b]
+    }
+
+    /// Count of all-zero blocks (skipped for free, §IV-A).
+    pub fn zero_blocks(&self) -> u64 {
+        self.nnz.iter().filter(|&&z| z == 0).count() as u64
+    }
+}
+
+/// One LR offload decision: `blocks` k-blocks moved from a heavy row to a
+/// light row (the weight words travel with them, §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LrMove {
+    /// Source (heavily loaded) CPE row.
+    pub from_row: usize,
+    /// Destination (lightly loaded) CPE row.
+    pub to_row: usize,
+    /// Whole blocks offloaded along this pair.
+    pub blocks: u64,
+}
+
+/// The per-row schedule produced by the §IV scheduler: for each CPE row,
+/// the nonzero counts of the blocks it executes in one pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowSchedule {
+    /// `rows[r]` = nnz of each block assigned to row `r`.
+    pub rows: Vec<Vec<u32>>,
+    /// Blocks moved by LR (0 unless LR ran).
+    pub lr_moved_blocks: u64,
+    /// The individual heavy→light offloads behind `lr_moved_blocks`
+    /// (empty unless LR ran); feeds the interconnect study in [`crate::noc`].
+    pub lr_moves: Vec<LrMove>,
+}
+
+impl RowSchedule {
+    /// Cycles each row needs for one pass.
+    pub fn per_row_cycles(&self, arr: &CpeArray) -> Vec<u64> {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(r, blocks)| {
+                blocks.iter().map(|&z| arr.block_cycles(r, z as usize)).sum()
+            })
+            .collect()
+    }
+}
+
+/// Builds the per-row schedule for `mode`.
+pub fn schedule(profile: &BlockProfile, arr: &CpeArray, mode: WeightingMode) -> RowSchedule {
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new(); arr.rows()];
+    match mode {
+        WeightingMode::Baseline => {
+            // Block b is pinned to row b (the natural weight placement).
+            for v in 0..profile.vertices {
+                for b in 0..arr.rows().min(profile.blocks_per_vertex) {
+                    let z = profile.block_nnz(v, b);
+                    if z > 0 {
+                        rows[b].push(z);
+                    }
+                }
+            }
+            RowSchedule { rows, lr_moved_blocks: 0, lr_moves: Vec::new() }
+        }
+        WeightingMode::Fm | WeightingMode::FmLr => {
+            fm_schedule(profile, arr, &mut rows);
+            let mut sched = RowSchedule { rows, lr_moved_blocks: 0, lr_moves: Vec::new() };
+            if mode == WeightingMode::FmLr {
+                sched.lr_moves = redistribute(&mut sched.rows, arr, profile.k);
+                sched.lr_moved_blocks = sched.lr_moves.iter().map(|m| m.blocks).sum();
+            }
+            sched
+        }
+    }
+}
+
+/// FM workload reordering (§IV-C): counting-sort blocks by nnz (linear
+/// time, the paper's preprocessing), then hand ascending-nnz bins to
+/// ascending-MAC row groups. The bin boundaries are chosen so every group
+/// can finish within the same per-row *cycle* level — crucially, cycles
+/// (`⌈nnz/|MAC|⌉`), not raw nonzeros, because ultra-sparse blocks waste
+/// MAC slots and would overload the small-MAC groups under a plain work
+/// split. A value's population may straddle a boundary (the dense-layer
+/// case where most blocks share one nnz).
+fn fm_schedule(profile: &BlockProfile, arr: &CpeArray, rows: &mut [Vec<u32>]) {
+    let k = profile.k.max(1);
+    // Counting sort by nnz value (1..=k; zeros are skipped outright).
+    let mut buckets: Vec<u64> = vec![0; k + 1];
+    for &z in &profile.nnz {
+        if z > 0 {
+            buckets[z as usize] += 1;
+        }
+    }
+    let groups = arr.num_groups();
+    let group_rows: Vec<Vec<usize>> = (0..groups).map(|g| arr.rows_in_group(g)).collect();
+    let group_macs: Vec<u64> =
+        (0..groups).map(|g| arr.macs_in_row(group_rows[g][0]) as u64).collect();
+    let group_row_count: Vec<u64> = group_rows.iter().map(|r| r.len() as u64).collect();
+
+    // Greedy ascending-value fill at per-row cycle budget `level`:
+    // `splits[z]` = how many blocks of value z each group takes. Returns
+    // None if the budget cannot absorb all blocks (feasibility is
+    // monotone in `level`, so a binary search finds the minimum).
+    let assign = |level: u64| -> Option<Vec<Vec<(usize, u64)>>> {
+        let mut splits: Vec<Vec<(usize, u64)>> = vec![Vec::new(); k + 1];
+        let mut g = 0usize;
+        let mut used = 0u64;
+        for z in 1..=k {
+            let mut remaining = buckets[z];
+            while remaining > 0 {
+                let cost = div_ceil(z as u64, group_macs[g]);
+                let budget = group_row_count[g] * level;
+                let take = ((budget.saturating_sub(used)) / cost).min(remaining);
+                if take > 0 {
+                    splits[z].push((g, take));
+                    used += take * cost;
+                    remaining -= take;
+                }
+                if remaining > 0 {
+                    if g + 1 < groups {
+                        g += 1;
+                        used = 0;
+                    } else {
+                        return None;
+                    }
+                }
+            }
+        }
+        Some(splits)
+    };
+
+    // Upper bound: everything in the first group.
+    let all_in_first: u64 =
+        (1..=k).map(|z| buckets[z] * div_ceil(z as u64, group_macs[0])).sum();
+    let mut lo = 0u64;
+    let mut hi = div_ceil(all_in_first, group_row_count[0]).max(1);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if assign(mid).is_some() {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let splits = assign(lo).expect("binary search ends on a feasible level");
+
+    // Hand blocks to rows: within a group, each block goes to the
+    // currently least-loaded row (deterministic: ties broken by row
+    // order). Blocks of equal nnz are interchangeable, so consuming the
+    // per-value splits in vertex order is exact.
+    let mut split_cursor: Vec<usize> = vec![0; k + 1];
+    let mut split_used: Vec<u64> = vec![0; k + 1];
+    let mut row_cycles: Vec<u64> = vec![0; arr.rows()];
+    for v in 0..profile.vertices {
+        for b in 0..profile.blocks_per_vertex {
+            let z = profile.block_nnz(v, b) as usize;
+            if z == 0 {
+                continue;
+            }
+            let cursor = &mut split_cursor[z];
+            let (mut grp, mut quota) = splits[z][*cursor];
+            if split_used[z] >= quota {
+                *cursor += 1;
+                split_used[z] = 0;
+                (grp, quota) = splits[z][*cursor];
+            }
+            debug_assert!(split_used[z] < quota);
+            split_used[z] += 1;
+            let row = *group_rows[grp]
+                .iter()
+                .min_by_key(|&&r| row_cycles[r])
+                .expect("groups are nonempty");
+            row_cycles[row] += arr.block_cycles(row, z);
+            rows[row].push(z as u32);
+        }
+    }
+}
+
+/// LR (§IV-C): pair the i-th most loaded row with the i-th least loaded and
+/// greedily move whole blocks from heavy to light while the pair's makespan
+/// shrinks. Each move pays the weight-transfer toll of `⌈k/16⌉` cycles on
+/// the receiving row. Returns the per-pair offload record.
+fn redistribute(rows: &mut [Vec<u32>], arr: &CpeArray, k: usize) -> Vec<LrMove> {
+    let m = rows.len();
+    let cycles = |r: usize, blocks: &[u32]| -> u64 {
+        blocks.iter().map(|&z| arr.block_cycles(r, z as usize)).sum()
+    };
+    let mut order: Vec<usize> = (0..m).collect();
+    let row_cycles: Vec<u64> = (0..m).map(|r| cycles(r, &rows[r])).collect();
+    order.sort_by_key(|&r| std::cmp::Reverse(row_cycles[r]));
+    let toll = div_ceil(k as u64, LR_WEIGHT_WORDS_PER_CYCLE);
+
+    let mut moves = Vec::new();
+    for i in 0..m / 2 {
+        let heavy = order[i];
+        let light = order[m - 1 - i];
+        if heavy == light {
+            continue;
+        }
+        let mut heavy_c = cycles(heavy, &rows[heavy]);
+        let mut light_c = cycles(light, &rows[light]);
+        // Offload the heavy row's largest blocks first: fewest moves for
+        // the most smoothing.
+        rows[heavy].sort_unstable_by_key(|&z| std::cmp::Reverse(z));
+        let mut moved = 0u64;
+        while let Some(&z) = rows[heavy].first() {
+            let dh = arr.block_cycles(heavy, z as usize);
+            let dl = arr.block_cycles(light, z as usize) + toll;
+            let before = heavy_c.max(light_c);
+            let after = (heavy_c - dh).max(light_c + dl);
+            if after >= before {
+                break;
+            }
+            rows[heavy].remove(0);
+            rows[light].push(z);
+            heavy_c -= dh;
+            light_c += dl;
+            moved += 1;
+        }
+        if moved > 0 {
+            moves.push(LrMove { from_row: heavy, to_row: light, blocks: moved });
+        }
+    }
+    moves
+}
+
+/// Outcome of the Weighting cycle model for one layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightingReport {
+    /// Active load-balancing mode.
+    pub mode: WeightingMode,
+    /// Weight-stationary passes (`⌈F_out/N⌉`).
+    pub passes: u64,
+    /// Per-row busy cycles for **one pass** (the Fig. 16 series).
+    pub per_row_cycles: Vec<u64>,
+    /// Makespan of one pass (max row + LR toll + MPE stalls).
+    pub pass_cycles: u64,
+    /// MPE psum stall cycles per pass (§IV-B rabbit/turtle pressure).
+    pub mpe_stall_cycles: u64,
+    /// LR communication cycles per pass.
+    pub lr_overhead_cycles: u64,
+    /// Compute cycles for the whole phase (`passes × pass_cycles`).
+    pub compute_cycles: u64,
+    /// DRAM cycles spent streaming features and weights.
+    pub dram_cycles: u64,
+    /// Phase total with double-buffered overlap: features for the next
+    /// pass stream while the current one computes.
+    pub total_cycles: u64,
+    /// MAC operations actually issued (zero-skipped).
+    pub macs_issued: u64,
+    /// MAC operations a dense engine would have issued.
+    pub macs_dense: u64,
+    /// All-zero blocks skipped.
+    pub zero_blocks_skipped: u64,
+    /// Blocks moved by LR.
+    pub lr_moved_blocks: u64,
+    /// Feature bytes streamed from DRAM (all passes).
+    pub feature_bytes: u64,
+    /// Weight bytes streamed from DRAM.
+    pub weight_bytes: u64,
+}
+
+impl WeightingReport {
+    /// Folds an extra graph-free linear pass into this report (GINConv's
+    /// second MLP linear runs as a second Weighting pass on the same
+    /// layer, §II / Table III).
+    pub fn absorb(&mut self, other: &WeightingReport) {
+        self.passes += other.passes;
+        self.compute_cycles += other.compute_cycles;
+        self.dram_cycles += other.dram_cycles;
+        self.total_cycles += other.total_cycles;
+        self.macs_issued += other.macs_issued;
+        self.macs_dense += other.macs_dense;
+        self.zero_blocks_skipped += other.zero_blocks_skipped;
+        self.lr_moved_blocks += other.lr_moved_blocks;
+        self.feature_bytes += other.feature_bytes;
+        self.weight_bytes += other.weight_bytes;
+        self.mpe_stall_cycles += other.mpe_stall_cycles;
+        self.lr_overhead_cycles += other.lr_overhead_cycles;
+    }
+
+    /// MAC utilization during compute: issued MACs over MAC-cycles offered.
+    pub fn mac_utilization(&self, arr: &CpeArray) -> f64 {
+        let offered = self.compute_cycles.saturating_mul(arr.total_macs() as u64) as f64;
+        if offered == 0.0 {
+            return 0.0;
+        }
+        // Each issued MAC op is per weight column; one pass covers
+        // `cols` columns concurrently.
+        (self.macs_issued as f64) / offered
+    }
+}
+
+/// Parameters of one Weighting invocation.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightingParams {
+    /// Output feature width (`F_out`).
+    pub f_out: usize,
+    /// Bytes per streamed feature element (RLC pair for the sparse input
+    /// layer, raw scalar afterwards).
+    pub feature_bytes_per_nnz: u64,
+    /// Bytes per weight element (the paper sizes the weight buffer for
+    /// 1-byte weights, §VIII-A).
+    pub weight_bytes_per_elem: u64,
+}
+
+impl Default for WeightingParams {
+    fn default() -> Self {
+        WeightingParams { f_out: 128, feature_bytes_per_nnz: 4, weight_bytes_per_elem: 1 }
+    }
+}
+
+/// Runs the Weighting cycle model for one layer.
+pub fn simulate_weighting(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    profile: &BlockProfile,
+    params: WeightingParams,
+    dram: &mut HbmModel,
+) -> WeightingReport {
+    let mode = WeightingMode::from_config(cfg);
+    simulate_weighting_mode(cfg, arr, profile, params, mode, dram)
+}
+
+/// Like [`simulate_weighting`] with an explicit mode (for the Fig. 16/17
+/// ablations).
+pub fn simulate_weighting_mode(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    profile: &BlockProfile,
+    params: WeightingParams,
+    mode: WeightingMode,
+    dram: &mut HbmModel,
+) -> WeightingReport {
+    let sched = schedule(profile, arr, mode);
+    let per_row_cycles = sched.per_row_cycles(arr);
+    let max_row = per_row_cycles.iter().copied().max().unwrap_or(0);
+
+    let lr_overhead_cycles =
+        sched.lr_moved_blocks * div_ceil(profile.k as u64, LR_WEIGHT_WORDS_PER_CYCLE);
+    let mpe_stall_cycles = mpe::psum_stall_cycles(
+        &per_row_cycles,
+        profile.vertices as u64,
+        cfg.mpe_psum_slots as u64,
+    );
+    let pass_cycles = max_row + lr_overhead_cycles + mpe_stall_cycles;
+
+    let passes = div_ceil(params.f_out.max(1) as u64, arr.cols() as u64);
+    let compute_cycles = passes * pass_cycles;
+
+    // DRAM traffic: features stream once per pass (weight-stationary);
+    // weights stream once per layer.
+    let nnz = profile.total_nnz();
+    let feature_bytes = passes * nnz * params.feature_bytes_per_nnz;
+    let weight_bytes =
+        (profile.f_in as u64) * (params.f_out as u64) * params.weight_bytes_per_elem;
+    let mut dram_cycles = dram.read_seq(feature_bytes);
+    dram_cycles += dram.read_seq(weight_bytes);
+
+    // Double buffering (§III): fetch of pass p+1 overlaps compute of pass
+    // p, so the phase is bounded by the slower of the two streams plus one
+    // pipeline fill.
+    let fetch_per_pass = div_ceil(dram_cycles, passes.max(1));
+    let steady = compute_cycles.max(dram_cycles);
+    let total_cycles = steady + fetch_per_pass;
+
+    let macs_issued = nnz * params.f_out as u64;
+    let macs_dense = (profile.vertices as u64)
+        * (profile.f_in as u64)
+        * (params.f_out as u64);
+
+    WeightingReport {
+        mode,
+        passes,
+        per_row_cycles,
+        pass_cycles,
+        mpe_stall_cycles,
+        lr_overhead_cycles,
+        compute_cycles,
+        dram_cycles,
+        total_cycles,
+        macs_issued,
+        macs_dense,
+        zero_blocks_skipped: profile.zero_blocks(),
+        lr_moved_blocks: sched.lr_moved_blocks,
+        feature_bytes,
+        weight_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use gnnie_graph::{Dataset, SyntheticDataset};
+    use gnnie_tensor::SparseVec;
+
+    fn paper_cfg() -> (AcceleratorConfig, CpeArray) {
+        let cfg = AcceleratorConfig::paper(Dataset::Cora);
+        let arr = CpeArray::new(&cfg);
+        (cfg, arr)
+    }
+
+    fn sparse_features(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+        // Deterministic pseudo-sparse rows with varying density.
+        let mut srows = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let density = 1 + (r * 7 + seed as usize) % 20;
+            let mut dense = vec![0.0f32; cols];
+            for c in (0..cols).step_by(21 - density) {
+                dense[c] = 1.0 + (c % 3) as f32;
+            }
+            srows.push(SparseVec::from_dense(&dense));
+        }
+        CsrMatrix::from_sparse_rows(cols, &srows)
+    }
+
+    #[test]
+    fn block_profile_counts_nnz_per_block() {
+        let features = sparse_features(4, 64, 1);
+        let p = BlockProfile::from_sparse(&features, 16);
+        assert_eq!(p.k(), 4);
+        let total: u64 =
+            (0..4).map(|v| (0..16).map(|b| p.block_nnz(v, b) as u64).sum::<u64>()).sum();
+        assert_eq!(total, features.nnz() as u64);
+        assert_eq!(total, p.total_nnz());
+    }
+
+    #[test]
+    fn dense_profile_fills_every_block() {
+        let p = BlockProfile::dense(3, 40, 16);
+        assert_eq!(p.k(), 3); // ceil(40/16)
+        // Blocks cover 40 elements: 13 blocks of 3 plus one block of 1.
+        let per_vertex: u32 = (0..16).map(|b| p.block_nnz(0, b)).sum();
+        assert_eq!(per_vertex, 40);
+        assert_eq!(p.total_nnz(), 120);
+        // Trailing blocks beyond F_in are zero (skipped).
+        assert_eq!(p.block_nnz(0, 14), 0);
+    }
+
+    #[test]
+    fn baseline_pins_blocks_to_rows() {
+        let features = sparse_features(10, 64, 3);
+        let (_, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&features, 16);
+        let s = schedule(&p, &arr, WeightingMode::Baseline);
+        // Row b sees exactly the nonzero blocks with index b.
+        for b in 0..16 {
+            let expected: Vec<u32> =
+                (0..10).map(|v| p.block_nnz(v, b)).filter(|&z| z > 0).collect();
+            assert_eq!(s.rows[b], expected, "row {b}");
+        }
+    }
+
+    #[test]
+    fn schedules_conserve_work() {
+        let features = sparse_features(50, 256, 5);
+        let (_, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&features, 16);
+        for mode in [WeightingMode::Baseline, WeightingMode::Fm, WeightingMode::FmLr] {
+            let s = schedule(&p, &arr, mode);
+            let scheduled: u64 =
+                s.rows.iter().flat_map(|r| r.iter().map(|&z| z as u64)).sum();
+            assert_eq!(scheduled, p.total_nnz(), "{mode} must conserve nnz");
+        }
+    }
+
+    #[test]
+    fn fm_reduces_imbalance_on_real_features() {
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.3, 7);
+        let (_, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&ds.features, 16);
+        let base = schedule(&p, &arr, WeightingMode::Baseline).per_row_cycles(&arr);
+        let fm = schedule(&p, &arr, WeightingMode::Fm).per_row_cycles(&arr);
+        let spread = |c: &[u64]| c.iter().max().unwrap() - c.iter().min().unwrap();
+        assert!(
+            spread(&fm) < spread(&base),
+            "FM must narrow the row spread: baseline {base:?} fm {fm:?}"
+        );
+        assert!(
+            fm.iter().max() <= base.iter().max(),
+            "FM must not worsen the makespan"
+        );
+    }
+
+    #[test]
+    fn lr_further_reduces_makespan_or_keeps_it() {
+        let ds = SyntheticDataset::generate(Dataset::Citeseer, 0.3, 9);
+        let (_, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&ds.features, 16);
+        let fm = schedule(&p, &arr, WeightingMode::Fm).per_row_cycles(&arr);
+        let lr_sched = schedule(&p, &arr, WeightingMode::FmLr);
+        let lr = lr_sched.per_row_cycles(&arr);
+        assert!(lr.iter().max() <= fm.iter().max(), "LR must not increase the makespan");
+    }
+
+    #[test]
+    fn simulate_produces_consistent_report() {
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.2, 3);
+        let (cfg, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&ds.features, 16);
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let r = simulate_weighting(&cfg, &arr, &p, WeightingParams::default(), &mut dram);
+        assert_eq!(r.mode, WeightingMode::FmLr);
+        assert_eq!(r.passes, 8); // ceil(128/16)
+        assert_eq!(r.per_row_cycles.len(), 16);
+        assert!(r.total_cycles >= r.compute_cycles.max(r.dram_cycles));
+        assert_eq!(r.macs_issued, p.total_nnz() * 128);
+        assert!(r.macs_issued < r.macs_dense, "zero-skipping must pay off on Cora");
+        assert!(r.mac_utilization(&arr) > 0.0 && r.mac_utilization(&arr) <= 1.0);
+    }
+
+    #[test]
+    fn more_macs_never_slow_a_pass() {
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.2, 3);
+        let p = BlockProfile::from_sparse(&ds.features, 16);
+        let mut last = u64::MAX;
+        for design in [Design::A, Design::B, Design::C, Design::D] {
+            let cfg = AcceleratorConfig::with_design(design, 256 * 1024);
+            let arr = CpeArray::new(&cfg);
+            let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+            let r = simulate_weighting_mode(
+                &cfg,
+                &arr,
+                &p,
+                WeightingParams::default(),
+                WeightingMode::Baseline,
+                &mut dram,
+            );
+            assert!(
+                r.compute_cycles <= last,
+                "{design:?} compute {} should not exceed previous {last}",
+                r.compute_cycles
+            );
+            last = r.compute_cycles;
+        }
+    }
+
+    #[test]
+    fn empty_features_cost_nothing_to_compute() {
+        let (cfg, arr) = paper_cfg();
+        let features =
+            CsrMatrix::from_sparse_rows(64, &vec![SparseVec::zeros(64); 4]);
+        let p = BlockProfile::from_sparse(&features, 16);
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let r = simulate_weighting(&cfg, &arr, &p, WeightingParams::default(), &mut dram);
+        assert_eq!(r.macs_issued, 0);
+        assert_eq!(r.per_row_cycles.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn dense_profile_balances_rows_nearly_evenly() {
+        let (_, arr) = paper_cfg();
+        let p = BlockProfile::dense(100, 128, 16);
+        // Dense blocks all have nnz = 8: FM gives more blocks to rows with
+        // more MACs, roughly equalizing cycles.
+        let fm = schedule(&p, &arr, WeightingMode::Fm).per_row_cycles(&arr);
+        let max = *fm.iter().max().unwrap() as f64;
+        let min = *fm.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 1.6, "dense FM spread too wide: {fm:?}");
+    }
+}

@@ -1,0 +1,195 @@
+//! DiffPool hierarchical graph coarsening (paper §II, Eqs. 3–4).
+//!
+//! DiffPool combines two GNNs: an *embedding* GNN producing vertex
+//! embeddings `Z = GNN_embed(A, X)` and a *pooling* GNN whose row-softmax
+//! output is the cluster-assignment matrix `S = softmax(GNN_pool(A, X))`.
+//! The coarsened level has embeddings `X' = Sᵀ Z` and adjacency
+//! `A' = Sᵀ A S`. The number of clusters is fixed during inference.
+
+use gnnie_graph::CsrGraph;
+use gnnie_tensor::activations::softmax_inplace;
+use gnnie_tensor::DenseMatrix;
+
+use crate::layers::GcnLayer;
+
+/// Parameters of one DiffPool level: the embedding and pooling GNNs
+/// (Table III uses GCNs for both).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffPoolParams {
+    /// `GNN_embed`: produces `F → hidden` vertex embeddings.
+    pub embed: GcnLayer,
+    /// `GNN_pool`: produces `F → clusters` assignment scores.
+    pub pool: GcnLayer,
+}
+
+/// Output of one DiffPool level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffPoolOutput {
+    /// Coarsened embeddings `X' = Sᵀ Z`, shape `C × hidden`.
+    pub embeddings: DenseMatrix,
+    /// Coarsened (dense) adjacency `A' = Sᵀ A S`, shape `C × C`.
+    pub coarse_adj: DenseMatrix,
+    /// The assignment matrix `S`, shape `|V| × C` (row-stochastic).
+    pub assignment: DenseMatrix,
+}
+
+/// Runs one DiffPool level on graph `g` with input cluster features `x`.
+///
+/// # Panics
+///
+/// Panics if `x` has a row count different from `g.num_vertices()`.
+pub fn diffpool_level(g: &CsrGraph, x: &DenseMatrix, params: &DiffPoolParams) -> DiffPoolOutput {
+    assert_eq!(x.rows(), g.num_vertices(), "feature rows must match vertex count");
+    let z = params.embed.forward(g, x); // V × hidden
+    let mut s = params.pool.forward(g, x); // V × C
+    for r in 0..s.rows() {
+        softmax_inplace(s.row_mut(r));
+    }
+    let embeddings = s.transpose().matmul(&z).expect("Sᵀ(V×C→C×V) · Z(V×h)");
+    // A' = Sᵀ (A S): sparse A keeps this at O(|E|·C + |V|·C²).
+    let mut a_s = DenseMatrix::zeros(g.num_vertices(), s.cols());
+    for u in 0..g.num_vertices() {
+        for &v in g.neighbors(u) {
+            a_s.axpy_row(u, 1.0, s.row(v as usize));
+        }
+    }
+    let coarse_adj = s.transpose().matmul(&a_s).expect("Sᵀ · (A S)");
+    DiffPoolOutput { embeddings, coarse_adj, assignment: s }
+}
+
+/// GCN forward on a **dense** adjacency (the coarsened levels): computes
+/// `D̃^{-1/2} (A + I) D̃^{-1/2} · X · W` where `D̃` row-sums `A + I`.
+/// DiffPool's coarse adjacency is weighted, so the normalization uses the
+/// weighted degree.
+///
+/// # Panics
+///
+/// Panics if `adj` is not square or shapes are inconsistent.
+pub fn gcn_dense_adj(adj: &DenseMatrix, x: &DenseMatrix, w: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(adj.rows(), adj.cols(), "adjacency must be square");
+    assert_eq!(adj.rows(), x.rows(), "feature rows must match adjacency");
+    let n = adj.rows();
+    let xw = x.matmul(w).expect("feature width must match weight rows");
+    // Weighted degree including the self loop.
+    let inv_sqrt_d: Vec<f32> = (0..n)
+        .map(|i| {
+            let d: f32 = adj.row(i).iter().sum::<f32>() + 1.0;
+            1.0 / d.max(1e-12).sqrt()
+        })
+        .collect();
+    let mut out = DenseMatrix::zeros(n, xw.cols());
+    for i in 0..n {
+        out.axpy_row(i, inv_sqrt_d[i] * inv_sqrt_d[i], xw.row(i));
+        for j in 0..n {
+            let a = adj.get(i, j);
+            if a != 0.0 {
+                out.axpy_row(i, a * inv_sqrt_d[i] * inv_sqrt_d[j], xw.row(j));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(f_in: usize, hidden: usize, clusters: usize) -> DiffPoolParams {
+        DiffPoolParams {
+            embed: GcnLayer::new(DenseMatrix::from_fn(f_in, hidden, |r, c| {
+                ((r + 2 * c) % 3) as f32 * 0.5 - 0.5
+            })),
+            pool: GcnLayer::new(DenseMatrix::from_fn(f_in, clusters, |r, c| {
+                ((r * c + r) % 5) as f32 * 0.3 - 0.6
+            })),
+        }
+    }
+
+    #[test]
+    fn assignment_rows_are_stochastic() {
+        let g = gnnie_graph::generate::erdos_renyi(12, 30, 3);
+        let x = DenseMatrix::from_fn(12, 4, |r, c| ((r + c) % 3) as f32);
+        let out = diffpool_level(&g, &x, &params(4, 5, 3));
+        for r in 0..12 {
+            let sum: f32 = out.assignment.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "row {r} sums to {sum}");
+            assert!(out.assignment.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn shapes_are_coarsened() {
+        let g = gnnie_graph::generate::erdos_renyi(15, 40, 4);
+        let x = DenseMatrix::from_fn(15, 6, |r, c| (r as f32 - c as f32) * 0.1);
+        let out = diffpool_level(&g, &x, &params(6, 7, 4));
+        assert_eq!(out.embeddings.shape(), (4, 7));
+        assert_eq!(out.coarse_adj.shape(), (4, 4));
+        assert_eq!(out.assignment.shape(), (15, 4));
+    }
+
+    #[test]
+    fn coarse_adjacency_preserves_total_edge_mass() {
+        // Σ_{cd} A'_{cd} = Σ_{uv} A_{uv} Σ_c S_uc Σ_d S_vd = Σ_{uv} A_{uv}
+        // because S rows are stochastic. Directed edge count = 2|E|.
+        let g = gnnie_graph::generate::erdos_renyi(20, 50, 9);
+        let x = DenseMatrix::from_fn(20, 5, |r, c| ((r * 3 + c) % 4) as f32 * 0.25);
+        let out = diffpool_level(&g, &x, &params(5, 6, 5));
+        let mass: f32 = out.coarse_adj.as_slice().iter().sum();
+        let expected = 2.0 * g.num_edges() as f32;
+        assert!(
+            (mass - expected).abs() / expected < 1e-4,
+            "mass {mass} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn coarse_adjacency_is_symmetric_for_undirected_input() {
+        let g = gnnie_graph::generate::erdos_renyi(16, 40, 2);
+        let x = DenseMatrix::from_fn(16, 4, |r, c| ((r + 7 * c) % 6) as f32 * 0.2);
+        let out = diffpool_level(&g, &x, &params(4, 4, 3));
+        for i in 0..3 {
+            for j in 0..3 {
+                let a = out.coarse_adj.get(i, j);
+                let b = out.coarse_adj.get(j, i);
+                assert!((a - b).abs() < 1e-4, "A'[{i}{j}]={a} vs A'[{j}{i}]={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_cluster_pools_everything() {
+        let g = gnnie_graph::generate::erdos_renyi(10, 20, 8);
+        let x = DenseMatrix::from_fn(10, 3, |r, _| r as f32);
+        let out = diffpool_level(&g, &x, &params(3, 4, 1));
+        // With one cluster S is all-ones; X' row 0 is the column sum of Z.
+        let z = params(3, 4, 1).embed.forward(&g, &x);
+        for c in 0..4 {
+            let col_sum: f32 = (0..10).map(|r| z.get(r, c)).sum();
+            assert!((out.embeddings.get(0, c) - col_sum).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn gcn_dense_adj_matches_sparse_gcn_on_binary_adjacency() {
+        let g = gnnie_graph::generate::erdos_renyi(14, 35, 6);
+        let mut adj = DenseMatrix::zeros(14, 14);
+        for (u, v) in g.edges() {
+            adj.set(u as usize, v as usize, 1.0);
+            adj.set(v as usize, u as usize, 1.0);
+        }
+        let x = DenseMatrix::from_fn(14, 5, |r, c| ((r * 2 + c) % 7) as f32 * 0.1);
+        let w = DenseMatrix::from_fn(5, 3, |r, c| ((r + c) % 3) as f32 - 1.0);
+        let dense = gcn_dense_adj(&adj, &x, &w);
+        let sparse = GcnLayer::new(w).forward(&g, &x);
+        assert!(dense.max_abs_diff(&sparse) < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "adjacency must be square")]
+    fn dense_gcn_rejects_rectangular_adjacency() {
+        let adj = DenseMatrix::zeros(3, 4);
+        let x = DenseMatrix::zeros(3, 2);
+        let w = DenseMatrix::identity(2);
+        let _ = gcn_dense_adj(&adj, &x, &w);
+    }
+}

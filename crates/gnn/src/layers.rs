@@ -1,0 +1,684 @@
+//! Golden single-layer implementations of the Table I GNN operators.
+//!
+//! Each layer computes **Weighting** (`h · W`) followed by **Aggregation**
+//! over the one-hop neighborhood, exactly as paper §II defines. These are
+//! deliberately straightforward dense implementations: they are the
+//! correctness oracle that `gnnie-core`'s functional datapath is tested
+//! against, so clarity beats speed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use gnnie_graph::{CsrGraph, VertexId};
+use gnnie_tensor::activations::{leaky_relu, relu, softmax_inplace, GAT_LEAKY_SLOPE};
+use gnnie_tensor::DenseMatrix;
+
+/// Graph convolutional network layer (paper Table I, GCN row):
+/// `h_i = σ(Σ_{j ∈ {i}∪N(i)} 1/√(d_i d_j) · h_j W)`.
+///
+/// Degrees include the self-loop (`d = degree + 1`, the standard Kipf &
+/// Welling normalization `D̃ = D + I`), which also keeps isolated vertices
+/// well-defined.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GcnLayer {
+    weight: DenseMatrix,
+}
+
+impl GcnLayer {
+    /// Creates a GCN layer with weight matrix `W` of shape `F_in × F_out`.
+    pub fn new(weight: DenseMatrix) -> Self {
+        Self { weight }
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// Forward pass over graph `g` with vertex features `h` (`|V| × F_in`).
+    /// Returns the aggregated features **before** the outer activation σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has a row count different from `g.num_vertices()` or a
+    /// column count different from the weight's row count.
+    pub fn forward(&self, g: &CsrGraph, h: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h.rows(), g.num_vertices(), "feature rows must match vertex count");
+        let hw = h.matmul(&self.weight).expect("feature width must match weight rows");
+        aggregate_gcn(g, &hw)
+    }
+}
+
+/// Normalized sum aggregation of already-weighted features: the Aggregation
+/// half of a GCN layer, exposed separately because GNNIE performs it as a
+/// distinct hardware phase (`Ã · (h W)`, paper Eq. 5).
+pub fn aggregate_gcn(g: &CsrGraph, hw: &DenseMatrix) -> DenseMatrix {
+    let n = g.num_vertices();
+    let f = hw.cols();
+    let mut out = DenseMatrix::zeros(n, f);
+    let inv_sqrt_d: Vec<f32> =
+        (0..n).map(|v| 1.0 / ((g.degree(v) as f32 + 1.0).sqrt())).collect();
+    for i in 0..n {
+        let di = inv_sqrt_d[i];
+        // Self-loop contribution.
+        out.axpy_row(i, di * di, hw.row(i));
+        for &j in g.neighbors(i) {
+            let j = j as usize;
+            out.axpy_row(i, di * inv_sqrt_d[j], hw.row(j));
+        }
+    }
+    out
+}
+
+/// GraphSAGE neighborhood aggregator (paper Table I / Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SageAggregator {
+    /// Arithmetic mean over the sampled neighborhood.
+    Mean,
+    /// Element-wise max over the sampled neighborhood (Table III's choice).
+    Max,
+}
+
+/// GraphSAGE layer: `h_i = σ(a_k(h_j W ∀ j ∈ {i}∪SN(i)))` where `SN(i)` is
+/// a random sample of at most `sample_size` neighbors.
+///
+/// Sampling is deterministic given the layer's seed, mirroring the paper's
+/// "cycling through a pregenerated set of random numbers" so the golden
+/// model and the accelerator datapath agree on the sampled subgraph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SageLayer {
+    weight: DenseMatrix,
+    aggregator: SageAggregator,
+    sample_size: usize,
+    seed: u64,
+}
+
+impl SageLayer {
+    /// Creates a GraphSAGE layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_size` is zero.
+    pub fn new(
+        weight: DenseMatrix,
+        aggregator: SageAggregator,
+        sample_size: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(sample_size > 0, "sample size must be positive");
+        Self { weight, aggregator, sample_size, seed }
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// The aggregator in use.
+    pub fn aggregator(&self) -> SageAggregator {
+        self.aggregator
+    }
+
+    /// The neighborhood sample size.
+    pub fn sample_size(&self) -> usize {
+        self.sample_size
+    }
+
+    /// The sampling seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The sampled neighborhood of `v` (excluding `v` itself). Shared with
+    /// the accelerator datapath so both sides aggregate the same subgraph.
+    pub fn sampled_neighbors(&self, g: &CsrGraph, v: usize) -> Vec<VertexId> {
+        sample_neighbors(g, v, self.sample_size, self.seed)
+    }
+
+    /// Forward pass. Returns features before the outer activation σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has a row count different from `g.num_vertices()`.
+    pub fn forward(&self, g: &CsrGraph, h: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h.rows(), g.num_vertices(), "feature rows must match vertex count");
+        let hw = h.matmul(&self.weight).expect("feature width must match weight rows");
+        let n = g.num_vertices();
+        let f = hw.cols();
+        let mut out = DenseMatrix::zeros(n, f);
+        for i in 0..n {
+            let sampled = self.sampled_neighbors(g, i);
+            match self.aggregator {
+                SageAggregator::Mean => {
+                    out.axpy_row(i, 1.0, hw.row(i));
+                    for &j in &sampled {
+                        out.axpy_row(i, 1.0, hw.row(j as usize));
+                    }
+                    let count = (sampled.len() + 1) as f32;
+                    let row = out.row_mut(i);
+                    for x in row {
+                        *x /= count;
+                    }
+                }
+                SageAggregator::Max => {
+                    let self_row = hw.row(i).to_vec();
+                    let row = out.row_mut(i);
+                    row.copy_from_slice(&self_row);
+                    for &j in &sampled {
+                        let other = hw.row(j as usize);
+                        for (a, &b) in row.iter_mut().zip(other) {
+                            if b > *a {
+                                *a = b;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic sample of at most `k` neighbors of `v` (without
+/// replacement). If `v` has `k` or fewer neighbors, all are returned.
+///
+/// # Panics
+///
+/// Panics if `k` is zero.
+pub fn sample_neighbors(g: &CsrGraph, v: usize, k: usize, seed: u64) -> Vec<VertexId> {
+    assert!(k > 0, "sample size must be positive");
+    let nbrs = g.neighbors(v);
+    if nbrs.len() <= k {
+        return nbrs.to_vec();
+    }
+    // Per-vertex stream: mix the vertex id into the seed so each vertex
+    // consumes its own slice of the pregenerated random sequence.
+    let mut rng = StdRng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut picked = rand::seq::index::sample(&mut rng, nbrs.len(), k).into_vec();
+    picked.sort_unstable();
+    picked.into_iter().map(|i| nbrs[i]).collect()
+}
+
+/// Graph attention network layer (paper Table I, GAT row):
+///
+/// `e_ij = LeakyReLU(aᵀ · [h_i W ‖ h_j W])`,
+/// `α_ij = softmax_j(e_ij)` over `j ∈ {i}∪N(i)`,
+/// `h_i = σ(Σ_j α_ij · h_j W)`.
+///
+/// The attention vector is stored split as `a = [a₁ a₂]` so the
+/// linear-complexity reordering of paper §V-A (`e_ij = e_{i,1} + e_{j,2}`)
+/// is directly visible.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GatLayer {
+    weight: DenseMatrix,
+    attn: Vec<f32>,
+}
+
+impl GatLayer {
+    /// Creates a GAT layer; `attn` must have length `2 · F_out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn.len() != 2 * weight.cols()`.
+    pub fn new(weight: DenseMatrix, attn: Vec<f32>) -> Self {
+        assert_eq!(
+            attn.len(),
+            2 * weight.cols(),
+            "attention vector must be twice the output feature length"
+        );
+        Self { weight, attn }
+    }
+
+    /// The weight matrix.
+    pub fn weight(&self) -> &DenseMatrix {
+        &self.weight
+    }
+
+    /// The full attention vector `a = [a₁ a₂]`.
+    pub fn attention(&self) -> &[f32] {
+        &self.attn
+    }
+
+    /// `a₁`, the half multiplying the *target* vertex features.
+    pub fn attn_self(&self) -> &[f32] {
+        &self.attn[..self.attn.len() / 2]
+    }
+
+    /// `a₂`, the half multiplying the *neighbor* vertex features.
+    pub fn attn_neighbor(&self) -> &[f32] {
+        &self.attn[self.attn.len() / 2..]
+    }
+
+    /// The per-vertex attention partial products `(e_{i,1}, e_{i,2})` of
+    /// paper Eq. 7, computed once per vertex (the linear-complexity
+    /// reordering of §V-A).
+    pub fn attention_partials(&self, hw: &DenseMatrix) -> (Vec<f32>, Vec<f32>) {
+        let a1 = self.attn_self();
+        let a2 = self.attn_neighbor();
+        let mut e1 = Vec::with_capacity(hw.rows());
+        let mut e2 = Vec::with_capacity(hw.rows());
+        for r in 0..hw.rows() {
+            let row = hw.row(r);
+            e1.push(dot(a1, row));
+            e2.push(dot(a2, row));
+        }
+        (e1, e2)
+    }
+
+    /// Forward pass. Returns features before the outer activation σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has a row count different from `g.num_vertices()`.
+    pub fn forward(&self, g: &CsrGraph, h: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h.rows(), g.num_vertices(), "feature rows must match vertex count");
+        let hw = h.matmul(&self.weight).expect("feature width must match weight rows");
+        let (e1, e2) = self.attention_partials(&hw);
+        let n = g.num_vertices();
+        let f = hw.cols();
+        let mut out = DenseMatrix::zeros(n, f);
+        let mut scores = Vec::new();
+        for i in 0..n {
+            // Neighborhood including the self edge, mirroring Table I.
+            scores.clear();
+            scores.push(leaky_relu(e1[i] + e2[i], GAT_LEAKY_SLOPE));
+            for &j in g.neighbors(i) {
+                scores.push(leaky_relu(e1[i] + e2[j as usize], GAT_LEAKY_SLOPE));
+            }
+            softmax_inplace(&mut scores);
+            out.axpy_row(i, scores[0], hw.row(i));
+            for (s, &j) in scores[1..].iter().zip(g.neighbors(i)) {
+                out.axpy_row(i, *s, hw.row(j as usize));
+            }
+        }
+        out
+    }
+}
+
+/// Two-layer perceptron used by GINConv (Table III: "128 / 128").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// First linear layer, `F_in × F_hidden`.
+    pub w1: DenseMatrix,
+    /// First bias, length `F_hidden`.
+    pub b1: Vec<f32>,
+    /// Second linear layer, `F_hidden × F_out`.
+    pub w2: DenseMatrix,
+    /// Second bias, length `F_out`.
+    pub b2: Vec<f32>,
+}
+
+impl Mlp {
+    /// Creates the MLP, validating the shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes.
+    pub fn new(w1: DenseMatrix, b1: Vec<f32>, w2: DenseMatrix, b2: Vec<f32>) -> Self {
+        assert_eq!(w1.cols(), b1.len(), "b1 must match w1 output width");
+        assert_eq!(w1.cols(), w2.rows(), "w2 input must match w1 output");
+        assert_eq!(w2.cols(), b2.len(), "b2 must match w2 output width");
+        Self { w1, b1, w2, b2 }
+    }
+
+    /// Output width.
+    pub fn output_width(&self) -> usize {
+        self.w2.cols()
+    }
+
+    /// `ReLU(x·W₁ + b₁)·W₂ + b₂`, applied row-wise.
+    pub fn forward(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut hidden = x.matmul(&self.w1).expect("input width must match w1");
+        for r in 0..hidden.rows() {
+            let row = hidden.row_mut(r);
+            for (h, &b) in row.iter_mut().zip(&self.b1) {
+                *h = relu(*h + b);
+            }
+        }
+        let mut out = hidden.matmul(&self.w2).expect("shapes validated in new");
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (o, &b) in row.iter_mut().zip(&self.b2) {
+                *o += b;
+            }
+        }
+        out
+    }
+}
+
+/// GINConv layer (paper Eq. 1):
+/// `h_i = MLP((1 + ε) · h_i + Σ_{j∈N(i)} h_j)`.
+///
+/// Because the neighbor sum is linear, GNNIE can still run Weighting first:
+/// `((1+ε)h_i + Σ h_j)·W₁ = (1+ε)(h_i W₁) + Σ (h_j W₁)` — the first MLP
+/// linear is the Weighting pass, the sum is edge Aggregation, and the rest
+/// of the MLP is a second (graph-free) Weighting pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GinLayer {
+    epsilon: f32,
+    mlp: Mlp,
+}
+
+impl GinLayer {
+    /// Creates a GINConv layer with learned `ε` and update MLP.
+    pub fn new(epsilon: f32, mlp: Mlp) -> Self {
+        Self { epsilon, mlp }
+    }
+
+    /// The learned ε.
+    pub fn epsilon(&self) -> f32 {
+        self.epsilon
+    }
+
+    /// The update MLP.
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Forward pass. Returns MLP output (its internal ReLU applied) before
+    /// any outer activation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has a row count different from `g.num_vertices()`.
+    pub fn forward(&self, g: &CsrGraph, h: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h.rows(), g.num_vertices(), "feature rows must match vertex count");
+        let n = g.num_vertices();
+        let f = h.cols();
+        let mut agg = DenseMatrix::zeros(n, f);
+        for i in 0..n {
+            agg.axpy_row(i, 1.0 + self.epsilon, h.row(i));
+            for &j in g.neighbors(i) {
+                agg.axpy_row(i, 1.0, h.row(j as usize));
+            }
+        }
+        self.mlp.forward(&agg)
+    }
+
+    /// The GIN graph readout of paper Eq. 2 for a single layer: the sum of
+    /// all vertex feature vectors. The full readout concatenates this
+    /// across layers.
+    pub fn readout(h: &DenseMatrix) -> Vec<f32> {
+        let mut sum = vec![0.0f32; h.cols()];
+        for r in 0..h.rows() {
+            for (s, &x) in sum.iter_mut().zip(h.row(r)) {
+                *s += x;
+            }
+        }
+        sum
+    }
+}
+
+/// Any single GNN layer, for heterogeneous layer stacks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GnnLayer {
+    /// GCN layer.
+    Gcn(GcnLayer),
+    /// GraphSAGE layer.
+    Sage(SageLayer),
+    /// GAT layer.
+    Gat(GatLayer),
+    /// GINConv layer.
+    Gin(GinLayer),
+}
+
+impl GnnLayer {
+    /// Forward pass, dispatching on the layer kind.
+    pub fn forward(&self, g: &CsrGraph, h: &DenseMatrix) -> DenseMatrix {
+        match self {
+            GnnLayer::Gcn(l) => l.forward(g, h),
+            GnnLayer::Sage(l) => l.forward(g, h),
+            GnnLayer::Gat(l) => l.forward(g, h),
+            GnnLayer::Gin(l) => l.forward(g, h),
+        }
+    }
+
+    /// Output feature width of this layer.
+    pub fn output_width(&self) -> usize {
+        match self {
+            GnnLayer::Gcn(l) => l.weight().cols(),
+            GnnLayer::Sage(l) => l.weight().cols(),
+            GnnLayer::Gat(l) => l.weight().cols(),
+            GnnLayer::Gin(l) => l.mlp().output_width(),
+        }
+    }
+}
+
+/// Runs a stack of layers with ReLU (the paper's σ) between layers; the
+/// final layer's output is returned without activation, as the downstream
+/// task's softmax is not part of the accelerator workload.
+pub fn run_layers(g: &CsrGraph, h0: &DenseMatrix, layers: &[GnnLayer]) -> DenseMatrix {
+    let mut h = h0.clone();
+    for (i, layer) in layers.iter().enumerate() {
+        h = layer.forward(g, &h);
+        if i + 1 < layers.len() {
+            h.map_inplace(relu);
+        }
+    }
+    h
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> CsrGraph {
+        CsrGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)])
+    }
+
+    #[test]
+    fn gcn_triangle_hand_computed() {
+        // Triangle: every vertex has degree 2, d̃ = 3, norm = 1/3 for every
+        // pair. With identity W and one-hot features, out[i] = (h_i + h_j +
+        // h_k)/3 = [1/3, 1/3, 1/3].
+        let g = triangle();
+        let h = DenseMatrix::identity(3);
+        let layer = GcnLayer::new(DenseMatrix::identity(3));
+        let out = layer.forward(&g, &h);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((out.get(i, j) - 1.0 / 3.0).abs() < 1e-6, "out[{i}][{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_isolated_vertex_keeps_self_signal() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]);
+        let h = DenseMatrix::from_rows(&[&[2.0], &[4.0], &[8.0]]);
+        let layer = GcnLayer::new(DenseMatrix::identity(1));
+        let out = layer.forward(&g, &h);
+        // Vertex 2 is isolated: d̃ = 1, output = its own feature.
+        assert!((out.get(2, 0) - 8.0).abs() < 1e-6);
+        // Vertex 0: 2/2 + 4/2 = 3.
+        assert!((out.get(0, 0) - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gcn_weighting_then_aggregation_matches_combined() {
+        let g = triangle();
+        let h = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let w = DenseMatrix::from_rows(&[&[1.0, 0.0, 1.0], &[0.0, 1.0, -1.0]]);
+        let layer = GcnLayer::new(w.clone());
+        let combined = layer.forward(&g, &h);
+        let split = aggregate_gcn(&g, &h.matmul(&w).unwrap());
+        assert!(combined.max_abs_diff(&split) < 1e-6);
+    }
+
+    #[test]
+    fn sage_mean_full_sample_is_arithmetic_mean() {
+        let g = triangle();
+        let h = DenseMatrix::from_rows(&[&[3.0], &[6.0], &[9.0]]);
+        let layer = SageLayer::new(DenseMatrix::identity(1), SageAggregator::Mean, 10, 7);
+        let out = layer.forward(&g, &h);
+        // All neighborhoods are the full triangle: mean = 6.
+        for i in 0..3 {
+            assert!((out.get(i, 0) - 6.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sage_max_picks_elementwise_max() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let h = DenseMatrix::from_rows(&[&[1.0, 9.0], &[5.0, 2.0], &[3.0, 4.0]]);
+        let layer = SageLayer::new(DenseMatrix::identity(2), SageAggregator::Max, 10, 7);
+        let out = layer.forward(&g, &h);
+        assert_eq!(out.row(0), &[5.0, 9.0]);
+        // Vertex 1 sees {1, 0}: max = [5, 9].
+        assert_eq!(out.row(1), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn sage_sampling_is_deterministic_and_bounded() {
+        let g = gnnie_graph::generate::erdos_renyi(50, 400, 3);
+        for v in 0..50 {
+            let s1 = sample_neighbors(&g, v, 5, 42);
+            let s2 = sample_neighbors(&g, v, 5, 42);
+            assert_eq!(s1, s2, "same seed must resample identically");
+            assert!(s1.len() <= 5);
+            assert!(s1.len() == g.degree(v).min(5));
+            // Sampled ids must be actual neighbors, without repeats.
+            let mut seen = s1.clone();
+            seen.dedup();
+            assert_eq!(seen.len(), s1.len());
+            for &j in &s1 {
+                assert!(g.neighbors(v).contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn sage_different_seeds_differ_somewhere() {
+        let g = gnnie_graph::generate::erdos_renyi(60, 900, 5);
+        let any_diff = (0..60).any(|v| {
+            g.degree(v) > 5 && sample_neighbors(&g, v, 5, 1) != sample_neighbors(&g, v, 5, 2)
+        });
+        assert!(any_diff, "different seeds should change at least one sample");
+    }
+
+    #[test]
+    fn gat_zero_attention_is_uniform_mean() {
+        // a = 0 ⇒ all scores equal ⇒ softmax uniform ⇒ mean over {i}∪N(i).
+        let g = triangle();
+        let h = DenseMatrix::from_rows(&[&[3.0], &[6.0], &[9.0]]);
+        let layer = GatLayer::new(DenseMatrix::identity(1), vec![0.0, 0.0]);
+        let out = layer.forward(&g, &h);
+        for i in 0..3 {
+            assert!((out.get(i, 0) - 6.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gat_attention_weights_sum_to_one_and_bias_large_scores() {
+        // Strong positive a₂ with distinct neighbor features: the neighbor
+        // with the larger e₂ dominates the softmax.
+        let g = CsrGraph::from_edges(3, [(0, 1), (0, 2)]);
+        let h = DenseMatrix::from_rows(&[&[0.0], &[1.0], &[5.0]]);
+        let layer = GatLayer::new(DenseMatrix::identity(1), vec![0.0, 4.0]);
+        let out = layer.forward(&g, &h);
+        // Vertex 0 should be pulled strongly toward vertex 2's value 5.
+        assert!(out.get(0, 0) > 4.5, "attention should favor the high-score neighbor");
+    }
+
+    #[test]
+    fn gat_partials_match_concatenated_inner_product() {
+        let h = DenseMatrix::from_rows(&[&[1.0, 2.0], &[0.5, -1.0], &[3.0, 0.0]]);
+        let w = DenseMatrix::from_rows(&[&[1.0, 1.0], &[-1.0, 0.5]]);
+        let attn = vec![0.3, -0.7, 0.9, 0.1];
+        let layer = GatLayer::new(w.clone(), attn.clone());
+        let hw = h.matmul(&w).unwrap();
+        let (e1, e2) = layer.attention_partials(&hw);
+        for i in 0..3 {
+            for j in 0..3 {
+                let concat: Vec<f32> =
+                    hw.row(i).iter().chain(hw.row(j)).copied().collect();
+                let direct: f32 = attn.iter().zip(&concat).map(|(a, x)| a * x).sum();
+                assert!(
+                    (direct - (e1[i] + e2[j])).abs() < 1e-5,
+                    "reordered e_ij must equal the concatenated inner product"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gin_identity_mlp_sums_neighbors() {
+        let g = triangle();
+        let h = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[4.0]]);
+        let mlp = Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![
+            0.0,
+        ]);
+        let layer = GinLayer::new(0.0, mlp);
+        let out = layer.forward(&g, &h);
+        // (1+0)·h_i + Σ neighbors (all values positive so ReLU is identity).
+        assert!((out.get(0, 0) - 7.0).abs() < 1e-6);
+        assert!((out.get(1, 0) - 7.0).abs() < 1e-6);
+        assert!((out.get(2, 0) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gin_epsilon_scales_self_contribution() {
+        let g = CsrGraph::from_edges(2, [(0, 1)]);
+        let h = DenseMatrix::from_rows(&[&[2.0], &[3.0]]);
+        let mlp = Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![
+            0.0,
+        ]);
+        let layer = GinLayer::new(0.5, mlp);
+        let out = layer.forward(&g, &h);
+        assert!((out.get(0, 0) - (1.5 * 2.0 + 3.0)).abs() < 1e-6);
+        assert!((out.get(1, 0) - (1.5 * 3.0 + 2.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gin_readout_sums_vertex_features() {
+        let h = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(GinLayer::readout(&h), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn mlp_applies_relu_between_layers() {
+        // w1 = -1 makes the hidden value negative, ReLU zeroes it, so the
+        // output is just b2 regardless of input.
+        let mlp = Mlp::new(
+            DenseMatrix::from_rows(&[&[-1.0]]),
+            vec![0.0],
+            DenseMatrix::from_rows(&[&[5.0]]),
+            vec![0.25],
+        );
+        let x = DenseMatrix::from_rows(&[&[3.0]]);
+        let out = mlp.forward(&x);
+        assert!((out.get(0, 0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn run_layers_applies_relu_between_but_not_after() {
+        // Layer 1 produces a negative value; ReLU should zero it before
+        // layer 2. A single-layer run must keep the negative value.
+        let g = CsrGraph::from_edges(1, std::iter::empty());
+        let h = DenseMatrix::from_rows(&[&[1.0]]);
+        let l1 = GnnLayer::Gcn(GcnLayer::new(DenseMatrix::from_rows(&[&[-2.0]])));
+        let l2 = GnnLayer::Gcn(GcnLayer::new(DenseMatrix::from_rows(&[&[1.0]])));
+        let single = run_layers(&g, &h, std::slice::from_ref(&l1));
+        assert!(single.get(0, 0) < 0.0, "no activation after the final layer");
+        let stacked = run_layers(&g, &h, &[l1, l2]);
+        assert_eq!(stacked.get(0, 0), 0.0, "ReLU between layers zeroes the negative");
+    }
+
+    #[test]
+    #[should_panic(expected = "attention vector must be twice")]
+    fn gat_rejects_wrong_attention_length() {
+        let _ = GatLayer::new(DenseMatrix::identity(2), vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows must match vertex count")]
+    fn gcn_rejects_mismatched_feature_rows() {
+        let g = triangle();
+        let h = DenseMatrix::zeros(2, 3);
+        let _ = GcnLayer::new(DenseMatrix::identity(3)).forward(&g, &h);
+    }
+}

@@ -1,0 +1,56 @@
+//! Golden (reference) GNN implementations for the GNNIE reproduction.
+//!
+//! The accelerator simulator in `gnnie-core` claims to *compute* the same
+//! thing the paper's RTL computes, just faster than a CPU/GPU. To make that
+//! claim testable, this crate provides straightforward, obviously-correct
+//! implementations of every GNN in paper Table I:
+//!
+//! * [`layers::GcnLayer`] — graph convolutional network (Kipf & Welling),
+//! * [`layers::SageLayer`] — GraphSAGE with neighbor sampling and
+//!   mean/max aggregators (Hamilton et al.),
+//! * [`layers::GatLayer`] — graph attention network with the softmax
+//!   attention normalization prior accelerators skip (Veličković et al.),
+//! * [`layers::GinLayer`] — GINConv with its MLP update (Xu et al.),
+//! * [`diffpool`] — DiffPool hierarchical coarsening (Ying et al.).
+//!
+//! It also provides:
+//!
+//! * [`model`] — the paper's Table III layer configurations and a
+//!   [`model::GnnModel`] enum naming the five evaluated models,
+//! * [`params`] — seeded, deterministic parameter initialization,
+//! * [`flops`] — per-layer/per-model workload accounting (MACs, edge ops,
+//!   bytes) consumed by both the accelerator timing model and the CPU/GPU
+//!   roofline baselines.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnie_gnn::layers::GcnLayer;
+//! use gnnie_graph::CsrGraph;
+//! use gnnie_tensor::DenseMatrix;
+//!
+//! // A triangle graph, 2-dim features, identity weight: GCN is pure
+//! // normalized aggregation.
+//! let g = CsrGraph::from_edges(3, [(0, 1), (1, 2), (0, 2)]);
+//! let h = DenseMatrix::identity(3).matmul(&DenseMatrix::from_rows(&[
+//!     &[1.0, 0.0],
+//!     &[0.0, 1.0],
+//!     &[1.0, 1.0],
+//! ])).unwrap();
+//! let layer = GcnLayer::new(DenseMatrix::identity(2));
+//! let out = layer.forward(&g, &h);
+//! assert_eq!(out.shape(), (3, 2));
+//! ```
+
+pub mod diffpool;
+pub mod flops;
+pub mod layers;
+pub mod model;
+pub mod multihead;
+pub mod params;
+
+pub use flops::{LayerWorkload, ModelWorkload};
+pub use layers::{GatLayer, GcnLayer, GinLayer, GnnLayer, Mlp, SageAggregator, SageLayer};
+pub use model::{GnnModel, LayerSpec, ModelConfig};
+pub use multihead::{HeadCombine, MultiHeadGat};
+pub use params::ModelParams;

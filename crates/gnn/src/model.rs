@@ -1,0 +1,274 @@
+//! The five evaluated GNN models and their paper Table III configurations.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_graph::DatasetSpec;
+
+/// The GNN models evaluated in the paper (Fig. 12, Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GnnModel {
+    /// Graph convolutional network (Kipf & Welling).
+    Gcn,
+    /// GraphSAGE with neighborhood sampling (Hamilton et al.).
+    GraphSage,
+    /// Graph attention network (Veličković et al.).
+    Gat,
+    /// Graph isomorphism network convolution (Xu et al.).
+    GinConv,
+    /// DiffPool hierarchical pooling over a GCN backbone (Ying et al.).
+    DiffPool,
+}
+
+impl GnnModel {
+    /// All five models in the paper's Fig. 12 order.
+    pub const ALL: [GnnModel; 5] = [
+        GnnModel::Gcn,
+        GnnModel::GraphSage,
+        GnnModel::Gat,
+        GnnModel::GinConv,
+        GnnModel::DiffPool,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            GnnModel::Gcn => "GCN",
+            GnnModel::GraphSage => "GraphSAGE",
+            GnnModel::Gat => "GAT",
+            GnnModel::GinConv => "GINConv",
+            GnnModel::DiffPool => "DiffPool",
+        }
+    }
+
+    /// Whether Aggregation needs per-edge attention coefficients
+    /// (LeakyReLU + exp + softmax normalization), i.e. the GAT path.
+    pub fn uses_attention(self) -> bool {
+        matches!(self, GnnModel::Gat)
+    }
+
+    /// Neighborhood sample size from Table III (GraphSAGE only).
+    pub fn sample_size(self) -> Option<usize> {
+        match self {
+            GnnModel::GraphSage => Some(25),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for GnnModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One convolution layer: Weighting from `f_in` features to `f_out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Input feature length (`F^{l-1}`).
+    pub f_in: usize,
+    /// Output feature length (`F^l`).
+    pub f_out: usize,
+    /// Whether the input features of this layer are the ultra-sparse
+    /// RLC-encoded input-layer vectors (true only for layer 0).
+    pub sparse_input: bool,
+}
+
+/// A full model configuration: the Table III "len\[h\], 128" convolution
+/// stack instantiated for a concrete dataset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Which model this configures.
+    pub model: GnnModel,
+    /// Hidden feature width (128 throughout the paper's evaluation).
+    pub hidden: usize,
+    /// The convolution layers, input to output.
+    pub layers: Vec<LayerSpec>,
+    /// GraphSAGE neighborhood sample size (Table III: 25).
+    pub sample_size: Option<usize>,
+    /// DiffPool: number of clusters after pooling (fixed at inference).
+    pub diffpool_clusters: Option<usize>,
+    /// GAT attention heads (Veličković et al. use K = 8 on hidden layers;
+    /// the paper's Table III evaluation is single-head). Ignored by the
+    /// other models.
+    #[serde(default = "default_gat_heads")]
+    pub gat_heads: usize,
+}
+
+fn default_gat_heads() -> usize {
+    1
+}
+
+/// Hidden width used across the paper's evaluation (Table III).
+pub const PAPER_HIDDEN: usize = 128;
+
+/// DiffPool cluster fraction: the DiffPool paper's standard 25 % coarsening
+/// ratio; the cluster count is fixed at inference (paper §II).
+pub const DIFFPOOL_CLUSTER_FRAC: f64 = 0.25;
+
+/// Cap on the DiffPool cluster count. DiffPool targets graph
+/// classification where the assignment matrix stays small; an uncapped
+/// 25 % of Reddit would make `S` a 54 GB dense matrix on *every*
+/// platform, which no evaluated system materializes. The cap keeps the
+/// coarsening workload realistic while preserving the paper's "DiffPool
+/// gains the least" ordering (its matmuls are dense and platform-
+/// friendly).
+pub const DIFFPOOL_MAX_CLUSTERS: usize = 128;
+
+impl ModelConfig {
+    /// The paper's Table III configuration of `model` for a dataset:
+    /// a two-layer stack `F⁰ → 128 → labels` (GINConv's MLP uses the
+    /// "128 / 128" hidden pair inside each layer; DiffPool pairs an
+    /// embedding GCN with a pooling GCN at 25 % cluster ratio).
+    pub fn paper(model: GnnModel, spec: &DatasetSpec) -> Self {
+        let hidden = PAPER_HIDDEN;
+        let layers = vec![
+            LayerSpec { f_in: spec.feature_len, f_out: hidden, sparse_input: true },
+            LayerSpec { f_in: hidden, f_out: spec.labels, sparse_input: false },
+        ];
+        let diffpool_clusters = (model == GnnModel::DiffPool).then(|| {
+            ((spec.vertices as f64 * DIFFPOOL_CLUSTER_FRAC) as usize)
+                .clamp(1, DIFFPOOL_MAX_CLUSTERS)
+        });
+        ModelConfig {
+            model,
+            hidden,
+            layers,
+            sample_size: model.sample_size(),
+            diffpool_clusters,
+            gat_heads: 1,
+        }
+    }
+
+    /// A K-head GAT stack (Veličković et al., Eq. 5/6): each hidden layer
+    /// runs `heads` independent heads whose outputs concatenate (so the
+    /// next layer's input width is `heads · hidden`); the output layer's
+    /// heads average, keeping `labels` output width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is zero.
+    pub fn gat_multihead(spec: &DatasetSpec, heads: usize) -> Self {
+        assert!(heads > 0, "need at least one attention head");
+        let hidden = PAPER_HIDDEN;
+        let layers = vec![
+            LayerSpec { f_in: spec.feature_len, f_out: hidden, sparse_input: true },
+            LayerSpec { f_in: hidden * heads, f_out: spec.labels, sparse_input: false },
+        ];
+        ModelConfig {
+            model: GnnModel::Gat,
+            hidden,
+            layers,
+            sample_size: None,
+            diffpool_clusters: None,
+            gat_heads: heads,
+        }
+    }
+
+    /// A small custom stack for tests and examples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `widths` has fewer than two entries.
+    pub fn custom(model: GnnModel, widths: &[usize]) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| LayerSpec { f_in: w[0], f_out: w[1], sparse_input: i == 0 })
+            .collect();
+        ModelConfig {
+            model,
+            hidden: widths[1],
+            layers,
+            sample_size: model.sample_size(),
+            diffpool_clusters: None,
+            gat_heads: 1,
+        }
+    }
+
+    /// Number of convolution layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Output feature width of the final layer.
+    pub fn output_width(&self) -> usize {
+        self.layers.last().map(|l| l.f_out).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_graph::Dataset;
+
+    #[test]
+    fn paper_config_matches_table_iii() {
+        let spec = Dataset::Cora.spec();
+        for model in GnnModel::ALL {
+            let cfg = ModelConfig::paper(model, &spec);
+            assert_eq!(cfg.hidden, 128);
+            assert_eq!(cfg.layers[0].f_in, 1433);
+            assert_eq!(cfg.layers[0].f_out, 128);
+            assert_eq!(cfg.layers[1].f_out, 7);
+            assert!(cfg.layers[0].sparse_input);
+            assert!(!cfg.layers[1].sparse_input);
+        }
+    }
+
+    #[test]
+    fn sample_size_only_for_sage() {
+        let spec = Dataset::Pubmed.spec();
+        assert_eq!(ModelConfig::paper(GnnModel::GraphSage, &spec).sample_size, Some(25));
+        assert_eq!(ModelConfig::paper(GnnModel::Gcn, &spec).sample_size, None);
+    }
+
+    #[test]
+    fn diffpool_gets_cluster_count() {
+        // Cora: 25% of 2708 = 677, above the 512 cap.
+        let spec = Dataset::Cora.spec();
+        let cfg = ModelConfig::paper(GnnModel::DiffPool, &spec);
+        assert_eq!(cfg.diffpool_clusters, Some(DIFFPOOL_MAX_CLUSTERS));
+        assert_eq!(ModelConfig::paper(GnnModel::Gat, &spec).diffpool_clusters, None);
+        // A small graph stays under the cap.
+        let small = spec.scaled(0.1);
+        let cfg_small = ModelConfig::paper(GnnModel::DiffPool, &small);
+        assert_eq!(cfg_small.diffpool_clusters, Some(small.vertices / 4));
+    }
+
+    #[test]
+    fn custom_config_builds_layer_stack() {
+        let cfg = ModelConfig::custom(GnnModel::Gcn, &[16, 8, 4]);
+        assert_eq!(cfg.num_layers(), 2);
+        assert_eq!(cfg.layers[0].f_in, 16);
+        assert_eq!(cfg.layers[1].f_out, 4);
+        assert_eq!(cfg.output_width(), 4);
+    }
+
+    #[test]
+    fn multihead_config_concatenates_hidden_width() {
+        let spec = Dataset::Cora.spec();
+        let cfg = ModelConfig::gat_multihead(&spec, 8);
+        assert_eq!(cfg.gat_heads, 8);
+        assert_eq!(cfg.layers[0].f_out, 128, "per-head hidden width");
+        assert_eq!(cfg.layers[1].f_in, 8 * 128, "concatenated head outputs");
+        assert_eq!(cfg.output_width(), 7, "output heads average");
+        // Single-head multi-head config matches the paper stack.
+        let single = ModelConfig::gat_multihead(&spec, 1);
+        assert_eq!(single.layers, ModelConfig::paper(GnnModel::Gat, &spec).layers);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attention head")]
+    fn multihead_rejects_zero_heads() {
+        let _ = ModelConfig::gat_multihead(&Dataset::Cora.spec(), 0);
+    }
+
+    #[test]
+    fn model_display_names() {
+        assert_eq!(GnnModel::Gcn.to_string(), "GCN");
+        assert_eq!(GnnModel::GraphSage.to_string(), "GraphSAGE");
+        assert!(GnnModel::Gat.uses_attention());
+        assert!(!GnnModel::GinConv.uses_attention());
+    }
+}

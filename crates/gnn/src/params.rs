@@ -1,0 +1,199 @@
+//! Deterministic parameter initialization and the full-model golden runner.
+//!
+//! Inference reproducibility requires every weight to be a pure function of
+//! a seed: the accelerator datapath in `gnnie-core` and the golden models
+//! here must see bit-identical parameters.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use gnnie_graph::CsrGraph;
+use gnnie_tensor::DenseMatrix;
+
+use crate::diffpool::{self, DiffPoolParams};
+use crate::layers::{run_layers, GatLayer, GcnLayer, GinLayer, GnnLayer, Mlp, SageAggregator,
+    SageLayer};
+use crate::model::{GnnModel, ModelConfig};
+
+/// Glorot-style uniform initialization: `U(-s, s)` with `s = √(6/(fan_in +
+/// fan_out))`. Deterministic in the RNG state.
+pub fn glorot(rng: &mut StdRng, rows: usize, cols: usize) -> DenseMatrix {
+    let s = (6.0 / (rows + cols) as f32).sqrt();
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.random_range(-s..=s))
+}
+
+/// A fully-instantiated model: configuration plus per-layer parameters.
+#[derive(Debug, Clone)]
+pub struct ModelParams {
+    /// The configuration the parameters were generated for.
+    pub config: ModelConfig,
+    /// The convolution layers, input to output.
+    pub layers: Vec<GnnLayer>,
+    /// DiffPool pooling parameters (present only for [`GnnModel::DiffPool`]).
+    pub diffpool: Option<DiffPoolParams>,
+}
+
+impl ModelParams {
+    /// Generates parameters for `config` deterministically from `seed`.
+    pub fn init(config: ModelConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers = Vec::with_capacity(config.layers.len());
+        for (li, spec) in config.layers.iter().enumerate() {
+            let layer = match config.model {
+                GnnModel::Gcn | GnnModel::DiffPool => {
+                    GnnLayer::Gcn(GcnLayer::new(glorot(&mut rng, spec.f_in, spec.f_out)))
+                }
+                GnnModel::GraphSage => GnnLayer::Sage(SageLayer::new(
+                    glorot(&mut rng, spec.f_in, spec.f_out),
+                    SageAggregator::Max,
+                    config.sample_size.unwrap_or(25),
+                    seed ^ ((li as u64 + 1) << 32),
+                )),
+                GnnModel::Gat => {
+                    let w = glorot(&mut rng, spec.f_in, spec.f_out);
+                    let s = (6.0 / (2 * spec.f_out) as f32).sqrt();
+                    let attn = (0..2 * spec.f_out).map(|_| rng.random_range(-s..=s)).collect();
+                    GnnLayer::Gat(GatLayer::new(w, attn))
+                }
+                GnnModel::GinConv => {
+                    // Table III: MLP hidden pair "128 / 128"; the layer's
+                    // f_out doubles as the MLP hidden width.
+                    let hidden = spec.f_out.max(1);
+                    let mlp = Mlp::new(
+                        glorot(&mut rng, spec.f_in, hidden),
+                        vec![0.0; hidden],
+                        glorot(&mut rng, hidden, spec.f_out),
+                        vec![0.0; spec.f_out],
+                    );
+                    GnnLayer::Gin(GinLayer::new(rng.random_range(-0.1..=0.1), mlp))
+                }
+            };
+            layers.push(layer);
+        }
+        let diffpool = (config.model == GnnModel::DiffPool).then(|| {
+            let f_in = config.layers[0].f_in;
+            let clusters = config.diffpool_clusters.unwrap_or(1);
+            DiffPoolParams {
+                embed: GcnLayer::new(glorot(&mut rng, f_in, config.hidden)),
+                pool: GcnLayer::new(glorot(&mut rng, f_in, clusters)),
+            }
+        });
+        ModelParams { config, layers, diffpool }
+    }
+
+    /// Runs golden inference on `g` with dense input features `h0`.
+    ///
+    /// For the four flat models this runs the layer stack with ReLU between
+    /// layers. For DiffPool it runs one pooling level (embedding GNN +
+    /// assignment GNN + coarsening) followed by the remaining layers on the
+    /// coarsened graph, as paper §II describes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h0` has a row count different from `g.num_vertices()`.
+    pub fn forward(&self, g: &CsrGraph, h0: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(h0.rows(), g.num_vertices(), "feature rows must match vertex count");
+        match &self.diffpool {
+            None => run_layers(g, h0, &self.layers),
+            Some(dp) => {
+                let level = diffpool::diffpool_level(g, h0, dp);
+                // Remaining layers run on the coarsened (dense) graph; the
+                // embedding width is `hidden`, so skip the first layer spec
+                // (consumed by the embedding GNN) and apply the rest.
+                let mut x = level.embeddings;
+                for (i, layer) in self.layers.iter().enumerate().skip(1) {
+                    x = diffpool::gcn_dense_adj(&level.coarse_adj, &x, gcn_weight(layer));
+                    if i + 1 < self.layers.len() {
+                        x.map_inplace(gnnie_tensor::activations::relu);
+                    }
+                }
+                x
+            }
+        }
+    }
+}
+
+fn gcn_weight(layer: &GnnLayer) -> &DenseMatrix {
+    match layer {
+        GnnLayer::Gcn(l) => l.weight(),
+        _ => panic!("DiffPool stacks are GCN-based (Table III)"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_graph::Dataset;
+
+    fn small_config(model: GnnModel) -> ModelConfig {
+        ModelConfig::custom(model, &[8, 6, 3])
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        for model in GnnModel::ALL {
+            let a = ModelParams::init(small_config(model), 9);
+            let b = ModelParams::init(small_config(model), 9);
+            for (la, lb) in a.layers.iter().zip(&b.layers) {
+                assert_eq!(la, lb, "{model} init must be seed-deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_weights() {
+        let a = ModelParams::init(small_config(GnnModel::Gcn), 1);
+        let b = ModelParams::init(small_config(GnnModel::Gcn), 2);
+        assert_ne!(a.layers, b.layers);
+    }
+
+    #[test]
+    fn glorot_is_bounded() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = glorot(&mut rng, 10, 20);
+        let s = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= s + 1e-6));
+        assert!(m.nnz() > 150, "essentially all entries should be nonzero");
+    }
+
+    #[test]
+    fn forward_produces_expected_shape_for_all_models() {
+        let g = gnnie_graph::generate::erdos_renyi(20, 60, 5);
+        let h0 = DenseMatrix::from_fn(20, 8, |r, c| ((r * 31 + c * 7) % 5) as f32 * 0.25);
+        for model in GnnModel::ALL {
+            let mut cfg = small_config(model);
+            if model == GnnModel::DiffPool {
+                cfg.diffpool_clusters = Some(4);
+            }
+            let params = ModelParams::init(cfg, 11);
+            let out = params.forward(&g, &h0);
+            let expected_rows = if model == GnnModel::DiffPool { 4 } else { 20 };
+            assert_eq!(out.shape(), (expected_rows, 3), "{model}");
+            assert!(out.as_slice().iter().all(|x| x.is_finite()), "{model} output finite");
+        }
+    }
+
+    #[test]
+    fn paper_init_covers_table_iii_shapes() {
+        let spec = Dataset::Cora.spec();
+        let params = ModelParams::init(ModelConfig::paper(GnnModel::Gat, &spec), 1);
+        match &params.layers[0] {
+            GnnLayer::Gat(l) => {
+                assert_eq!(l.weight().shape(), (1433, 128));
+                assert_eq!(l.attention().len(), 256);
+            }
+            other => panic!("expected GAT layer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diffpool_params_only_for_diffpool() {
+        assert!(ModelParams::init(small_config(GnnModel::Gcn), 1).diffpool.is_none());
+        let mut cfg = small_config(GnnModel::DiffPool);
+        cfg.diffpool_clusters = Some(5);
+        let p = ModelParams::init(cfg, 1);
+        let dp = p.diffpool.as_ref().expect("DiffPool params");
+        assert_eq!(dp.pool.weight().cols(), 5);
+        assert_eq!(dp.embed.weight().cols(), 6);
+    }
+}

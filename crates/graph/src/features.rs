@@ -1,0 +1,217 @@
+//! Sparse input-feature generation.
+//!
+//! Paper Fig. 2 shows that per-vertex nonzero counts in real input feature
+//! matrices are *bimodal*: a large "Region A" of very sparse vertices and a
+//! smaller, denser "Region B". This spread is precisely what causes the
+//! rabbit/turtle workload imbalance GNNIE's flexible-MAC architecture fixes
+//! (§IV-C), so the generator reproduces it faithfully.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use gnnie_tensor::stats::Histogram;
+use gnnie_tensor::{CsrMatrix, SparseVec};
+
+/// Per-vertex nonzero-count profile of an input feature matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FeatureProfile {
+    /// Bimodal profile of paper Fig. 2: `frac_a` of the vertices draw their
+    /// nonzero count around `mean_a`, the rest around `mean_b`
+    /// (`mean_a < mean_b`). Standard deviation is 25 % of each mean.
+    Bimodal {
+        /// Fraction of vertices in the sparse region A, in `(0, 1)`.
+        frac_a: f64,
+        /// Mean nonzero count of region A.
+        mean_a: f64,
+        /// Mean nonzero count of region B.
+        mean_b: f64,
+    },
+    /// Unimodal profile (e.g. Reddit's comparatively dense features):
+    /// nonzero counts around `mean` with 15 % standard deviation.
+    Unimodal {
+        /// Mean nonzero count.
+        mean: f64,
+    },
+}
+
+impl FeatureProfile {
+    /// Builds the Fig. 2-style bimodal profile for a target average nonzero
+    /// count: 70 % of vertices around `0.55 × avg` and 30 % around
+    /// `2.05 × avg`, which preserves the requested mean.
+    pub fn bimodal_for_mean(avg_nnz: f64) -> Self {
+        FeatureProfile::Bimodal {
+            frac_a: 0.7,
+            mean_a: 0.55 * avg_nnz,
+            mean_b: 2.05 * avg_nnz,
+        }
+    }
+
+    /// The expected nonzero count under the profile.
+    pub fn expected_nnz(&self) -> f64 {
+        match *self {
+            FeatureProfile::Bimodal { frac_a, mean_a, mean_b } => {
+                frac_a * mean_a + (1.0 - frac_a) * mean_b
+            }
+            FeatureProfile::Unimodal { mean } => mean,
+        }
+    }
+
+    fn sample_nnz<R: Rng + ?Sized>(&self, rng: &mut R, feature_len: usize) -> usize {
+        let (mean, sd) = match *self {
+            FeatureProfile::Bimodal { frac_a, mean_a, mean_b } => {
+                if rng.random::<f64>() < frac_a {
+                    (mean_a, 0.25 * mean_a)
+                } else {
+                    (mean_b, 0.25 * mean_b)
+                }
+            }
+            FeatureProfile::Unimodal { mean } => (mean, 0.15 * mean),
+        };
+        let x = mean + sd * sample_standard_normal(rng);
+        (x.round().max(1.0) as usize).min(feature_len)
+    }
+}
+
+/// Box–Muller standard normal sample.
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Generates a sparse feature matrix of `num_vertices x feature_len` with
+/// per-vertex nonzero counts drawn from `profile`. Nonzero positions are
+/// uniform; values are uniform in `[0.1, 1.0]` (real datasets are
+/// bag-of-words-like nonnegative features).
+pub fn generate_features(
+    num_vertices: usize,
+    feature_len: usize,
+    profile: FeatureProfile,
+    seed: u64,
+) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(num_vertices);
+    let mut scratch: Vec<u32> = Vec::new();
+    // Reusable identity array for dense rows (partial Fisher–Yates).
+    let mut pool: Vec<u32> = (0..feature_len as u32).collect();
+    for _ in 0..num_vertices {
+        let nnz = profile.sample_nnz(&mut rng, feature_len);
+        scratch.clear();
+        if nnz <= 64 {
+            // Floyd's algorithm: `nnz` distinct indices with O(nnz²) worst
+            // case, cheap at this size.
+            for j in (feature_len - nnz)..feature_len {
+                let t = rng.random_range(0..=j) as u32;
+                if scratch.contains(&t) {
+                    scratch.push(j as u32);
+                } else {
+                    scratch.push(t);
+                }
+            }
+        } else {
+            // Partial Fisher–Yates over the reusable pool: O(feature_len).
+            for i in 0..nnz {
+                let j = rng.random_range(i..feature_len);
+                pool.swap(i, j);
+            }
+            scratch.extend_from_slice(&pool[..nnz]);
+        }
+        scratch.sort_unstable();
+        let values: Vec<f32> =
+            scratch.iter().map(|_| 0.1 + 0.9 * rng.random::<f32>()).collect();
+        rows.push(
+            SparseVec::new(feature_len, scratch.clone(), values)
+                .expect("distinct sorted indices within range"),
+        );
+    }
+    CsrMatrix::from_sparse_rows(feature_len, &rows)
+}
+
+/// Histogram of per-vertex nonzero counts — the data behind paper Fig. 2.
+pub fn nonzero_histogram(features: &CsrMatrix, bins: usize) -> Histogram {
+    let max_nnz = (0..features.rows())
+        .map(|r| features.row_nnz(r))
+        .max()
+        .unwrap_or(0)
+        .max(1);
+    Histogram::from_values(
+        0.0,
+        (max_nnz + 1) as f64,
+        bins,
+        (0..features.rows()).map(|r| features.row_nnz(r) as f64),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bimodal_profile_preserves_mean() {
+        let p = FeatureProfile::bimodal_for_mean(20.0);
+        assert!((p.expected_nnz() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_sparsity_matches_target() {
+        // Cora-like: F=1433, target sparsity 98.73% -> avg nnz ~18.2.
+        let avg = 1433.0 * (1.0 - 0.9873);
+        let m = generate_features(2708, 1433, FeatureProfile::bimodal_for_mean(avg), 42);
+        let got = m.sparsity();
+        assert!(
+            (got - 0.9873).abs() < 0.003,
+            "sparsity {got} too far from 0.9873"
+        );
+    }
+
+    #[test]
+    fn bimodal_histogram_has_two_regions() {
+        let m = generate_features(5000, 1000, FeatureProfile::bimodal_for_mean(30.0), 7);
+        let h = nonzero_histogram(&m, 40);
+        // Region A peak below the mean, nonempty mass well above it.
+        let (peak_bin, _) = h.peak();
+        let peak_center = (h.bin_lo(peak_bin) + h.bin_hi(peak_bin)) / 2.0;
+        assert!(peak_center < 30.0, "peak at {peak_center}, expected below mean");
+        let tail = h.last_nonempty_bin().expect("nonempty");
+        assert!(h.bin_lo(tail) > 45.0, "no dense region B found");
+    }
+
+    #[test]
+    fn unimodal_is_tighter_than_bimodal() {
+        let uni = generate_features(2000, 600, FeatureProfile::Unimodal { mean: 300.0 }, 3);
+        let spread = |m: &CsrMatrix| {
+            let nnzs: Vec<usize> = (0..m.rows()).map(|r| m.row_nnz(r)).collect();
+            *nnzs.iter().max().unwrap() as f64 / *nnzs.iter().min().unwrap() as f64
+        };
+        let bi = generate_features(2000, 600, FeatureProfile::bimodal_for_mean(300.0), 3);
+        assert!(spread(&uni) < spread(&bi));
+    }
+
+    #[test]
+    fn nnz_never_exceeds_feature_len() {
+        let m = generate_features(100, 16, FeatureProfile::Unimodal { mean: 40.0 }, 5);
+        for r in 0..m.rows() {
+            assert!(m.row_nnz(r) <= 16);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_features(50, 64, FeatureProfile::bimodal_for_mean(8.0), 9);
+        let b = generate_features(50, 64, FeatureProfile::bimodal_for_mean(8.0), 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn indices_are_strictly_increasing_per_row() {
+        let m = generate_features(200, 128, FeatureProfile::bimodal_for_mean(10.0), 13);
+        for r in 0..m.rows() {
+            let row = m.row(r);
+            let idx = row.indices();
+            for w in idx.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Induced-subgraph utilities for the caching engine.
+//!
+//! During Aggregation the input buffer holds a set of vertices; "these
+//! vertices, and the edges between them, form a subgraph of the original
+//! graph" (paper §VI). The cache controller repeatedly needs the edges of
+//! that induced subgraph, which these helpers provide without materialising
+//! a new graph.
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// Iterates the edges of the subgraph induced by `in_set`, each once as
+/// `(u, v)` with `u < v`.
+///
+/// `in_set[v]` must be `true` iff vertex `v` is in the set.
+///
+/// # Panics
+///
+/// Panics if `in_set.len() != g.num_vertices()`.
+pub fn induced_edges<'a>(
+    g: &'a CsrGraph,
+    in_set: &'a [bool],
+) -> impl Iterator<Item = (VertexId, VertexId)> + 'a {
+    assert_eq!(in_set.len(), g.num_vertices(), "membership mask length mismatch");
+    g.edges().filter(move |&(u, v)| in_set[u as usize] && in_set[v as usize])
+}
+
+/// Counts the edges of the induced subgraph, iterating only the adjacency
+/// lists of set members (cheaper than [`induced_edges`] when the set is
+/// small relative to the graph).
+///
+/// # Panics
+///
+/// Panics if `in_set.len() != g.num_vertices()`.
+pub fn count_induced_edges(g: &CsrGraph, in_set: &[bool]) -> usize {
+    assert_eq!(in_set.len(), g.num_vertices(), "membership mask length mismatch");
+    let mut count = 0usize;
+    for u in 0..g.num_vertices() {
+        if !in_set[u] {
+            continue;
+        }
+        for &v in g.neighbors(u) {
+            if (u as VertexId) < v && in_set[v as usize] {
+                count += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Degree of `v` *within* the induced subgraph.
+///
+/// # Panics
+///
+/// Panics if the mask length mismatches or `v` is out of range.
+pub fn induced_degree(g: &CsrGraph, in_set: &[bool], v: usize) -> usize {
+    assert_eq!(in_set.len(), g.num_vertices(), "membership mask length mismatch");
+    g.neighbors(v).iter().filter(|&&u| in_set[u as usize]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        // Square 0-1-2-3 plus diagonal 0-2 plus pendant 4.
+        CsrGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2), (2, 4)])
+    }
+
+    #[test]
+    fn induced_edges_respects_membership() {
+        let g = sample();
+        let in_set = vec![true, true, true, false, false];
+        let edges: Vec<_> = induced_edges(&g, &in_set).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn count_matches_iterator() {
+        let g = sample();
+        for mask in 0u8..32 {
+            let in_set: Vec<bool> = (0..5).map(|i| mask & (1 << i) != 0).collect();
+            assert_eq!(
+                count_induced_edges(&g, &in_set),
+                induced_edges(&g, &in_set).count(),
+                "mismatch for mask {mask:05b}"
+            );
+        }
+    }
+
+    #[test]
+    fn induced_degree_counts_only_members() {
+        let g = sample();
+        let in_set = vec![true, false, true, true, false];
+        assert_eq!(induced_degree(&g, &in_set, 0), 2); // 2 and 3, not 1
+        assert_eq!(induced_degree(&g, &in_set, 2), 2); // 0 and 3, not 1/4
+    }
+
+    #[test]
+    fn empty_set_has_no_edges() {
+        let g = sample();
+        let in_set = vec![false; 5];
+        assert_eq!(count_induced_edges(&g, &in_set), 0);
+    }
+
+    #[test]
+    fn full_set_is_whole_graph() {
+        let g = sample();
+        let in_set = vec![true; 5];
+        assert_eq!(count_induced_edges(&g, &in_set), g.num_edges());
+    }
+}

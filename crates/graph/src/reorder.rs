@@ -1,0 +1,255 @@
+//! Degree-aware preprocessing: binning and descending-degree relabeling.
+//!
+//! GNNIE's caching policy requires vertices to be "stored contiguously in
+//! DRAM in descending degree order", with ties "broken in dictionary order
+//! of vertex IDs" (paper §VI). The paper stresses that this preprocessing is
+//! *linear time* — "it is enough to sort vertices into bins based on their
+//! degrees" — so the implementation uses counting sort over degree bins, not
+//! a comparison sort.
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::CsrGraph;
+use crate::VertexId;
+
+/// A bijection `new_id -> old_id` over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_graph::{CsrGraph, Permutation};
+///
+/// let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+/// let p = Permutation::descending_degree(&g);
+/// // Vertex 1 has the highest degree, so it becomes new vertex 0.
+/// assert_eq!(p.old_of(0), 1);
+/// assert_eq!(p.new_of(1), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    /// `order[new_id] = old_id`.
+    order: Vec<VertexId>,
+    /// `inverse[old_id] = new_id`.
+    inverse: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Builds a permutation from a `new -> old` order vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<VertexId>) -> Self {
+        let n = order.len();
+        let mut inverse = vec![VertexId::MAX; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            assert!(
+                (old_id as usize) < n && inverse[old_id as usize] == VertexId::MAX,
+                "order is not a permutation of 0..{n}"
+            );
+            inverse[old_id as usize] = new_id as VertexId;
+        }
+        Self { order, inverse }
+    }
+
+    /// The identity permutation over `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        Self::from_order((0..n as VertexId).collect())
+    }
+
+    /// Descending-degree order with ties broken by ascending old vertex id
+    /// (the paper's dictionary order). Runs in `O(V + max_degree)` using a
+    /// counting sort over exact degrees.
+    pub fn descending_degree(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let max_d = g.max_degree();
+        // counts[d] = number of vertices of degree d.
+        let mut counts = vec![0usize; max_d + 2];
+        for v in 0..n {
+            counts[g.degree(v)] += 1;
+        }
+        // Descending degree: start offsets from the high end.
+        let mut starts = vec![0usize; max_d + 2];
+        let mut acc = 0usize;
+        for d in (0..=max_d).rev() {
+            starts[d] = acc;
+            acc += counts[d];
+        }
+        let mut order = vec![0 as VertexId; n];
+        // Ascending vertex id within equal degree preserves dictionary order.
+        for v in 0..n {
+            let d = g.degree(v);
+            order[starts[d]] = v as VertexId;
+            starts[d] += 1;
+        }
+        Self::from_order(order)
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` if the permutation covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Old id of new vertex `new_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_id` is out of range.
+    pub fn old_of(&self, new_id: usize) -> VertexId {
+        self.order[new_id]
+    }
+
+    /// New id of old vertex `old_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `old_id` is out of range.
+    pub fn new_of(&self, old_id: usize) -> VertexId {
+        self.inverse[old_id]
+    }
+
+    /// The `new -> old` order as a slice.
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// Applies the permutation to a graph: new vertex `i` is old
+    /// `self.old_of(i)`.
+    pub fn apply(&self, g: &CsrGraph) -> CsrGraph {
+        g.relabel(&self.order)
+    }
+
+    /// Permutes a per-vertex property vector from old to new indexing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `props.len() != self.len()`.
+    pub fn permute_props<T: Clone>(&self, props: &[T]) -> Vec<T> {
+        assert_eq!(props.len(), self.len(), "property vector length mismatch");
+        self.order.iter().map(|&old| props[old as usize].clone()).collect()
+    }
+}
+
+/// Bins vertices by degree in linear time: bin 0 holds the highest-degree
+/// vertices. Bin boundaries are geometric in degree (each bin halves the
+/// degree range), which "differentiat\[es\] high-degree vertices from
+/// medium-/low-degree vertices" as §VI prescribes.
+///
+/// Returns `bin_of[v]` for every vertex, with values in `0..num_bins`.
+///
+/// # Panics
+///
+/// Panics if `num_bins == 0`.
+pub fn degree_bins(g: &CsrGraph, num_bins: usize) -> Vec<u8> {
+    assert!(num_bins > 0, "need at least one bin");
+    assert!(num_bins <= 256, "bin index is stored in a u8");
+    let max_d = g.max_degree().max(1);
+    (0..g.num_vertices())
+        .map(|v| {
+            let d = g.degree(v).max(1);
+            // Geometric binning: bin = how many times d halves below max_d.
+            let mut bin = 0usize;
+            let mut threshold = max_d;
+            while bin + 1 < num_bins && d < threshold.div_ceil(2).max(1) {
+                threshold = threshold.div_ceil(2);
+                bin += 1;
+            }
+            bin as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn star_plus_path() -> CsrGraph {
+        // Vertex 0: hub of degree 5; vertices 5-6-7 a path.
+        CsrGraph::from_edges(
+            8,
+            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
+        )
+    }
+
+    #[test]
+    fn descending_degree_puts_hub_first() {
+        let g = star_plus_path();
+        let p = Permutation::descending_degree(&g);
+        assert_eq!(p.old_of(0), 0); // hub, degree 5
+        // Degrees: v0=5, v5=2, v6=2, others 1. Ties by ascending id.
+        assert_eq!(p.old_of(1), 5);
+        assert_eq!(p.old_of(2), 6);
+    }
+
+    #[test]
+    fn descending_degree_tie_break_is_ascending_id() {
+        // All degree-1 pairs.
+        let g = CsrGraph::from_edges(6, [(0, 1), (2, 3), (4, 5)]);
+        let p = Permutation::descending_degree(&g);
+        let order: Vec<VertexId> = (0..6).map(|i| p.old_of(i)).collect();
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn permutation_inverse_consistency() {
+        let g = star_plus_path();
+        let p = Permutation::descending_degree(&g);
+        for new_id in 0..p.len() {
+            assert_eq!(p.new_of(p.old_of(new_id) as usize) as usize, new_id);
+        }
+    }
+
+    #[test]
+    fn apply_yields_nonincreasing_degrees() {
+        let g = star_plus_path();
+        let p = Permutation::descending_degree(&g);
+        let r = p.apply(&g);
+        for v in 1..r.num_vertices() {
+            assert!(r.degree(v - 1) >= r.degree(v), "degree order violated at {v}");
+        }
+        assert_eq!(r.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn permute_props_follows_order() {
+        let g = CsrGraph::from_edges(3, [(2, 1), (2, 0)]); // v2 is hub
+        let p = Permutation::descending_degree(&g);
+        let props = vec!["a", "b", "c"];
+        let permuted = p.permute_props(&props);
+        assert_eq!(permuted[0], "c");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn from_order_rejects_duplicates() {
+        let _ = Permutation::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let g = star_plus_path();
+        let p = Permutation::identity(g.num_vertices());
+        assert_eq!(p.apply(&g), g);
+    }
+
+    #[test]
+    fn degree_bins_separate_hub_from_leaves() {
+        let g = star_plus_path();
+        let bins = degree_bins(&g, 3);
+        assert_eq!(bins[0], 0); // hub in the top bin
+        assert!(bins[7] > 0); // leaf in a lower bin
+        assert!(bins.iter().all(|&b| (b as usize) < 3));
+    }
+
+    #[test]
+    fn degree_bins_single_bin() {
+        let g = star_plus_path();
+        let bins = degree_bins(&g, 1);
+        assert!(bins.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,89 @@
+//! Basic traversals used to validate generated graphs.
+
+use std::collections::VecDeque;
+
+use crate::csr::CsrGraph;
+
+/// Breadth-first distances from `source`; unreachable vertices get `None`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(g: &CsrGraph, source: usize) -> Vec<Option<u32>> {
+    assert!(source < g.num_vertices(), "source out of range");
+    let mut dist = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u].expect("queued vertices have distances");
+        for &v in g.neighbors(u) {
+            if dist[v as usize].is_none() {
+                dist[v as usize] = Some(du + 1);
+                queue.push_back(v as usize);
+            }
+        }
+    }
+    dist
+}
+
+/// Labels connected components; returns `(component_of, component_count)`.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut count = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        comp[start] = count;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == u32::MAX {
+                    comp[v as usize] = count;
+                    queue.push_back(v as usize);
+                }
+            }
+        }
+        count += 1;
+    }
+    (comp, count as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_on_path() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_none() {
+        let g = CsrGraph::from_edges(3, [(0, 1)]);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn components_counted() {
+        let g = CsrGraph::from_edges(6, [(0, 1), (1, 2), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn single_component_fully_connected() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (0, 2), (0, 3)]);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+}

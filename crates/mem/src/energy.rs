@@ -1,0 +1,219 @@
+//! Per-component energy bookkeeping.
+//!
+//! Feeds the paper's Fig. 14 (energy breakdown by component/buffer) and
+//! Fig. 15 (inferences per kJ). All amounts are in picojoules.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An energy-consuming component of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Multiply-accumulate units in the CPEs.
+    Mac,
+    /// Special function units (LeakyReLU, exp LUT, dividers).
+    Sfu,
+    /// Merge PEs and their psum spads.
+    Mpe,
+    /// CPE scratchpads.
+    Spad,
+    /// On-chip input buffer accesses.
+    InputBuffer,
+    /// On-chip output buffer accesses.
+    OutputBuffer,
+    /// On-chip weight buffer accesses.
+    WeightBuffer,
+    /// DRAM traffic serving the input buffer.
+    DramInput,
+    /// DRAM traffic serving the output buffer (psums dominate, Fig. 14).
+    DramOutput,
+    /// DRAM traffic serving the weight buffer.
+    DramWeight,
+    /// Controller and interconnect overhead.
+    Control,
+}
+
+impl Component {
+    /// Every component, in report order.
+    pub const ALL: [Component; 11] = [
+        Component::Mac,
+        Component::Sfu,
+        Component::Mpe,
+        Component::Spad,
+        Component::InputBuffer,
+        Component::OutputBuffer,
+        Component::WeightBuffer,
+        Component::DramInput,
+        Component::DramOutput,
+        Component::DramWeight,
+        Component::Control,
+    ];
+
+    /// `true` for the three DRAM-side components.
+    pub fn is_dram(self) -> bool {
+        matches!(self, Component::DramInput | Component::DramOutput | Component::DramWeight)
+    }
+}
+
+impl fmt::Display for Component {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Component::Mac => "MAC",
+            Component::Sfu => "SFU",
+            Component::Mpe => "MPE",
+            Component::Spad => "spad",
+            Component::InputBuffer => "input buffer",
+            Component::OutputBuffer => "output buffer",
+            Component::WeightBuffer => "weight buffer",
+            Component::DramInput => "DRAM (input)",
+            Component::DramOutput => "DRAM (output)",
+            Component::DramWeight => "DRAM (weight)",
+            Component::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A ledger of energy per component, in picojoules.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_mem::{Component, EnergyLedger};
+///
+/// let mut e = EnergyLedger::new();
+/// e.add(Component::Mac, 1000.0);
+/// e.add(Component::DramOutput, 3000.0);
+/// assert_eq!(e.total_pj(), 4000.0);
+/// assert_eq!(e.dram_pj(), 3000.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: Vec<(Component, f64)>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `pj` picojoules to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj` is negative or non-finite.
+    pub fn add(&mut self, component: Component, pj: f64) {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be nonnegative and finite");
+        if let Some(entry) = self.entries.iter_mut().find(|(c, _)| *c == component) {
+            entry.1 += pj;
+        } else {
+            self.entries.push((component, pj));
+        }
+    }
+
+    /// Energy charged to one component.
+    pub fn pj_of(&self, component: Component) -> f64 {
+        self.entries.iter().find(|(c, _)| *c == component).map_or(0.0, |(_, e)| *e)
+    }
+
+    /// Total energy across all components.
+    pub fn total_pj(&self) -> f64 {
+        self.entries.iter().map(|(_, e)| e).sum()
+    }
+
+    /// Total DRAM-side energy.
+    pub fn dram_pj(&self) -> f64 {
+        self.entries.iter().filter(|(c, _)| c.is_dram()).map(|(_, e)| e).sum()
+    }
+
+    /// Total on-chip energy.
+    pub fn on_chip_pj(&self) -> f64 {
+        self.total_pj() - self.dram_pj()
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (c, e) in &other.entries {
+            self.add(*c, *e);
+        }
+    }
+
+    /// `(component, pJ)` rows in [`Component::ALL`] order, zero rows
+    /// omitted.
+    pub fn breakdown(&self) -> Vec<(Component, f64)> {
+        Component::ALL
+            .iter()
+            .filter_map(|&c| {
+                let e = self.pj_of(c);
+                (e > 0.0).then_some((c, e))
+            })
+            .collect()
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        self.total_pj() * 1e-12
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_per_component() {
+        let mut e = EnergyLedger::new();
+        e.add(Component::Mac, 10.0);
+        e.add(Component::Mac, 5.0);
+        assert_eq!(e.pj_of(Component::Mac), 15.0);
+        assert_eq!(e.pj_of(Component::Sfu), 0.0);
+    }
+
+    #[test]
+    fn dram_vs_on_chip_split() {
+        let mut e = EnergyLedger::new();
+        e.add(Component::DramInput, 100.0);
+        e.add(Component::DramOutput, 200.0);
+        e.add(Component::Mac, 50.0);
+        assert_eq!(e.dram_pj(), 300.0);
+        assert_eq!(e.on_chip_pj(), 50.0);
+    }
+
+    #[test]
+    fn merge_sums_ledgers() {
+        let mut a = EnergyLedger::new();
+        a.add(Component::Mac, 1.0);
+        let mut b = EnergyLedger::new();
+        b.add(Component::Mac, 2.0);
+        b.add(Component::Control, 3.0);
+        a.merge(&b);
+        assert_eq!(a.pj_of(Component::Mac), 3.0);
+        assert_eq!(a.total_pj(), 6.0);
+    }
+
+    #[test]
+    fn breakdown_preserves_canonical_order_and_skips_zeros() {
+        let mut e = EnergyLedger::new();
+        e.add(Component::Control, 1.0);
+        e.add(Component::Mac, 2.0);
+        let rows = e.breakdown();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].0, Component::Mac);
+        assert_eq!(rows[1].0, Component::Control);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_energy_panics() {
+        let mut e = EnergyLedger::new();
+        e.add(Component::Mac, -1.0);
+    }
+
+    #[test]
+    fn joules_conversion() {
+        let mut e = EnergyLedger::new();
+        e.add(Component::Mac, 1e12);
+        assert!((e.total_joules() - 1.0).abs() < 1e-12);
+    }
+}

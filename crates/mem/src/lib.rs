@@ -1,0 +1,34 @@
+//! Memory-system substrate for the GNNIE accelerator simulator.
+//!
+//! The paper's evaluation hinges on three memory-system claims:
+//!
+//! 1. off-chip accesses can be made **sequential** by degree-ordered
+//!    placement plus the α/γ replacement policy (§VI);
+//! 2. random accesses are confined to on-chip buffers;
+//! 3. DRAM traffic dominates energy (Fig. 14, 3.97 pJ/bit HBM).
+//!
+//! This crate implements the pieces those claims rest on:
+//!
+//! * [`HbmModel`] — an HBM 2.0 timing/energy model (Ramulator substitute)
+//!   that distinguishes sequential from random transactions.
+//! * [`SramBuffer`] / [`DoubleBuffer`] — on-chip buffer accounting with
+//!   CACTI-like energy scaling and double-buffered fetch overlap.
+//! * [`DegreeAwareCache`] — the paper's §VI caching policy: fetch vertices
+//!   in unprocessed-degree order, track per-vertex unprocessed-edge counts
+//!   (α), evict below the γ threshold, detect and resolve deadlock by
+//!   raising γ dynamically.
+//! * [`EnergyLedger`] — per-component energy bookkeeping for Fig. 14/15.
+
+pub mod cache;
+pub mod dram;
+pub mod energy;
+pub mod psum;
+pub mod scheduler;
+pub mod sram;
+
+pub use cache::{CacheConfig, CacheSimResult, DegreeAwareCache};
+pub use dram::{DramCounters, HbmModel};
+pub use energy::{Component, EnergyLedger};
+pub use psum::{PsumBuffer, PsumStats, RetentionPolicy};
+pub use scheduler::MemoryScheduler;
+pub use sram::{DoubleBuffer, SramBuffer};

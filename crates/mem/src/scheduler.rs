@@ -1,0 +1,129 @@
+//! Memory-access scheduler.
+//!
+//! The paper's memory interface has a scheduler that "coordinates off-chip
+//! memory requests from the input/output/weight buffers" (§III). At the
+//! granularity the evaluation needs, its job is arbitration: the three
+//! buffers share one HBM channel, so concurrent phase traffic serialises.
+//! [`MemoryScheduler`] composes per-requestor channel occupancy into a
+//! single channel timeline and reports the busy fraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a requestor on the DRAM channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Requestor {
+    /// Input buffer (vertex features, adjacency stream).
+    InputBuffer,
+    /// Output buffer (psums, final feature vectors).
+    OutputBuffer,
+    /// Weight buffer (weight matrix columns, attention vectors).
+    WeightBuffer,
+}
+
+impl Requestor {
+    /// All requestors in fixed priority order (weights starve last: they
+    /// are small, latency-critical and double-buffered).
+    pub const ALL: [Requestor; 3] =
+        [Requestor::WeightBuffer, Requestor::InputBuffer, Requestor::OutputBuffer];
+}
+
+/// Accumulates per-requestor channel occupancy and computes the serialized
+/// channel time for a phase.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_mem::{MemoryScheduler, scheduler::Requestor};
+///
+/// let mut s = MemoryScheduler::new();
+/// s.add(Requestor::InputBuffer, 1000);
+/// s.add(Requestor::OutputBuffer, 500);
+/// assert_eq!(s.channel_cycles(), 1500);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryScheduler {
+    input_cycles: u64,
+    output_cycles: u64,
+    weight_cycles: u64,
+}
+
+impl MemoryScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` of channel occupancy for `who`.
+    pub fn add(&mut self, who: Requestor, cycles: u64) {
+        match who {
+            Requestor::InputBuffer => self.input_cycles += cycles,
+            Requestor::OutputBuffer => self.output_cycles += cycles,
+            Requestor::WeightBuffer => self.weight_cycles += cycles,
+        }
+    }
+
+    /// Channel occupancy of one requestor.
+    pub fn cycles_of(&self, who: Requestor) -> u64 {
+        match who {
+            Requestor::InputBuffer => self.input_cycles,
+            Requestor::OutputBuffer => self.output_cycles,
+            Requestor::WeightBuffer => self.weight_cycles,
+        }
+    }
+
+    /// Total serialized channel cycles (one channel: requests add up).
+    pub fn channel_cycles(&self) -> u64 {
+        self.input_cycles + self.output_cycles + self.weight_cycles
+    }
+
+    /// Fraction of `phase_cycles` the channel is busy, `>= 0`.
+    /// Values above 1.0 mean the phase is memory-bound.
+    pub fn channel_utilization(&self, phase_cycles: u64) -> f64 {
+        if phase_cycles == 0 {
+            return 0.0;
+        }
+        self.channel_cycles() as f64 / phase_cycles as f64
+    }
+
+    /// The phase time after overlapping compute with memory under double
+    /// buffering: the slower of the two sides.
+    pub fn overlapped_phase_cycles(&self, compute_cycles: u64) -> u64 {
+        compute_cycles.max(self.channel_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_serialize_on_the_channel() {
+        let mut s = MemoryScheduler::new();
+        s.add(Requestor::InputBuffer, 100);
+        s.add(Requestor::OutputBuffer, 200);
+        s.add(Requestor::WeightBuffer, 50);
+        assert_eq!(s.channel_cycles(), 350);
+        assert_eq!(s.cycles_of(Requestor::OutputBuffer), 200);
+    }
+
+    #[test]
+    fn compute_bound_phase_is_compute_limited() {
+        let mut s = MemoryScheduler::new();
+        s.add(Requestor::InputBuffer, 100);
+        assert_eq!(s.overlapped_phase_cycles(1000), 1000);
+    }
+
+    #[test]
+    fn memory_bound_phase_is_memory_limited() {
+        let mut s = MemoryScheduler::new();
+        s.add(Requestor::InputBuffer, 5000);
+        assert_eq!(s.overlapped_phase_cycles(1000), 5000);
+        assert!(s.channel_utilization(1000) > 1.0);
+    }
+
+    #[test]
+    fn utilization_of_empty_phase_is_zero() {
+        let s = MemoryScheduler::new();
+        assert_eq!(s.channel_utilization(0), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Error produced by tensor construction and kernel routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible dimensions.
+    ///
+    /// Carries a human-readable description of the mismatch, e.g.
+    /// `"matmul: lhs is 3x4 but rhs is 5x2"`.
+    ShapeMismatch(String),
+    /// An index was outside the valid range for the tensor.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive upper bound that was violated.
+        bound: usize,
+    },
+    /// A sparse structure violated its invariants (e.g. unsorted or
+    /// duplicate indices in a [`crate::SparseVec`]).
+    InvalidSparseStructure(String),
+    /// RLC decode encountered a malformed byte stream.
+    MalformedRlcStream(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for length {bound}")
+            }
+            TensorError::InvalidSparseStructure(msg) => {
+                write!(f, "invalid sparse structure: {msg}")
+            }
+            TensorError::MalformedRlcStream(msg) => write!(f, "malformed RLC stream: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TensorError::ShapeMismatch("lhs is 3x4 but rhs is 5x2".into());
+        let s = e.to_string();
+        assert!(s.starts_with("shape mismatch"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+
+    #[test]
+    fn index_out_of_bounds_reports_both_values() {
+        let e = TensorError::IndexOutOfBounds { index: 7, bound: 5 };
+        assert_eq!(e.to_string(), "index 7 out of bounds for length 5");
+    }
+}

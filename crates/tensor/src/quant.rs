@@ -1,0 +1,112 @@
+//! Symmetric 8-bit weight quantization.
+//!
+//! The paper sizes the weight buffer "for a 1-byte weight" (§VIII-A), i.e.
+//! weights are stored on chip as `i8` with a per-matrix scale. This module
+//! provides that quantization for buffer-traffic accounting and for tests
+//! that bound the induced numeric error.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::DenseMatrix;
+
+/// A symmetrically quantized `i8` matrix with a single `f32` scale.
+///
+/// `dequantized(i, j) = data[i][j] as f32 * scale`.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_tensor::{DenseMatrix, quant::QuantizedMatrix};
+///
+/// let w = DenseMatrix::from_rows(&[&[0.5, -1.0], &[0.25, 1.0]]);
+/// let q = QuantizedMatrix::quantize(&w);
+/// let back = q.dequantize();
+/// assert!(w.max_abs_diff(&back) <= q.scale() / 2.0 + 1e-7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    scale: f32,
+    data: Vec<i8>,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` symmetrically: `scale = max|m| / 127`.
+    ///
+    /// An all-zero matrix quantizes with scale `1.0` (any scale represents
+    /// it exactly).
+    pub fn quantize(m: &DenseMatrix) -> Self {
+        let max_abs = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self { rows: m.rows(), cols: m.cols(), scale, data }
+    }
+
+    /// The dequantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// On-chip storage footprint in bytes (one byte per element; the scale
+    /// is amortized and ignored, matching the paper's buffer arithmetic).
+    pub fn storage_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Reconstructs the `f32` matrix.
+    pub fn dequantize(&self) -> DenseMatrix {
+        let data = self.data.iter().map(|&q| q as f32 * self.scale).collect();
+        DenseMatrix::from_vec(self.rows, self.cols, data)
+            .expect("quantized buffer length is rows*cols by construction")
+    }
+
+    /// Maximum absolute quantization error against the original matrix.
+    pub fn max_error(&self, original: &DenseMatrix) -> f32 {
+        original.max_abs_diff(&self.dequantize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip_error_bounded_by_half_step() {
+        let m = DenseMatrix::from_fn(8, 8, |r, c| ((r * 13 + c * 7) % 17) as f32 / 8.5 - 1.0);
+        let q = QuantizedMatrix::quantize(&m);
+        assert!(q.max_error(&m) <= q.scale() / 2.0 + 1e-6);
+    }
+
+    #[test]
+    fn zero_matrix_quantizes_exactly() {
+        let m = DenseMatrix::zeros(4, 4);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.dequantize(), m);
+        assert_eq!(q.scale(), 1.0);
+    }
+
+    #[test]
+    fn extremes_map_to_plus_minus_127() {
+        let m = DenseMatrix::from_rows(&[&[2.0, -2.0]]);
+        let q = QuantizedMatrix::quantize(&m);
+        let d = q.dequantize();
+        assert!((d.get(0, 0) - 2.0).abs() < 1e-6);
+        assert!((d.get(0, 1) + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn storage_is_one_byte_per_element() {
+        let m = DenseMatrix::zeros(16, 128);
+        assert_eq!(QuantizedMatrix::quantize(&m).storage_bytes(), 16 * 128);
+    }
+}

@@ -1,0 +1,450 @@
+//! Sparse vectors and CSR matrices.
+//!
+//! GNNIE's input-layer vertex feature vectors are ultra-sparse (98–99 %
+//! zeros, paper Table II), so both the golden models and the accelerator's
+//! functional datapath operate on [`SparseVec`] rows. [`CsrMatrix`] is used
+//! for sparse feature matrices; the graph adjacency structure lives in
+//! `gnnie-graph` (it carries connectivity semantics, not numerics).
+
+use serde::{Deserialize, Serialize};
+
+use crate::dense::DenseMatrix;
+use crate::error::TensorError;
+
+/// A sparse `f32` vector stored as parallel `(index, value)` arrays with
+/// strictly increasing indices and no explicit zeros.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_tensor::SparseVec;
+///
+/// let v = SparseVec::from_dense(&[0.0, 1.5, 0.0, -2.0]);
+/// assert_eq!(v.nnz(), 2);
+/// assert_eq!(v.len(), 4);
+/// assert_eq!(v.to_dense(), vec![0.0, 1.5, 0.0, -2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SparseVec {
+    len: usize,
+    indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SparseVec {
+    /// Creates an empty (all-zero) sparse vector of logical length `len`.
+    pub fn zeros(len: usize) -> Self {
+        Self { len, indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds a sparse vector from parallel index/value arrays.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSparseStructure`] if the arrays have
+    /// different lengths, indices are not strictly increasing, or any index
+    /// is `>= len`. Explicit zero values are permitted but discouraged.
+    pub fn new(len: usize, indices: Vec<u32>, values: Vec<f32>) -> Result<Self, TensorError> {
+        if indices.len() != values.len() {
+            return Err(TensorError::InvalidSparseStructure(format!(
+                "{} indices but {} values",
+                indices.len(),
+                values.len()
+            )));
+        }
+        for w in indices.windows(2) {
+            if w[0] >= w[1] {
+                return Err(TensorError::InvalidSparseStructure(format!(
+                    "indices not strictly increasing at {} -> {}",
+                    w[0], w[1]
+                )));
+            }
+        }
+        if let Some(&last) = indices.last() {
+            if last as usize >= len {
+                return Err(TensorError::InvalidSparseStructure(format!(
+                    "index {last} >= logical length {len}"
+                )));
+            }
+        }
+        Ok(Self { len, indices, values })
+    }
+
+    /// Builds a sparse vector from a dense slice, dropping exact zeros.
+    pub fn from_dense(dense: &[f32]) -> Self {
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                indices.push(i as u32);
+                values.push(v);
+            }
+        }
+        Self { len: dense.len(), indices, values }
+    }
+
+    /// Logical (dense) length of the vector.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the logical length is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Fraction of entries that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        if self.len == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / self.len as f64
+    }
+
+    /// The stored indices (strictly increasing).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// The stored values, parallel to [`Self::indices`].
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterates over `(index, value)` pairs of the nonzeros.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f32)> + '_ {
+        self.indices.iter().map(|&i| i as usize).zip(self.values.iter().copied())
+    }
+
+    /// Expands to a dense `Vec<f32>`.
+    pub fn to_dense(&self) -> Vec<f32> {
+        let mut out = vec![0.0; self.len];
+        for (i, v) in self.iter() {
+            out[i] = v;
+        }
+        out
+    }
+
+    /// Counts nonzeros whose index falls in `[start, end)`.
+    ///
+    /// This is the per-block nonzero workload that GNNIE's Weighting
+    /// scheduler bins (paper §IV-C): block `i` of size `k` covers indices
+    /// `[i*k, (i+1)*k)`.
+    pub fn nnz_in_range(&self, start: usize, end: usize) -> usize {
+        let lo = self.indices.partition_point(|&i| (i as usize) < start);
+        let hi = self.indices.partition_point(|&i| (i as usize) < end);
+        hi - lo
+    }
+
+    /// Sparse-vector × dense-matrix product: `self · m`, where `self` is a
+    /// row vector of length `m.rows()`.
+    ///
+    /// Only the nonzero entries contribute — this is exactly the
+    /// zero-skipping computation GNNIE's CPEs perform during Weighting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() != m.rows()`.
+    pub fn matvec(&self, m: &DenseMatrix) -> Vec<f32> {
+        assert_eq!(self.len, m.rows(), "matvec: vector length must equal matrix rows");
+        let mut out = vec![0.0; m.cols()];
+        for (i, v) in self.iter() {
+            let row = m.row(i);
+            for (o, w) in out.iter_mut().zip(row) {
+                *o += v * w;
+            }
+        }
+        out
+    }
+
+    /// Dot product with a dense vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.len() != dense.len()`.
+    pub fn dot_dense(&self, dense: &[f32]) -> f32 {
+        assert_eq!(self.len, dense.len(), "dot_dense: length mismatch");
+        self.iter().map(|(i, v)| v * dense[i]).sum()
+    }
+}
+
+/// A CSR (compressed sparse row) `f32` matrix.
+///
+/// Used for the sparse input feature matrix `H^0`. Row `i` spans
+/// `values[offsets[i]..offsets[i+1]]` with column indices in `col_indices`.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_tensor::{CsrMatrix, SparseVec};
+///
+/// let rows = vec![
+///     SparseVec::from_dense(&[1.0, 0.0, 2.0]),
+///     SparseVec::from_dense(&[0.0, 0.0, 0.0]),
+/// ];
+/// let m = CsrMatrix::from_sparse_rows(3, &rows);
+/// assert_eq!(m.shape(), (2, 3));
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.row(0).to_dense(), vec![1.0, 0.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Builds a CSR matrix from per-row sparse vectors, each of logical
+    /// length `cols`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row's length differs from `cols`.
+    pub fn from_sparse_rows(cols: usize, rows: &[SparseVec]) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        offsets.push(0usize);
+        let total: usize = rows.iter().map(SparseVec::nnz).sum();
+        let mut col_indices = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
+        for row in rows {
+            assert_eq!(row.len(), cols, "row length must equal cols");
+            col_indices.extend_from_slice(row.indices());
+            values.extend_from_slice(row.values());
+            offsets.push(col_indices.len());
+        }
+        Self { rows: rows.len(), cols, offsets, col_indices, values }
+    }
+
+    /// Builds a CSR matrix from a dense matrix, dropping exact zeros.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let rows: Vec<SparseVec> =
+            dense.iter_rows().map(SparseVec::from_dense).collect();
+        Self::from_sparse_rows(dense.cols(), &rows)
+    }
+
+    /// `(rows, cols)` pair.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of nonzeros in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_nnz(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of bounds");
+        self.offsets[r + 1] - self.offsets[r]
+    }
+
+    /// Number of nonzeros of row `r` with column index in `[start, end)`,
+    /// without allocating. This is the per-block workload the GNNIE
+    /// Weighting scheduler bins (paper §IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_nnz_in_range(&self, r: usize, start: usize, end: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let cols = &self.col_indices[self.offsets[r]..self.offsets[r + 1]];
+        let lo = cols.partition_point(|&c| (c as usize) < start);
+        let hi = cols.partition_point(|&c| (c as usize) < end);
+        hi - lo
+    }
+
+    /// Extracts row `r` as an owned [`SparseVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row(&self, r: usize) -> SparseVec {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let range = self.offsets[r]..self.offsets[r + 1];
+        SparseVec {
+            len: self.cols,
+            indices: self.col_indices[range.clone()].to_vec(),
+            values: self.values[range].to_vec(),
+        }
+    }
+
+    /// Iterates over `(col, value)` pairs of row `r` without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_iter(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        assert!(r < self.rows, "row {r} out of bounds");
+        let range = self.offsets[r]..self.offsets[r + 1];
+        self.col_indices[range.clone()]
+            .iter()
+            .map(|&c| c as usize)
+            .zip(self.values[range].iter().copied())
+    }
+
+    /// Fraction of entries that are zero, in `[0, 1]`.
+    pub fn sparsity(&self) -> f64 {
+        let total = self.rows * self.cols;
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Sparse × dense product `self * rhs` producing a dense matrix.
+    ///
+    /// This is the `H · W` Weighting computation in its SpMM form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `self.cols() != rhs.rows()`.
+    pub fn matmul_dense(&self, rhs: &DenseMatrix) -> Result<DenseMatrix, TensorError> {
+        if self.cols != rhs.rows() {
+            return Err(TensorError::ShapeMismatch(format!(
+                "spmm: lhs is {}x{} but rhs is {}x{}",
+                self.rows,
+                self.cols,
+                rhs.rows(),
+                rhs.cols()
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        for r in 0..self.rows {
+            for idx in self.offsets[r]..self.offsets[r + 1] {
+                let c = self.col_indices[idx] as usize;
+                let v = self.values[idx];
+                out.axpy_row(r, v, rhs.row(c));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Converts the matrix to dense form.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for (c, v) in self.row_iter(r) {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_vec_roundtrip() {
+        let dense = [0.0, 1.0, 0.0, 0.0, -2.5, 3.0];
+        let v = SparseVec::from_dense(&dense);
+        assert_eq!(v.nnz(), 3);
+        assert_eq!(v.to_dense(), dense.to_vec());
+    }
+
+    #[test]
+    fn sparse_vec_rejects_unsorted_indices() {
+        let err = SparseVec::new(10, vec![3, 1], vec![1.0, 2.0]);
+        assert!(matches!(err, Err(TensorError::InvalidSparseStructure(_))));
+    }
+
+    #[test]
+    fn sparse_vec_rejects_duplicate_indices() {
+        let err = SparseVec::new(10, vec![3, 3], vec![1.0, 2.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sparse_vec_rejects_out_of_range_index() {
+        let err = SparseVec::new(3, vec![3], vec![1.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn sparse_vec_rejects_length_mismatch() {
+        let err = SparseVec::new(10, vec![1, 2], vec![1.0]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn nnz_in_range_counts_blocks() {
+        let v = SparseVec::from_dense(&[1.0, 0.0, 2.0, 0.0, 0.0, 3.0, 4.0, 0.0]);
+        assert_eq!(v.nnz_in_range(0, 4), 2);
+        assert_eq!(v.nnz_in_range(4, 8), 2);
+        assert_eq!(v.nnz_in_range(0, 8), 4);
+        assert_eq!(v.nnz_in_range(3, 5), 0);
+        // Per-block counts must sum to the total for any block partition.
+        let k = 3;
+        let total: usize = (0..3).map(|b| v.nnz_in_range(b * k, ((b + 1) * k).min(8))).sum();
+        assert_eq!(total, v.nnz());
+    }
+
+    #[test]
+    fn matvec_matches_dense_computation() {
+        let w = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let h = SparseVec::from_dense(&[1.0, 0.0, 2.0]);
+        assert_eq!(h.matvec(&w), vec![11.0, 14.0]);
+    }
+
+    #[test]
+    fn dot_dense_skips_zeros() {
+        let h = SparseVec::from_dense(&[0.0, 2.0, 0.0, 1.0]);
+        assert_eq!(h.dot_dense(&[9.0, 1.0, 9.0, 3.0]), 5.0);
+    }
+
+    #[test]
+    fn csr_roundtrip_through_dense() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.0, 0.0], &[2.0, 0.0, 3.0], &[0.0, 0.0, 0.0]]);
+        let m = CsrMatrix::from_dense(&d);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.to_dense(), d);
+        assert_eq!(m.row_nnz(0), 1);
+        assert_eq!(m.row_nnz(2), 0);
+    }
+
+    #[test]
+    fn csr_spmm_matches_dense_matmul() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 0.0, 0.0]]);
+        let w = DenseMatrix::from_rows(&[&[1.0, 1.0], &[2.0, 0.0], &[0.0, 5.0]]);
+        let sparse = CsrMatrix::from_dense(&d);
+        let expect = d.matmul(&w).unwrap();
+        let got = sparse.matmul_dense(&w).unwrap();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn csr_spmm_shape_mismatch() {
+        let m = CsrMatrix::from_dense(&DenseMatrix::zeros(2, 3));
+        assert!(m.matmul_dense(&DenseMatrix::zeros(4, 2)).is_err());
+    }
+
+    #[test]
+    fn csr_sparsity() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
+        let m = CsrMatrix::from_dense(&d);
+        assert!((m.sparsity() - 0.75).abs() < 1e-12);
+    }
+}

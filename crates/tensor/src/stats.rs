@@ -1,0 +1,214 @@
+//! Histogram and distribution statistics for regenerating the paper's
+//! figures (Fig. 2 nonzero histogram, Fig. 10 α histograms, Fig. 16
+//! per-row workloads).
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width histogram over `[lo, hi)`.
+///
+/// Values below `lo` clamp into the first bin and values at or above `hi`
+/// clamp into the last bin, so no sample is ever dropped — the totals in the
+/// paper's figures account for every vertex.
+///
+/// # Example
+///
+/// ```
+/// use gnnie_tensor::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for v in [1.0, 1.5, 9.0, 12.0] {
+///     h.add(v);
+/// }
+/// assert_eq!(h.total(), 4);
+/// assert_eq!(h.counts()[0], 2);
+/// assert_eq!(h.counts()[4], 2); // 9.0 and the clamped 12.0
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be nonempty");
+        Self { lo, hi, counts: vec![0; bins] }
+    }
+
+    /// Builds a histogram directly from an iterator of samples.
+    pub fn from_values(lo: f64, hi: f64, bins: usize, values: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Self::new(lo, hi, bins);
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Adds one sample, clamping into the boundary bins.
+    pub fn add(&mut self, v: f64) {
+        let bins = self.counts.len();
+        let t = (v - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else {
+            ((t * bins as f64) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The inclusive lower edge of bin `i`.
+    pub fn bin_lo(&self, i: usize) -> f64 {
+        self.lo + (self.hi - self.lo) * i as f64 / self.counts.len() as f64
+    }
+
+    /// The exclusive upper edge of bin `i`.
+    pub fn bin_hi(&self, i: usize) -> f64 {
+        self.bin_lo(i + 1)
+    }
+
+    /// Index and count of the most populated bin.
+    pub fn peak(&self) -> (usize, u64) {
+        self.counts
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by_key(|&(i, c)| (c, usize::MAX - i))
+            .unwrap_or((0, 0))
+    }
+
+    /// Index of the last nonempty bin, or `None` if the histogram is empty.
+    ///
+    /// For the paper's Fig. 10 this is the "maximum α" marker that shrinks
+    /// round over round.
+    pub fn last_nonempty_bin(&self) -> Option<usize> {
+        self.counts.iter().rposition(|&c| c > 0)
+    }
+
+    /// Renders `(bin_lo, count)` rows for table output.
+    pub fn rows(&self) -> Vec<(f64, u64)> {
+        (0..self.counts.len()).map(|i| (self.bin_lo(i), self.counts[i])).collect()
+    }
+}
+
+/// Summary statistics of a workload distribution (used for Fig. 16's
+/// max/min imbalance discussion).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadStats {
+    /// Smallest load.
+    pub min: u64,
+    /// Largest load.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// `max / mean` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+}
+
+impl LoadStats {
+    /// Computes statistics over per-worker loads.
+    ///
+    /// Returns a zeroed struct for an empty slice.
+    pub fn of(loads: &[u64]) -> Self {
+        if loads.is_empty() {
+            return Self { min: 0, max: 0, mean: 0.0, imbalance: 0.0 };
+        }
+        let min = *loads.iter().min().expect("nonempty");
+        let max = *loads.iter().max().expect("nonempty");
+        let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+        let imbalance = if mean > 0.0 { max as f64 / mean } else { 0.0 };
+        Self { min, max, mean, imbalance }
+    }
+
+    /// Spread between the heaviest and lightest worker.
+    pub fn range(&self) -> u64 {
+        self.max - self.min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_correctly() {
+        let h = Histogram::from_values(0.0, 10.0, 10, [0.0, 0.5, 5.0, 9.99]);
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn histogram_clamps_out_of_range() {
+        let h = Histogram::from_values(0.0, 10.0, 5, [-5.0, 100.0]);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[4], 1);
+    }
+
+    #[test]
+    fn histogram_edges() {
+        let h = Histogram::new(0.0, 100.0, 4);
+        assert_eq!(h.bin_lo(0), 0.0);
+        assert_eq!(h.bin_hi(0), 25.0);
+        assert_eq!(h.bin_lo(3), 75.0);
+        assert_eq!(h.bin_hi(3), 100.0);
+    }
+
+    #[test]
+    fn peak_and_last_nonempty() {
+        let h = Histogram::from_values(0.0, 4.0, 4, [0.5, 0.6, 2.5]);
+        assert_eq!(h.peak(), (0, 2));
+        assert_eq!(h.last_nonempty_bin(), Some(2));
+        let empty = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(empty.last_nonempty_bin(), None);
+        assert_eq!(empty.peak(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn load_stats_basic() {
+        let s = LoadStats::of(&[10, 20, 30]);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.max, 30);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert!((s.imbalance - 1.5).abs() < 1e-12);
+        assert_eq!(s.range(), 20);
+    }
+
+    #[test]
+    fn load_stats_empty_and_zero() {
+        let s = LoadStats::of(&[]);
+        assert_eq!(s.max, 0);
+        let z = LoadStats::of(&[0, 0]);
+        assert_eq!(z.imbalance, 0.0);
+    }
+
+    #[test]
+    fn perfectly_balanced_has_imbalance_one() {
+        let s = LoadStats::of(&[7, 7, 7, 7]);
+        assert!((s.imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(s.range(), 0);
+    }
+}

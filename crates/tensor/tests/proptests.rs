@@ -1,0 +1,111 @@
+//! Property-based tests for the tensor substrate.
+
+use gnnie_tensor::quant::QuantizedMatrix;
+use gnnie_tensor::rlc::{decode, encode};
+use gnnie_tensor::{activations, CsrMatrix, DenseMatrix, ExpLut, SparseVec};
+use proptest::prelude::*;
+
+/// Strategy: a sparse-ish dense vector of length 1..200.
+fn sparse_dense_vec() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(
+        prop_oneof![
+            7 => Just(0.0f32),
+            3 => (-100.0f32..100.0).prop_filter("nonzero", |v| *v != 0.0),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #[test]
+    fn rlc_roundtrip_is_lossless(dense in sparse_dense_vec()) {
+        let v = SparseVec::from_dense(&dense);
+        let stream = encode(&v);
+        let back = decode(&stream).expect("decode of own encoding");
+        prop_assert_eq!(back.to_dense(), dense);
+    }
+
+    #[test]
+    fn rlc_pair_count_bounded(dense in sparse_dense_vec()) {
+        let v = SparseVec::from_dense(&dense);
+        let stream = encode(&v);
+        // Each nonzero needs one pair; fillers add at most len/32 pairs.
+        let fillers = dense.len() / 32 + 1;
+        prop_assert!(stream.pairs.len() <= v.nnz() + fillers);
+    }
+
+    #[test]
+    fn sparse_vec_roundtrip(dense in sparse_dense_vec()) {
+        let v = SparseVec::from_dense(&dense);
+        prop_assert_eq!(v.to_dense(), dense.clone());
+        let zero_frac = dense.iter().filter(|x| **x == 0.0).count() as f64 / dense.len() as f64;
+        prop_assert!((v.sparsity() - zero_frac).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_nnz_partitions_total(dense in sparse_dense_vec(), k in 1usize..32) {
+        let v = SparseVec::from_dense(&dense);
+        let blocks = dense.len().div_ceil(k);
+        let total: usize = (0..blocks)
+            .map(|b| v.nnz_in_range(b * k, ((b + 1) * k).min(dense.len())))
+            .sum();
+        prop_assert_eq!(total, v.nnz());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(
+        rows in 1usize..8, inner in 1usize..8, cols in 1usize..8, seed in 0u64..1000
+    ) {
+        // Deterministic pseudo-random fill from the seed.
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 17) as f32 - 8.0) * if state % 3 == 0 { 0.0 } else { 1.0 }
+        };
+        let a = DenseMatrix::from_fn(rows, inner, |_, _| next());
+        let w = DenseMatrix::from_fn(inner, cols, |_, _| next());
+        let sp = CsrMatrix::from_dense(&a);
+        let got = sp.matmul_dense(&w).expect("shapes match");
+        let expect = a.matmul(&w).expect("shapes match");
+        prop_assert!(got.max_abs_diff(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn softmax_sums_to_one(xs in prop::collection::vec(-30.0f32..30.0, 1..64)) {
+        let out = activations::softmax(&xs);
+        let sum: f32 = out.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(out.iter().all(|v| (0.0..=1.0 + 1e-6).contains(v)));
+    }
+
+    #[test]
+    fn explut_relative_error_small(x in -20.0f32..20.0) {
+        let lut = ExpLut::default();
+        let exact = x.exp();
+        let got = lut.exp(x);
+        prop_assert!((got - exact).abs() / exact < 1e-4,
+            "x={x} exact={exact} got={got}");
+    }
+
+    #[test]
+    fn quantization_error_bounded(seed in 0u64..500, rows in 1usize..8, cols in 1usize..8) {
+        let mut state = seed.wrapping_add(7);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1000) as f32 / 250.0 - 2.0
+        };
+        let m = DenseMatrix::from_fn(rows, cols, |_, _| next());
+        let q = QuantizedMatrix::quantize(&m);
+        prop_assert!(q.max_error(&m) <= q.scale() / 2.0 + 1e-5);
+    }
+
+    #[test]
+    fn transpose_involution(rows in 1usize..10, cols in 1usize..10) {
+        let m = DenseMatrix::from_fn(rows, cols, |r, c| (r * 31 + c) as f32);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,399 @@
+//! `gnnie` — command-line front end for the accelerator simulator.
+//!
+//! ```text
+//! gnnie run      --model gat --dataset cora [--scale 1.0] [--design e] [--seed 42] [--heads 8]
+//! gnnie compare  --dataset pubmed [--scale 1.0]
+//! gnnie verify   --model gcn [--vertices 300] [--edges 1500] [--seed 42]
+//! gnnie comm     --dataset pubmed [--scale 1.0]
+//! gnnie datasets
+//! gnnie help
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use gnnie::baselines::{AwbGcnModel, HygcnModel, PygCpuModel, PygGpuModel};
+use gnnie::core::config::Design;
+use gnnie::core::verify::{verify_layers, ExpMode};
+use gnnie::gnn::flops::ModelWorkload;
+use gnnie::gnn::model::ModelConfig;
+use gnnie::gnn::params::ModelParams;
+use gnnie::graph::{generate, SyntheticDataset};
+use gnnie::tensor::DenseMatrix;
+use gnnie::{AcceleratorConfig, Dataset, Engine, GnnModel};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(&args[1..]) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "run" => cmd_run(&flags),
+        "compare" => cmd_compare(&flags),
+        "verify" => cmd_verify(&flags),
+        "comm" => cmd_comm(&flags),
+        "datasets" => cmd_datasets(),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "gnnie — GNN inference engine simulator (GNNIE, DAC 2022 reproduction)\n\
+         \n\
+         commands:\n\
+         \x20 run      --model <gcn|sage|gat|gin|diffpool> --dataset <cr|cs|pb|ppi|rd>\n\
+         \x20          [--scale 0.0-1.0] [--design a|b|c|d|e] [--seed N] [--heads K]\n\
+         \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
+         \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
+         \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
+         \x20 datasets                                  list the Table II datasets\n\
+         \x20 help"
+    );
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("expected a --flag, got `{arg}`"));
+        };
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn parse_model(flags: &HashMap<String, String>) -> Result<GnnModel, String> {
+    match flags.get("model").map(String::as_str) {
+        Some("gcn") => Ok(GnnModel::Gcn),
+        Some("sage" | "graphsage") => Ok(GnnModel::GraphSage),
+        Some("gat") => Ok(GnnModel::Gat),
+        Some("gin" | "ginconv") => Ok(GnnModel::GinConv),
+        Some("diffpool") => Ok(GnnModel::DiffPool),
+        Some(other) => Err(format!("unknown model `{other}`")),
+        None => Err("--model is required".into()),
+    }
+}
+
+fn parse_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    match flags.get("dataset").map(|s| s.to_lowercase()).as_deref() {
+        Some("cr" | "cora") => Ok(Dataset::Cora),
+        Some("cs" | "citeseer") => Ok(Dataset::Citeseer),
+        Some("pb" | "pubmed") => Ok(Dataset::Pubmed),
+        Some("ppi") => Ok(Dataset::Ppi),
+        Some("rd" | "reddit") => Ok(Dataset::Reddit),
+        Some(other) => Err(format!("unknown dataset `{other}`")),
+        None => Err("--dataset is required".into()),
+    }
+}
+
+fn parse_scale(flags: &HashMap<String, String>, dataset: Dataset) -> Result<f64, String> {
+    match flags.get("scale") {
+        Some(s) => s
+            .parse::<f64>()
+            .ok()
+            .filter(|&x| x > 0.0 && x <= 1.0)
+            .ok_or_else(|| format!("--scale must be in (0, 1], got `{s}`")),
+        None => Ok(match dataset {
+            Dataset::Ppi => 0.1,
+            Dataset::Reddit => 0.02,
+            _ => 1.0,
+        }),
+    }
+}
+
+fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
+    match flags.get("seed") {
+        Some(s) => s.parse().map_err(|_| format!("--seed must be an integer, got `{s}`")),
+        None => Ok(42),
+    }
+}
+
+fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, String> {
+    match flags.get("design").map(|s| s.to_lowercase()).as_deref() {
+        None => Ok(None),
+        Some("a") => Ok(Some(Design::A)),
+        Some("b") => Ok(Some(Design::B)),
+        Some("c") => Ok(Some(Design::C)),
+        Some("d") => Ok(Some(Design::D)),
+        Some("e") => Ok(Some(Design::E)),
+        Some(other) => Err(format!("unknown design `{other}` (use a-e)")),
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(flags)?;
+    let dataset = parse_dataset(flags)?;
+    let scale = parse_scale(flags, dataset)?;
+    let seed = parse_seed(flags)?;
+    let ds = SyntheticDataset::generate(dataset, scale, seed);
+    let config = match parse_design(flags)? {
+        Some(d) => AcceleratorConfig::with_design(
+            d,
+            AcceleratorConfig::paper(dataset).input_buffer_bytes,
+        ),
+        None => AcceleratorConfig::paper(dataset),
+    };
+    let heads: usize = flags.get("heads").map_or(Ok(1), |s| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&k| k >= 1)
+            .ok_or_else(|| format!("--heads must be a positive integer, got `{s}`"))
+    })?;
+    if heads > 1 && model != GnnModel::Gat {
+        return Err("--heads applies only to --model gat".into());
+    }
+    let model_config = if heads > 1 {
+        ModelConfig::gat_multihead(&ds.spec, heads)
+    } else {
+        ModelConfig::paper(model, &ds.spec)
+    };
+    let engine = Engine::new(config);
+    let report = engine.run(&model_config, &ds);
+    println!(
+        "{}{} on {} (scale {:.2}: {} vertices, {} edges)",
+        model.name(),
+        if heads > 1 { format!(" ({heads} heads)") } else { String::new() },
+        dataset.name(),
+        scale,
+        report.vertices,
+        report.edges
+    );
+    println!(
+        "  latency  {:>12.2} us  ({} cycles @ {:.1} GHz)",
+        report.latency_s * 1e6,
+        report.total_cycles,
+        engine.config().clock_hz / 1e9
+    );
+    for phase in report.phases() {
+        println!("    {:<14} {:>12} cycles", phase.name, phase.cycles);
+    }
+    println!(
+        "  energy   {:>12.2} uJ  ({:.3e} inferences/kJ)",
+        report.energy.total_pj() / 1e6,
+        report.inferences_per_kj()
+    );
+    println!(
+        "  dram     {:>12} bytes ({} random)",
+        report.dram.total_bytes(),
+        report.dram.random_bytes()
+    );
+    println!("  effective {:>11.2} TOPS", report.effective_tops());
+    Ok(())
+}
+
+fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dataset = parse_dataset(flags)?;
+    let scale = parse_scale(flags, dataset)?;
+    let seed = parse_seed(flags)?;
+    let ds = SyntheticDataset::generate(dataset, scale, seed);
+    let engine = Engine::new(AcceleratorConfig::paper(dataset));
+    println!(
+        "{} (scale {scale:.2}) — speedups over GNNIE per platform",
+        dataset.name()
+    );
+    println!(
+        "{:10} {:>12} {:>10} {:>10} {:>9} {:>9}",
+        "model", "GNNIE", "PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN"
+    );
+    for model in GnnModel::ALL {
+        let cfg = ModelConfig::paper(model, &ds.spec);
+        let report = engine.run(&cfg, &ds);
+        let w = ModelWorkload::for_dataset(&cfg, &ds);
+        let ratio = |l: f64| format!("{:.1}x", l / report.latency_s);
+        println!(
+            "{:10} {:>9.1} us {:>10} {:>10} {:>9} {:>9}",
+            model.name(),
+            report.latency_s * 1e6,
+            ratio(PygCpuModel::new().run(&w).latency_s),
+            ratio(PygGpuModel::new().run(&w).latency_s),
+            HygcnModel::new().run(&w).map(|b| ratio(b.latency_s)).unwrap_or("--".into()),
+            AwbGcnModel::new().run(&w).map(|b| ratio(b.latency_s)).unwrap_or("--".into()),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_verify(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = parse_model(flags)?;
+    if model == GnnModel::DiffPool {
+        return Err("verify supports the four flat models (DiffPool's coarse \
+                    levels are plain dense matmuls)"
+            .into());
+    }
+    let seed = parse_seed(flags)?;
+    let vertices: usize = flags.get("vertices").map_or(Ok(300), |s| {
+        s.parse().map_err(|_| format!("--vertices must be an integer, got `{s}`"))
+    })?;
+    let edges: usize = flags.get("edges").map_or(Ok(vertices * 6), |s| {
+        s.parse().map_err(|_| format!("--edges must be an integer, got `{s}`"))
+    })?;
+    let g = generate::powerlaw_chung_lu(vertices, edges, 2.0, seed);
+    let params = ModelParams::init(ModelConfig::custom(model, &[32, 16, 8]), seed);
+    let h0 = DenseMatrix::from_fn(vertices, 32, |r, c| {
+        (((r * 13 + c * 29) % 19) as f32 - 9.0) * 0.07
+    });
+    let outcome = verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Exact);
+    println!(
+        "functional datapath vs golden {} on {} vertices / {} edges:",
+        model.name(),
+        g.num_vertices(),
+        g.num_edges()
+    );
+    for (i, err) in outcome.per_layer_rel_err.iter().enumerate() {
+        println!("  layer {i}: max relative error {err:.3e}");
+    }
+    if outcome.passed(1e-3) {
+        println!("PASS (tolerance 1e-3)");
+        Ok(())
+    } else {
+        Err(format!("verification FAILED: max error {:.3e}", outcome.max_rel_err))
+    }
+}
+
+fn cmd_comm(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gnnie::core::cpe::CpeArray;
+    use gnnie::core::noc::{
+        awb_rebalance_traffic, gnnie_aggregation_traffic, lr_traffic, rer_traffic,
+        AwbRebalanceParams, LinkParams,
+    };
+    use gnnie::core::weighting::{schedule, BlockProfile, WeightingMode};
+
+    let dataset = parse_dataset(flags)?;
+    let scale = parse_scale(flags, dataset)?;
+    let seed = parse_seed(flags)?;
+    let ds = SyntheticDataset::generate(dataset, scale, seed);
+    let cfg = AcceleratorConfig::paper(dataset);
+    let arr = CpeArray::new(&cfg);
+    let link = LinkParams::default();
+    let profile = BlockProfile::from_sparse(&ds.features, arr.rows());
+
+    let lr_sched = schedule(&profile, &arr, WeightingMode::FmLr);
+    let gnnie = lr_traffic(&lr_sched, profile.k());
+    let loads = schedule(&profile, &arr, WeightingMode::Baseline).per_row_cycles(&arr);
+    let (awb, _) = awb_rebalance_traffic(&loads, AwbRebalanceParams::default());
+    println!("{} (scale {scale:.2}) — inter-PE communication (§VII)", dataset.name());
+    println!("  rebalancing during Weighting:");
+    for (name, l) in [("GNNIE FM+LR", &gnnie), ("AWB-style", &awb)] {
+        println!(
+            "    {:<12} {:>10} word-hops  {:>2} rounds  {:>8.2} nJ",
+            name,
+            l.word_hops,
+            l.rounds,
+            l.energy_pj(&link) / 1e3
+        );
+    }
+    let edge_updates = 2 * ds.graph.num_edges() as u64;
+    let bus = gnnie_aggregation_traffic(edge_updates, 128);
+    let rer = rer_traffic(edge_updates, 128, arr.cols());
+    println!("  aggregation dataflow:");
+    for (name, l) in [("GNNIE bus", &bus), ("EnGN RER", &rer)] {
+        println!(
+            "    {:<12} {:>10} word-hops             {:>8.1} nJ",
+            name,
+            l.word_hops,
+            l.energy_pj(&link) / 1e3
+        );
+    }
+    Ok(())
+}
+
+fn cmd_datasets() -> Result<(), String> {
+    println!(
+        "{:6} {:>9} {:>12} {:>6} {:>7} {:>9}",
+        "name", "|V|", "|E|", "feat", "labels", "sparsity"
+    );
+    for dataset in Dataset::ALL {
+        let s = dataset.spec();
+        println!(
+            "{:6} {:>9} {:>12} {:>6} {:>7} {:>8.2}%",
+            dataset.abbrev(),
+            s.vertices,
+            s.edges,
+            s.feature_len,
+            s.labels,
+            s.feature_sparsity * 100.0
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_pairs_and_rejects_bare_args() {
+        let args: Vec<String> =
+            ["--model", "gat", "--seed", "7"].iter().map(|s| s.to_string()).collect();
+        let f = parse_flags(&args).unwrap();
+        assert_eq!(f.get("model").map(String::as_str), Some("gat"));
+        assert_eq!(f.get("seed").map(String::as_str), Some("7"));
+        assert!(parse_flags(&["oops".to_string()]).is_err());
+        assert!(parse_flags(&["--model".to_string()]).is_err(), "value required");
+    }
+
+    #[test]
+    fn parse_model_covers_aliases() {
+        assert_eq!(parse_model(&flags(&[("model", "sage")])).unwrap(), GnnModel::GraphSage);
+        assert_eq!(parse_model(&flags(&[("model", "ginconv")])).unwrap(), GnnModel::GinConv);
+        assert!(parse_model(&flags(&[("model", "bert")])).is_err());
+        assert!(parse_model(&flags(&[])).is_err());
+    }
+
+    #[test]
+    fn parse_dataset_covers_abbrevs_case_insensitively() {
+        assert_eq!(parse_dataset(&flags(&[("dataset", "CR")])).unwrap(), Dataset::Cora);
+        assert_eq!(parse_dataset(&flags(&[("dataset", "reddit")])).unwrap(), Dataset::Reddit);
+        assert!(parse_dataset(&flags(&[("dataset", "imdb")])).is_err());
+    }
+
+    #[test]
+    fn parse_scale_validates_range_and_defaults_per_dataset() {
+        assert_eq!(parse_scale(&flags(&[("scale", "0.5")]), Dataset::Cora).unwrap(), 0.5);
+        assert!(parse_scale(&flags(&[("scale", "1.5")]), Dataset::Cora).is_err());
+        assert!(parse_scale(&flags(&[("scale", "0")]), Dataset::Cora).is_err());
+        assert_eq!(parse_scale(&flags(&[]), Dataset::Cora).unwrap(), 1.0);
+        assert_eq!(parse_scale(&flags(&[]), Dataset::Reddit).unwrap(), 0.02);
+    }
+
+    #[test]
+    fn parse_design_maps_letters() {
+        assert_eq!(parse_design(&flags(&[("design", "E")])).unwrap(), Some(Design::E));
+        assert_eq!(parse_design(&flags(&[])).unwrap(), None);
+        assert!(parse_design(&flags(&[("design", "f")])).is_err());
+    }
+
+    #[test]
+    fn parse_seed_defaults_and_validates() {
+        assert_eq!(parse_seed(&flags(&[])).unwrap(), 42);
+        assert_eq!(parse_seed(&flags(&[("seed", "9")])).unwrap(), 9);
+        assert!(parse_seed(&flags(&[("seed", "x")])).is_err());
+    }
+}
