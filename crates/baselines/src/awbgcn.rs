@@ -60,8 +60,7 @@ impl AwbGcnModel {
         for (li, layer) in w.layers.iter().enumerate() {
             // X·W with zero-skipping at the achievable utilization (1).
             let sparsity = if li == 0 {
-                1.0 - w.stats.feature_nnz as f64
-                    / (v * layer.f_in as f64).max(1.0)
+                1.0 - w.stats.feature_nnz as f64 / (v * layer.f_in as f64).max(1.0)
             } else {
                 0.5 // post-ReLU hidden features, near the design point
             };

@@ -104,9 +104,7 @@ mod tests {
     #[test]
     fn rejects_gat_and_diffpool() {
         assert!(HygcnModel::new().run(&workload(GnnModel::Gat, Dataset::Cora)).is_none());
-        assert!(HygcnModel::new()
-            .run(&workload(GnnModel::DiffPool, Dataset::Cora))
-            .is_none());
+        assert!(HygcnModel::new().run(&workload(GnnModel::DiffPool, Dataset::Cora)).is_none());
         assert!(!HygcnModel::supports(GnnModel::Gat));
     }
 
@@ -132,8 +130,7 @@ mod tests {
     #[test]
     fn latency_scales_with_dataset() {
         let small = HygcnModel::new().run(&workload(GnnModel::Gcn, Dataset::Cora)).unwrap();
-        let large =
-            HygcnModel::new().run(&workload(GnnModel::Gcn, Dataset::Reddit)).unwrap();
+        let large = HygcnModel::new().run(&workload(GnnModel::Gcn, Dataset::Reddit)).unwrap();
         assert!(large.latency_s > 10.0 * small.latency_s);
     }
 }

@@ -75,8 +75,8 @@ impl Roofline {
             // Dense GEMM weighting (no zero-skipping in PyG).
             let gemm_flops = 2.0 * (layer.weighting_macs_dense + layer.extra_macs) as f64;
             let gemm_bytes = layer.total_bytes() as f64;
-            let t_gemm = (gemm_flops / (self.peak_flops * self.dense_eff))
-                .max(gemm_bytes / self.mem_bw);
+            let t_gemm =
+                (gemm_flops / (self.peak_flops * self.dense_eff)).max(gemm_bytes / self.mem_bw);
             // Scatter/gather aggregation.
             let agg_flops = (layer.aggregation_flops + layer.exp_evals) as f64;
             let eff = self.sparse_eff * agg_eff_scale(w.model, gpu);
@@ -221,8 +221,7 @@ mod tests {
             let cpu_gcn = PygCpuModel::new().run(&gcn).latency_s;
             assert!(cpu_gat > 0.7 * cpu_gcn, "{dataset:?}: CPU GAT within range of GCN");
             assert!(
-                PygGpuModel::new().run(&gat).latency_s
-                    > PygGpuModel::new().run(&gcn).latency_s,
+                PygGpuModel::new().run(&gat).latency_s > PygGpuModel::new().run(&gcn).latency_s,
                 "{dataset:?}: GPU must pay for the edge softmax"
             );
         }
@@ -233,8 +232,7 @@ mod tests {
         let small = workload(GnnModel::Gcn, Dataset::Cora);
         let large = workload(GnnModel::Gcn, Dataset::Reddit);
         assert!(
-            PygCpuModel::new().run(&large).latency_s
-                > PygCpuModel::new().run(&small).latency_s
+            PygCpuModel::new().run(&large).latency_s > PygCpuModel::new().run(&small).latency_s
         );
     }
 

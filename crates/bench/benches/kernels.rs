@@ -9,8 +9,9 @@ use std::hint::black_box;
 use gnnie_core::config::AcceleratorConfig;
 use gnnie_core::cpe::CpeArray;
 use gnnie_core::gat::AttentionCost;
-use gnnie_core::weighting::{schedule, simulate_weighting, BlockProfile, WeightingMode,
-    WeightingParams};
+use gnnie_core::weighting::{
+    schedule, simulate_weighting, BlockProfile, WeightingMode, WeightingParams,
+};
 use gnnie_graph::reorder::Permutation;
 use gnnie_graph::{Dataset, SyntheticDataset};
 use gnnie_mem::{CacheConfig, DegreeAwareCache, HbmModel};
@@ -36,17 +37,13 @@ fn bench_cache_walk(c: &mut Criterion) {
     let graph = Permutation::descending_degree(&ds.graph).apply(&ds.graph);
     let mut g = c.benchmark_group("cache_walk");
     for capacity in [64usize, 256, 1024] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(capacity),
-            &capacity,
-            |b, &capacity| {
-                b.iter(|| {
-                    let mut dram = HbmModel::hbm2_256gbps(1.3e9);
-                    let cfg = CacheConfig::with_capacity(capacity, 512);
-                    DegreeAwareCache::new(black_box(&graph), cfg).run(&mut dram)
-                });
-            },
-        );
+        g.bench_with_input(BenchmarkId::from_parameter(capacity), &capacity, |b, &capacity| {
+            b.iter(|| {
+                let mut dram = HbmModel::hbm2_256gbps(1.3e9);
+                let cfg = CacheConfig::with_capacity(capacity, 512);
+                DegreeAwareCache::new(black_box(&graph), cfg).run(&mut dram)
+            });
+        });
     }
     g.finish();
 }

@@ -7,8 +7,18 @@ fn main() {
     let ctx = Ctx::from_env();
     for dataset in [Dataset::Pubmed, Dataset::Ppi, Dataset::Reddit] {
         let r = ctx.run_gnnie(GnnModel::Gcn, dataset);
-        println!("== {} GCN: total {} cycles ({:.1} us), V={} E={}", dataset.abbrev(), r.total_cycles, r.latency_s*1e6, r.vertices, r.edges);
-        println!("   preprocessing {}  writeback {}", r.preprocessing_cycles, r.writeback_cycles);
+        println!(
+            "== {} GCN: total {} cycles ({:.1} us), V={} E={}",
+            dataset.abbrev(),
+            r.total_cycles,
+            r.latency_s * 1e6,
+            r.vertices,
+            r.edges
+        );
+        println!(
+            "   preprocessing {}  writeback {}",
+            r.preprocessing_cycles, r.writeback_cycles
+        );
         for l in &r.layers {
             let w = &l.weighting;
             let a = &l.aggregation;

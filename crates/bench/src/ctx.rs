@@ -33,7 +33,11 @@ impl Ctx {
 
     /// A context with an explicit scale for every dataset (tests).
     pub fn with_scale(scale: f64) -> Self {
-        Ctx { seed: HARNESS_SEED, scale_override: Some(scale), cache: Mutex::new(HashMap::new()) }
+        Ctx {
+            seed: HARNESS_SEED,
+            scale_override: Some(scale),
+            cache: Mutex::new(HashMap::new()),
+        }
     }
 
     /// The scale used for `dataset`: the override if present, otherwise

@@ -83,11 +83,8 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     for dataset in DATASETS {
         let points = sweep(ctx, dataset);
         let paper_kib = AcceleratorConfig::paper(dataset).input_buffer_bytes / 1024;
-        let paper_cycles = points
-            .iter()
-            .find(|p| p.kib == paper_kib)
-            .map(|p| p.total_cycles)
-            .unwrap_or(1);
+        let paper_cycles =
+            points.iter().find(|p| p.kib == paper_kib).map(|p| p.total_cycles).unwrap_or(1);
         for p in &points {
             let marker = if p.kib == paper_kib { " <- paper" } else { "" };
             t.row(vec![

@@ -54,10 +54,7 @@ pub fn aggregation_comm(ctx: &Ctx, dataset: Dataset) -> (CommLedger, CommLedger)
     let cfg = AcceleratorConfig::paper(dataset);
     let arr = CpeArray::new(&cfg);
     let edge_updates = 2 * ds.graph.num_edges() as u64;
-    (
-        gnnie_aggregation_traffic(edge_updates, 128),
-        rer_traffic(edge_updates, 128, arr.cols()),
-    )
+    (gnnie_aggregation_traffic(edge_updates, 128), rer_traffic(edge_updates, 128, arr.cols()))
 }
 
 /// Regenerates the ablation tables.

@@ -63,11 +63,7 @@ pub fn run(_ctx: &Ctx) -> ExperimentResult {
          a few kilobits of table — the 'accurate, low-area' point of paper §III"
             .to_string(),
     );
-    ExperimentResult {
-        id: "Ablation A2",
-        title: "Exp-LUT size vs GAT softmax accuracy",
-        lines,
-    }
+    ExperimentResult { id: "Ablation A2", title: "Exp-LUT size vs GAT softmax accuracy", lines }
 }
 
 #[cfg(test)]
@@ -78,10 +74,7 @@ mod tests {
     fn error_is_monotone_in_lut_size() {
         let coarse = layer_error(16, 3);
         let fine = layer_error(1024, 3);
-        assert!(
-            fine < coarse,
-            "finer LUT must reduce softmax error: 16→{coarse}, 1024→{fine}"
-        );
+        assert!(fine < coarse, "finer LUT must reduce softmax error: 16→{coarse}, 1024→{fine}");
     }
 
     #[test]

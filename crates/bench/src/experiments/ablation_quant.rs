@@ -24,8 +24,7 @@ pub fn quant_impact(f_in: usize, f_out: usize, seed: u64) -> (f32, u64, u64) {
     let g = generate::powerlaw_chung_lu(120, 700, 2.0, seed);
     let h = DenseMatrix::from_fn(120, f_in, |r, c| (((r * 11 + c * 3) % 9) as f32 - 4.0) * 0.2);
     let exact = aggregate_gcn(&g, &h.matmul(&w).expect("shapes agree"));
-    let approx =
-        aggregate_gcn(&g, &h.matmul(&q.dequantize()).expect("shapes agree"));
+    let approx = aggregate_gcn(&g, &h.matmul(&q.dequantize()).expect("shapes agree"));
     let scale = exact.as_slice().iter().fold(1e-12f32, |m, &x| m.max(x.abs()));
     let err = exact.max_abs_diff(&approx) / scale;
     ((err), (f_in * f_out * 4) as u64, q.storage_bytes() as u64)

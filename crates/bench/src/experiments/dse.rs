@@ -11,8 +11,9 @@
 
 use gnnie_core::config::{AcceleratorConfig, Design, RowGroup};
 use gnnie_core::cpe::CpeArray;
-use gnnie_core::weighting::{simulate_weighting_mode, BlockProfile, WeightingMode,
-    WeightingParams};
+use gnnie_core::weighting::{
+    simulate_weighting_mode, BlockProfile, WeightingMode, WeightingParams,
+};
 use gnnie_graph::Dataset;
 use gnnie_mem::HbmModel;
 
@@ -134,11 +135,8 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let mut scored: Vec<(DsePoint, f64)> =
         candidates().into_iter().map(|p| (p, mean_beta(ctx, &p))).collect();
     scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("β is finite"));
-    let paper_rank = scored
-        .iter()
-        .position(|(p, _)| *p == DsePoint::PAPER)
-        .map(|i| i + 1)
-        .unwrap_or(0);
+    let paper_rank =
+        scored.iter().position(|(p, _)| *p == DsePoint::PAPER).map(|i| i + 1).unwrap_or(0);
 
     let mut t = Table::new(&["rank", "rows x MACs", "total MACs", "mean β", ""]);
     for (i, (point, beta)) in scored.iter().take(10).enumerate() {
@@ -191,15 +189,10 @@ mod tests {
         let paper_beta = mean_beta(&ctx, &DsePoint::PAPER);
         assert!(paper_beta > 0.0, "paper's design must improve on the baseline");
         // It need not win outright, but it must land in the upper half.
-        let mut scored: Vec<f64> =
-            candidates().iter().map(|p| mean_beta(&ctx, p)).collect();
+        let mut scored: Vec<f64> = candidates().iter().map(|p| mean_beta(&ctx, p)).collect();
         scored.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let rank = scored.iter().position(|&b| b <= paper_beta).unwrap_or(0);
-        assert!(
-            rank <= scored.len() / 2,
-            "paper's point ranks {rank} of {}",
-            scored.len()
-        );
+        assert!(rank <= scored.len() / 2, "paper's point ranks {rank} of {}", scored.len());
     }
 
     #[test]
@@ -211,9 +204,6 @@ mod tests {
         // beat the lean one by much — diminishing returns on sparsity.
         let lean_beta = mean_beta(&ctx, &lean);
         let heavy_beta = mean_beta(&ctx, &heavy);
-        assert!(
-            heavy_beta < lean_beta * 1.5,
-            "lean {lean_beta} vs heavy {heavy_beta}"
-        );
+        assert!(heavy_beta < lean_beta * 1.5, "lean {lean_beta} vs heavy {heavy_beta}");
     }
 }

@@ -1,5 +1,5 @@
-//! Fig. 10 — histogram of the unprocessed-edge counts (α) in the input
-//! buffer after each Round (Pubmed).
+//! Fig. 10 — histogram of the unprocessed-edge counts (α) of the vertices
+//! still awaiting aggregation after each Round (Pubmed).
 //!
 //! The paper's claim: the initial α distribution mirrors the power-law
 //! degree distribution, and each Round flattens it — both the peak
@@ -31,7 +31,7 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let cache = report.cache.as_ref().expect("cache policy enabled");
 
     let mut t =
-        Table::new(&["round", "cached", "peak freq", "peak α bin", "p95 α", "max α"]);
+        Table::new(&["round", "unfinished", "peak freq", "peak α bin", "p95 α", "max α"]);
     for (round, hist) in cache.alpha_histograms.iter().enumerate() {
         let (peak_bin, peak_count) = hist.peak();
         let max_bin = hist.last_nonempty_bin().unwrap_or(0);
@@ -62,11 +62,7 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
          round (peak frequency and max α both decrease)",
         cache.rounds, cache.iterations, cache.refetches
     ));
-    ExperimentResult {
-        id: "Fig. 10",
-        title: "α histogram through Rounds (Pubmed)",
-        lines,
-    }
+    ExperimentResult { id: "Fig. 10", title: "α histogram through Rounds (Pubmed)", lines }
 }
 
 #[cfg(test)]
@@ -96,11 +92,8 @@ mod tests {
             &mut dram,
         );
         let cache = report.cache.unwrap();
-        let maxes: Vec<usize> = cache
-            .alpha_histograms
-            .iter()
-            .map(|h| h.last_nonempty_bin().unwrap_or(0))
-            .collect();
+        let maxes: Vec<usize> =
+            cache.alpha_histograms.iter().map(|h| h.last_nonempty_bin().unwrap_or(0)).collect();
         if maxes.len() >= 2 {
             assert!(
                 maxes.last().unwrap() <= maxes.first().unwrap(),

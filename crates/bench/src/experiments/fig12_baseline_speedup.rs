@@ -45,12 +45,7 @@ pub fn speedups(ctx: &Ctx, model: GnnModel, dataset: Dataset) -> (f64, f64) {
 
 /// Regenerates Fig. 12 (both panels).
 pub fn run(ctx: &Ctx) -> ExperimentResult {
-    let mut t = Table::new(&[
-        "model",
-        "dataset",
-        "vs PyG-CPU",
-        "vs PyG-GPU",
-    ]);
+    let mut t = Table::new(&["model", "dataset", "vs PyG-CPU", "vs PyG-GPU"]);
     let mut lines_extra = Vec::new();
     for model in GnnModel::ALL {
         let mut cpu_prod = 1.0f64;

@@ -23,11 +23,7 @@ pub const PAPER_AVG: [(GnnModel, Option<f64>, Option<f64>); 3] = [
 
 /// Measured speedups of GNNIE over (HyGCN, AWB-GCN) for one model ×
 /// dataset; `None` where the baseline cannot run the model.
-pub fn speedups(
-    ctx: &Ctx,
-    model: GnnModel,
-    dataset: Dataset,
-) -> (Option<f64>, Option<f64>) {
+pub fn speedups(ctx: &Ctx, model: GnnModel, dataset: Dataset) -> (Option<f64>, Option<f64>) {
     let report = ctx.run_gnnie(model, dataset);
     let ds = ctx.dataset(dataset);
     let cfg = ctx.model_config(model, dataset);

@@ -26,11 +26,8 @@ pub fn per_row_cycles(ctx: &Ctx, dataset: Dataset, mode: WeightingMode) -> Vec<u
 /// Regenerates Fig. 16.
 pub fn run(ctx: &Ctx) -> ExperimentResult {
     /// Paper-reported FM pass-cycle reductions per dataset.
-    const PAPER_FM_REDUCTION: [(Dataset, f64); 3] = [
-        (Dataset::Cora, 0.06),
-        (Dataset::Citeseer, 0.14),
-        (Dataset::Pubmed, 0.31),
-    ];
+    const PAPER_FM_REDUCTION: [(Dataset, f64); 3] =
+        [(Dataset::Cora, 0.06), (Dataset::Citeseer, 0.14), (Dataset::Pubmed, 0.31)];
     let mut t = Table::new(&["dataset", "mode", "max row", "min row", "spread", "rows 0..15"]);
     let mut summary = Vec::new();
     for dataset in [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed] {
@@ -97,9 +94,8 @@ mod tests {
     #[test]
     fn work_is_conserved_across_modes() {
         let ctx = Ctx::with_scale(0.3);
-        let base: u64 = per_row_cycles(&ctx, Dataset::Cora, WeightingMode::Baseline)
-            .iter()
-            .sum();
+        let base: u64 =
+            per_row_cycles(&ctx, Dataset::Cora, WeightingMode::Baseline).iter().sum();
         // Cycle totals differ (different MACs per row) but both are
         // positive and within a small factor.
         let fm: u64 = per_row_cycles(&ctx, Dataset::Cora, WeightingMode::Fm).iter().sum();

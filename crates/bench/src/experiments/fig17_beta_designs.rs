@@ -9,8 +9,9 @@
 
 use gnnie_core::config::{AcceleratorConfig, Design};
 use gnnie_core::cpe::CpeArray;
-use gnnie_core::weighting::{simulate_weighting_mode, BlockProfile, WeightingMode,
-    WeightingParams};
+use gnnie_core::weighting::{
+    simulate_weighting_mode, BlockProfile, WeightingMode, WeightingParams,
+};
 use gnnie_graph::Dataset;
 use gnnie_mem::HbmModel;
 
@@ -24,8 +25,7 @@ pub fn weighting_cycles(ctx: &Ctx, dataset: Dataset, design: Design) -> u64 {
     let cfg = AcceleratorConfig::with_design(design, 256 * 1024);
     let arr = CpeArray::new(&cfg);
     let profile = BlockProfile::from_sparse(&ds.features, arr.rows());
-    let mode =
-        if design == Design::E { WeightingMode::Fm } else { WeightingMode::Baseline };
+    let mode = if design == Design::E { WeightingMode::Fm } else { WeightingMode::Baseline };
     let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
     simulate_weighting_mode(&cfg, &arr, &profile, WeightingParams::default(), mode, &mut dram)
         .compute_cycles
@@ -82,10 +82,7 @@ mod tests {
             let be = beta(&ctx, dataset, Design::E);
             for design in [Design::B, Design::C, Design::D] {
                 let b = beta(&ctx, dataset, design);
-                assert!(
-                    be > b,
-                    "{dataset:?}: Design E β {be} must beat {design:?} β {b}"
-                );
+                assert!(be > b, "{dataset:?}: Design E β {be} must beat {design:?} β {b}");
             }
         }
     }

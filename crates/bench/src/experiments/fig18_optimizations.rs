@@ -71,11 +71,8 @@ pub fn cycles_at(ctx: &Ctx, model: GnnModel, dataset: Dataset, step: Step) -> (u
 /// Regenerates Fig. 18 (all three panels).
 pub fn run(ctx: &Ctx) -> ExperimentResult {
     /// Paper-reported cumulative aggregation-time reductions at CP+FM+LB.
-    const PAPER_AGG_REDUCTION: [(Dataset, f64); 3] = [
-        (Dataset::Cora, 0.47),
-        (Dataset::Citeseer, 0.69),
-        (Dataset::Pubmed, 0.87),
-    ];
+    const PAPER_AGG_REDUCTION: [(Dataset, f64); 3] =
+        [(Dataset::Cora, 0.47), (Dataset::Citeseer, 0.69), (Dataset::Pubmed, 0.87)];
     let datasets = [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed];
 
     let mut lines = Vec::new();

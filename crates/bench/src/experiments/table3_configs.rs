@@ -19,8 +19,7 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
             GnnModel::GraphSage => "Max".to_string(),
             _ => "Sum".to_string(),
         };
-        let sample =
-            cfg.sample_size.map(|s| s.to_string()).unwrap_or_else(|| "--".to_string());
+        let sample = cfg.sample_size.map(|s| s.to_string()).unwrap_or_else(|| "--".to_string());
         t.row(vec![model.name().to_string(), weighting, aggregation, sample]);
     }
     let mut lines = t.render();

@@ -25,13 +25,7 @@ pub fn run_at_scale(ctx: &Ctx, scale: f64) -> InferenceReport {
 
 /// Regenerates the scaling table.
 pub fn run(ctx: &Ctx) -> ExperimentResult {
-    let mut t = Table::new(&[
-        "workload",
-        "|V|",
-        "|E|",
-        "eff. TOPS",
-        "TOPS vs smallest",
-    ]);
+    let mut t = Table::new(&["workload", "|V|", "|E|", "eff. TOPS", "TOPS vs smallest"]);
     let mut base_tops = None;
     for &scale in &SCALE_RAMP {
         let r = run_at_scale(ctx, scale);
@@ -66,11 +60,7 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
          (Table IV's 'degrades only moderately', extended)"
             .to_string(),
     );
-    ExperimentResult {
-        id: "Table IV-b",
-        title: "Throughput vs graph scale (extension)",
-        lines,
-    }
+    ExperimentResult { id: "Table IV-b", title: "Throughput vs graph scale (extension)", lines }
 }
 
 #[cfg(test)]

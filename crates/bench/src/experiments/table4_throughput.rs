@@ -19,9 +19,8 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
     let peak = AcceleratorConfig::paper(Dataset::Cora).peak_tops();
     let mut t = Table::new(&["", "measured TOPS", "paper TOPS"]);
     t.row(vec!["Peak".into(), format!("{peak:.2}"), format!("{:.2}", PAPER_TOPS[0].1)]);
-    for (i, dataset) in [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed]
-        .into_iter()
-        .enumerate()
+    for (i, dataset) in
+        [Dataset::Cora, Dataset::Citeseer, Dataset::Pubmed].into_iter().enumerate()
     {
         let r = ctx.run_gnnie(GnnModel::Gcn, dataset);
         t.row(vec![

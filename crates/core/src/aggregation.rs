@@ -185,11 +185,7 @@ pub fn simulate_aggregation(
         0
     };
 
-    let exp_evals = if params.is_gat {
-        edge_updates + graph.num_vertices() as u64
-    } else {
-        0
-    };
+    let exp_evals = if params.is_gat { edge_updates + graph.num_vertices() as u64 } else { 0 };
     let macs_issued = edge_updates * f as u64
         + if params.is_gat { 2 * graph.num_vertices() as u64 * f as u64 } else { 0 };
 

@@ -56,13 +56,17 @@ impl Design {
 
 impl std::fmt::Display for Design {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Design {}", match self {
-            Design::A => "A",
-            Design::B => "B",
-            Design::C => "C",
-            Design::D => "D",
-            Design::E => "E",
-        })
+        write!(
+            f,
+            "Design {}",
+            match self {
+                Design::A => "A",
+                Design::B => "B",
+                Design::C => "C",
+                Design::D => "D",
+                Design::E => "E",
+            }
+        )
     }
 }
 
@@ -301,10 +305,8 @@ mod tests {
     #[should_panic(expected = "nondecreasing")]
     fn validate_rejects_decreasing_macs() {
         let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
-        cfg.row_groups = vec![
-            RowGroup { rows: 8, macs_per_cpe: 6 },
-            RowGroup { rows: 8, macs_per_cpe: 4 },
-        ];
+        cfg.row_groups =
+            vec![RowGroup { rows: 8, macs_per_cpe: 6 }, RowGroup { rows: 8, macs_per_cpe: 4 }];
         cfg.validate();
     }
 

@@ -116,10 +116,8 @@ impl ActivityCounts {
             self.weight_buf_bytes as f64 * ops.weight_buf_pj_per_byte,
         );
         ledger.add(Component::DramInput, self.dram_input_bytes as f64 * ops.dram_pj_per_byte);
-        ledger
-            .add(Component::DramOutput, self.dram_output_bytes as f64 * ops.dram_pj_per_byte);
-        ledger
-            .add(Component::DramWeight, self.dram_weight_bytes as f64 * ops.dram_pj_per_byte);
+        ledger.add(Component::DramOutput, self.dram_output_bytes as f64 * ops.dram_pj_per_byte);
+        ledger.add(Component::DramWeight, self.dram_weight_bytes as f64 * ops.dram_pj_per_byte);
     }
 
     /// Merges another set of counts into this one.

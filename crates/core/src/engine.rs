@@ -141,11 +141,8 @@ impl Engine {
                     // Weighting with its own W and Aggregation with its
                     // own coefficients (Veličković et al.; Table III is
                     // single-head, so heads = 1 on the paper configs).
-                    let heads = if model.model == GnnModel::Gat {
-                        model.gat_heads.max(1)
-                    } else {
-                        1
-                    };
+                    let heads =
+                        if model.model == GnnModel::Gat { model.gat_heads.max(1) } else { 1 };
                     let mut weighting = self.weighting_phase(
                         ds,
                         li,
@@ -316,8 +313,8 @@ impl Engine {
             dram,
         );
         counts.macs += report.macs_issued;
-        counts.sfu_ops += 2 * report.exp_evals
-            + if is_gat { report.vertices * f_out as u64 } else { 0 };
+        counts.sfu_ops +=
+            2 * report.exp_evals + if is_gat { report.vertices * f_out as u64 } else { 0 };
         counts.mpe_updates += report.edge_updates;
         // Each edge update reads both endpoint vectors from the input
         // buffer and read-modify-writes the psum in the output buffer.
@@ -353,10 +350,8 @@ impl Engine {
         let total_macs = self.array.total_macs() as u64;
 
         // Embedding GCN: F⁰ → hidden.
-        let w_embed =
-            self.weighting_phase(ds, 0, f_in, model.hidden, true, dram, counts);
-        let a_embed =
-            self.aggregation_phase(agg_graph, model.hidden, false, dram, counts);
+        let w_embed = self.weighting_phase(ds, 0, f_in, model.hidden, true, dram, counts);
+        let a_embed = self.aggregation_phase(agg_graph, model.hidden, false, dram, counts);
         layers.push(LayerReport { layer: 0, weighting: w_embed, aggregation: a_embed });
 
         // Pooling GCN: F⁰ → C, plus the row softmax through the SFUs.
@@ -388,8 +383,7 @@ impl Engine {
                 feature_bytes_per_nnz: 4,
                 weight_bytes_per_elem: 1,
             };
-            let report =
-                simulate_weighting(&self.config, &self.array, &profile, params, dram);
+            let report = simulate_weighting(&self.config, &self.array, &profile, params, dram);
             self.charge_weighting(&report, c, spec.f_out as u64, counts);
             let dense_agg = div_ceil(c * c * spec.f_out as u64, total_macs);
             counts.macs += c * c * spec.f_out as u64;
@@ -506,10 +500,8 @@ mod tests {
     fn multihead_gat_scales_attention_work() {
         let ds = small(Dataset::Cora, 0.15);
         let cfg = AcceleratorConfig::paper(Dataset::Cora);
-        let one = Engine::new(cfg.clone())
-            .run(&ModelConfig::gat_multihead(&ds.spec, 1), &ds);
-        let four = Engine::new(cfg)
-            .run(&ModelConfig::gat_multihead(&ds.spec, 4), &ds);
+        let one = Engine::new(cfg.clone()).run(&ModelConfig::gat_multihead(&ds.spec, 1), &ds);
+        let four = Engine::new(cfg).run(&ModelConfig::gat_multihead(&ds.spec, 4), &ds);
         // Heads attend independently: exp evaluations scale exactly, total
         // time grows but stays sublinear in K only if phases overlapped —
         // our serial-head model is at least 2x for 4 heads.
@@ -524,10 +516,9 @@ mod tests {
     fn single_head_multihead_config_matches_paper_gat() {
         let ds = small(Dataset::Citeseer, 0.15);
         let cfg = AcceleratorConfig::paper(Dataset::Citeseer);
-        let paper = Engine::new(cfg.clone())
-            .run(&ModelConfig::paper(GnnModel::Gat, &ds.spec), &ds);
-        let multi = Engine::new(cfg)
-            .run(&ModelConfig::gat_multihead(&ds.spec, 1), &ds);
+        let paper =
+            Engine::new(cfg.clone()).run(&ModelConfig::paper(GnnModel::Gat, &ds.spec), &ds);
+        let multi = Engine::new(cfg).run(&ModelConfig::gat_multihead(&ds.spec, 1), &ds);
         assert_eq!(paper.total_cycles, multi.total_cycles);
     }
 
@@ -536,8 +527,7 @@ mod tests {
         let ds = small(Dataset::Cora, 0.2);
         let mc = ModelConfig::paper(GnnModel::Gcn, &ds.spec);
         let full = Engine::new(AcceleratorConfig::paper(Dataset::Cora)).run(&mc, &ds);
-        let base =
-            Engine::new(AcceleratorConfig::ablation_baseline(256 * 1024)).run(&mc, &ds);
+        let base = Engine::new(AcceleratorConfig::ablation_baseline(256 * 1024)).run(&mc, &ds);
         assert!(
             full.total_cycles < base.total_cycles,
             "all optimizations on ({}) must beat baseline ({})",
@@ -561,10 +551,10 @@ mod tests {
         // comparable weighting cycles to uniform designs with more MACs.
         let ds = small(Dataset::Cora, 0.3);
         let mc = ModelConfig::paper(GnnModel::Gcn, &ds.spec);
-        let e = Engine::new(AcceleratorConfig::with_design(Design::E, 256 * 1024))
-            .run(&mc, &ds);
-        let b = Engine::new(AcceleratorConfig::with_design(Design::B, 256 * 1024))
-            .run(&mc, &ds);
+        let e =
+            Engine::new(AcceleratorConfig::with_design(Design::E, 256 * 1024)).run(&mc, &ds);
+        let b =
+            Engine::new(AcceleratorConfig::with_design(Design::B, 256 * 1024)).run(&mc, &ds);
         let we = e.weighting_cycles() as f64;
         let wb = b.weighting_cycles() as f64;
         assert!(

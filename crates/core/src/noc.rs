@@ -198,7 +198,8 @@ impl std::fmt::Display for RebalanceScheme {
 /// (`k` words each) cross the bus once, plus one control message per
 /// heavy/light pair selected by the controller (§IV-C).
 pub fn lr_traffic(sched: &RowSchedule, k: usize) -> CommLedger {
-    let mut ledger = CommLedger { rounds: u64::from(!sched.lr_moves.is_empty()), ..Default::default() };
+    let mut ledger =
+        CommLedger { rounds: u64::from(!sched.lr_moves.is_empty()), ..Default::default() };
     let bus = Topology::Bus { nodes: 16.max(sched.rows.len()) };
     for mv in &sched.lr_moves {
         ledger.transfer(mv.blocks * k as u64, bus.hops(mv.from_row, mv.to_row));
@@ -278,9 +279,7 @@ pub fn awb_rebalance_traffic(
         }
         // Integer shares round down; park the remainder on the slackest
         // PE so work is conserved exactly.
-        if let Some(idx) =
-            (0..p).max_by_key(|&i| (slacks[i], std::cmp::Reverse(i)))
-        {
+        if let Some(idx) = (0..p).max_by_key(|&i| (slacks[i], std::cmp::Reverse(i))) {
             cur[idx] += shed_total - distributed;
         }
         ledger.transfer(shed_total * params.words_per_unit, hops);

@@ -273,8 +273,7 @@ pub fn functional_layer(
         GnnLayer::Gin(l) => {
             let mlp = l.mlp();
             let hw1 = functional_weighting_dense(&h2, &mlp.w1, array_rows);
-            let mut agg =
-                functional_aggregate_gin(&g2, &hw1, l.epsilon(), capacity, gamma);
+            let mut agg = functional_aggregate_gin(&g2, &hw1, l.epsilon(), capacity, gamma);
             for r in 0..agg.rows() {
                 for (x, &b) in agg.row_mut(r).iter_mut().zip(&mlp.b1) {
                     *x = relu(*x + b);
@@ -351,20 +350,9 @@ pub fn verify_layers(
     let mut per_layer_rel_err = Vec::with_capacity(layers.len());
     for (i, layer) in layers.iter().enumerate() {
         golden = layer.forward(graph, &golden);
-        functional = functional_layer(
-            layer,
-            graph,
-            &functional,
-            array_rows,
-            capacity,
-            gamma,
-            exp_mode,
-        );
-        let scale = golden
-            .as_slice()
-            .iter()
-            .fold(0.0f32, |m, &x| m.max(x.abs()))
-            .max(1e-12);
+        functional =
+            functional_layer(layer, graph, &functional, array_rows, capacity, gamma, exp_mode);
+        let scale = golden.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs())).max(1e-12);
         per_layer_rel_err.push(golden.max_abs_diff(&functional) / scale);
         if i + 1 < layers.len() {
             golden.map_inplace(relu);
@@ -446,8 +434,7 @@ mod tests {
         let g = generate::erdos_renyi(60, 240, 9);
         let h0 = features(60, 32);
         let params = ModelParams::init(ModelConfig::custom(GnnModel::Gcn, &[32, 16, 4]), 3);
-        let outcome =
-            verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Exact);
+        let outcome = verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Exact);
         assert!(outcome.passed(1e-4), "errors: {:?}", outcome.per_layer_rel_err);
     }
 
@@ -456,8 +443,7 @@ mod tests {
         let g = generate::powerlaw_chung_lu(80, 400, 2.1, 13);
         let h0 = features(80, 24);
         let params = ModelParams::init(ModelConfig::custom(GnnModel::Gat, &[24, 12, 4]), 5);
-        let outcome =
-            verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Exact);
+        let outcome = verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Exact);
         assert!(outcome.passed(2e-4), "errors: {:?}", outcome.per_layer_rel_err);
     }
 
@@ -466,14 +452,8 @@ mod tests {
         let g = generate::erdos_renyi(50, 200, 17);
         let h0 = features(50, 16);
         let params = ModelParams::init(ModelConfig::custom(GnnModel::Gat, &[16, 8]), 7);
-        let outcome = verify_layers(
-            &params.layers,
-            &g,
-            &h0,
-            16,
-            5,
-            &ExpMode::Lut(ExpLut::default()),
-        );
+        let outcome =
+            verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Lut(ExpLut::default()));
         // LUT exp is approximate; softmax normalization cancels much of
         // the error but not all of it.
         assert!(outcome.passed(0.05), "errors: {:?}", outcome.per_layer_rel_err);

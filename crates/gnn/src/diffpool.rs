@@ -38,7 +38,11 @@ pub struct DiffPoolOutput {
 /// # Panics
 ///
 /// Panics if `x` has a row count different from `g.num_vertices()`.
-pub fn diffpool_level(g: &CsrGraph, x: &DenseMatrix, params: &DiffPoolParams) -> DiffPoolOutput {
+pub fn diffpool_level(
+    g: &CsrGraph,
+    x: &DenseMatrix,
+    params: &DiffPoolParams,
+) -> DiffPoolOutput {
     assert_eq!(x.rows(), g.num_vertices(), "feature rows must match vertex count");
     let z = params.embed.forward(g, x); // V × hidden
     let mut s = params.pool.forward(g, x); // V × C

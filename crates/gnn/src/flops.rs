@@ -44,9 +44,8 @@ impl GraphStats {
     /// Exact statistics of a generated dataset.
     pub fn of(ds: &SyntheticDataset, sample_size: Option<usize>) -> Self {
         let g = &ds.graph;
-        let sampled_in_edges = sample_size.map(|k| {
-            (0..g.num_vertices()).map(|v| g.degree(v).min(k) as u64).sum()
-        });
+        let sampled_in_edges =
+            sample_size.map(|k| (0..g.num_vertices()).map(|v| g.degree(v).min(k) as u64).sum());
         GraphStats {
             vertices: g.num_vertices() as u64,
             edges: g.num_edges() as u64,
@@ -177,11 +176,7 @@ impl ModelWorkload {
                 // per-vertex divide.
                 GnnModel::Gat => {
                     let contribs = de + v;
-                    (
-                        2 * v * f_out,
-                        contribs * (2 + 2 * f_out) + contribs + v * f_out,
-                        contribs,
-                    )
+                    (2 * v * f_out, contribs * (2 + 2 * f_out) + contribs + v * f_out, contribs)
                 }
             };
 
@@ -296,9 +291,7 @@ mod tests {
         // Cora features are 98.7% sparse: layer-0 effective weighting must
         // be well under 5% of dense.
         let l0 = &w.layers[0];
-        assert!(
-            (l0.weighting_macs_effective as f64) < 0.05 * l0.weighting_macs_dense as f64
-        );
+        assert!((l0.weighting_macs_effective as f64) < 0.05 * l0.weighting_macs_dense as f64);
         // Hidden layer is dense: effective == dense there.
         let l1 = &w.layers[1];
         assert_eq!(l1.weighting_macs_effective, l1.weighting_macs_dense);
@@ -323,9 +316,7 @@ mod tests {
         let cfg = ModelConfig::paper(GnnModel::GraphSage, &spec);
         let w_full = ModelWorkload::of(&cfg, &full);
         let w_sampled = ModelWorkload::of(&cfg, &sampled);
-        assert!(
-            w_sampled.layers[0].aggregation_flops <= w_full.layers[0].aggregation_flops
-        );
+        assert!(w_sampled.layers[0].aggregation_flops <= w_full.layers[0].aggregation_flops);
     }
 
     #[test]

@@ -594,8 +594,7 @@ mod tests {
         let (e1, e2) = layer.attention_partials(&hw);
         for i in 0..3 {
             for j in 0..3 {
-                let concat: Vec<f32> =
-                    hw.row(i).iter().chain(hw.row(j)).copied().collect();
+                let concat: Vec<f32> = hw.row(i).iter().chain(hw.row(j)).copied().collect();
                 let direct: f32 = attn.iter().zip(&concat).map(|(a, x)| a * x).sum();
                 assert!(
                     (direct - (e1[i] + e2[j])).abs() < 1e-5,
@@ -609,9 +608,8 @@ mod tests {
     fn gin_identity_mlp_sums_neighbors() {
         let g = triangle();
         let h = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[4.0]]);
-        let mlp = Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![
-            0.0,
-        ]);
+        let mlp =
+            Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![0.0]);
         let layer = GinLayer::new(0.0, mlp);
         let out = layer.forward(&g, &h);
         // (1+0)·h_i + Σ neighbors (all values positive so ReLU is identity).
@@ -624,9 +622,8 @@ mod tests {
     fn gin_epsilon_scales_self_contribution() {
         let g = CsrGraph::from_edges(2, [(0, 1)]);
         let h = DenseMatrix::from_rows(&[&[2.0], &[3.0]]);
-        let mlp = Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![
-            0.0,
-        ]);
+        let mlp =
+            Mlp::new(DenseMatrix::identity(1), vec![0.0], DenseMatrix::identity(1), vec![0.0]);
         let layer = GinLayer::new(0.5, mlp);
         let out = layer.forward(&g, &h);
         assert!((out.get(0, 0) - (1.5 * 2.0 + 3.0)).abs() < 1e-6);

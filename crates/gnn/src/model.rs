@@ -135,7 +135,7 @@ impl ModelConfig {
             layers,
             sample_size: model.sample_size(),
             diffpool_clusters,
-            gat_heads: 1,
+            gat_heads: default_gat_heads(),
         }
     }
 

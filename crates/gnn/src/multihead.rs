@@ -121,8 +121,7 @@ mod tests {
         let w = DenseMatrix::from_fn(f_in, f_out, |r, c| {
             (((r * 7 + c * 3 + seed) % 9) as f32 - 4.0) * 0.15
         });
-        let attn =
-            (0..2 * f_out).map(|i| ((i * 5 + seed) % 7) as f32 * 0.1 - 0.3).collect();
+        let attn = (0..2 * f_out).map(|i| ((i * 5 + seed) % 7) as f32 * 0.1 - 0.3).collect();
         GatLayer::new(w, attn)
     }
 
@@ -150,8 +149,7 @@ mod tests {
         let h = features();
         let h1 = head(1, 8, 4);
         let h2 = head(2, 8, 4);
-        let multi =
-            MultiHeadGat::new(vec![h1.clone(), h2.clone()], HeadCombine::Concat);
+        let multi = MultiHeadGat::new(vec![h1.clone(), h2.clone()], HeadCombine::Concat);
         let out = multi.forward(&g, &h);
         assert_eq!(out.shape(), (30, 8));
         let o1 = h1.forward(&g, &h);
@@ -168,8 +166,7 @@ mod tests {
         let h = features();
         let h1 = head(3, 8, 5);
         let h2 = head(4, 8, 5);
-        let multi =
-            MultiHeadGat::new(vec![h1.clone(), h2.clone()], HeadCombine::Average);
+        let multi = MultiHeadGat::new(vec![h1.clone(), h2.clone()], HeadCombine::Average);
         let out = multi.forward(&g, &h);
         assert_eq!(out.shape(), (30, 5));
         let o1 = h1.forward(&g, &h);
@@ -187,10 +184,8 @@ mod tests {
         let g = graph();
         let h = features();
         let h0 = head(5, 8, 6);
-        let multi = MultiHeadGat::new(
-            vec![h0.clone(), h0.clone(), h0.clone()],
-            HeadCombine::Average,
-        );
+        let multi =
+            MultiHeadGat::new(vec![h0.clone(), h0.clone(), h0.clone()], HeadCombine::Average);
         assert!(multi.forward(&g, &h).max_abs_diff(&h0.forward(&g, &h)) < 1e-5);
     }
 

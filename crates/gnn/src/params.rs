@@ -11,8 +11,9 @@ use gnnie_graph::CsrGraph;
 use gnnie_tensor::DenseMatrix;
 
 use crate::diffpool::{self, DiffPoolParams};
-use crate::layers::{run_layers, GatLayer, GcnLayer, GinLayer, GnnLayer, Mlp, SageAggregator,
-    SageLayer};
+use crate::layers::{
+    run_layers, GatLayer, GcnLayer, GinLayer, GnnLayer, Mlp, SageAggregator, SageLayer,
+};
 use crate::model::{GnnModel, ModelConfig};
 
 /// Glorot-style uniform initialization: `U(-s, s)` with `s = √(6/(fan_in +

@@ -176,10 +176,8 @@ impl CsrGraph {
         for &v in order.iter().take(k) {
             in_top[v] = true;
         }
-        let covered = self
-            .edges()
-            .filter(|&(u, v)| in_top[u as usize] || in_top[v as usize])
-            .count();
+        let covered =
+            self.edges().filter(|&(u, v)| in_top[u as usize] || in_top[v as usize]).count();
         covered as f64 / self.num_edges as f64
     }
 

@@ -278,10 +278,7 @@ mod tests {
         let rd = SyntheticDataset::generate(Dataset::Reddit, 0.01, 7);
         let c_ppi = ppi.graph.edge_coverage_of_top_vertices(0.11);
         let c_rd = rd.graph.edge_coverage_of_top_vertices(0.11);
-        assert!(
-            c_ppi < c_rd,
-            "PPI coverage {c_ppi} should be below Reddit coverage {c_rd}"
-        );
+        assert!(c_ppi < c_rd, "PPI coverage {c_ppi} should be below Reddit coverage {c_rd}");
     }
 
     #[test]

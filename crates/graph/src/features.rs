@@ -40,11 +40,7 @@ impl FeatureProfile {
     /// count: 70 % of vertices around `0.55 × avg` and 30 % around
     /// `2.05 × avg`, which preserves the requested mean.
     pub fn bimodal_for_mean(avg_nnz: f64) -> Self {
-        FeatureProfile::Bimodal {
-            frac_a: 0.7,
-            mean_a: 0.55 * avg_nnz,
-            mean_b: 2.05 * avg_nnz,
-        }
+        FeatureProfile::Bimodal { frac_a: 0.7, mean_a: 0.55 * avg_nnz, mean_b: 2.05 * avg_nnz }
     }
 
     /// The expected nonzero count under the profile.
@@ -130,11 +126,7 @@ pub fn generate_features(
 
 /// Histogram of per-vertex nonzero counts — the data behind paper Fig. 2.
 pub fn nonzero_histogram(features: &CsrMatrix, bins: usize) -> Histogram {
-    let max_nnz = (0..features.rows())
-        .map(|r| features.row_nnz(r))
-        .max()
-        .unwrap_or(0)
-        .max(1);
+    let max_nnz = (0..features.rows()).map(|r| features.row_nnz(r)).max().unwrap_or(0).max(1);
     Histogram::from_values(
         0.0,
         (max_nnz + 1) as f64,
@@ -159,10 +151,7 @@ mod tests {
         let avg = 1433.0 * (1.0 - 0.9873);
         let m = generate_features(2708, 1433, FeatureProfile::bimodal_for_mean(avg), 42);
         let got = m.sparsity();
-        assert!(
-            (got - 0.9873).abs() < 0.003,
-            "sparsity {got} too far from 0.9873"
-        );
+        assert!((got - 0.9873).abs() < 0.003, "sparsity {got} too far from 0.9873");
     }
 
     #[test]

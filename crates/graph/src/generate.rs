@@ -217,7 +217,13 @@ pub fn barabasi_albert(n: usize, m_per_vertex: usize, seed: u64) -> CsrGraph {
 /// # Panics
 ///
 /// Panics if `uniform_frac` is outside `[0, 1]` or `n < 2`.
-pub fn mixed_powerlaw(n: usize, m: usize, gamma: f64, uniform_frac: f64, seed: u64) -> CsrGraph {
+pub fn mixed_powerlaw(
+    n: usize,
+    m: usize,
+    gamma: f64,
+    uniform_frac: f64,
+    seed: u64,
+) -> CsrGraph {
     assert!((0.0..=1.0).contains(&uniform_frac), "uniform_frac must be in [0,1]");
     assert!(n >= 2, "need at least two vertices");
     let m_uniform = (m as f64 * uniform_frac) as usize;

@@ -170,17 +170,14 @@ mod tests {
 
     fn star_plus_path() -> CsrGraph {
         // Vertex 0: hub of degree 5; vertices 5-6-7 a path.
-        CsrGraph::from_edges(
-            8,
-            [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
-        )
+        CsrGraph::from_edges(8, [(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)])
     }
 
     #[test]
     fn descending_degree_puts_hub_first() {
         let g = star_plus_path();
         let p = Permutation::descending_degree(&g);
-        assert_eq!(p.old_of(0), 0); // hub, degree 5
+        assert_eq!(p.old_of(0), 0, "hub, degree 5");
         // Degrees: v0=5, v5=2, v6=2, others 1. Ties by ascending id.
         assert_eq!(p.old_of(1), 5);
         assert_eq!(p.old_of(2), 6);

@@ -123,7 +123,10 @@ pub struct CacheSimResult {
     /// Liveness recovery rounds taken after zero-progress rounds (pin the
     /// earliest unprocessed vertices, stream the rest past them).
     pub recovery_rounds: u32,
-    /// α histograms of the cache contents at the end of each Round.
+    /// α histograms over all still-unfinished vertices (α > 0) at the end
+    /// of each Round. Per-vertex α only ever decreases and finished
+    /// vertices leave the population, so the maximum recorded α is
+    /// non-increasing from Round to Round (Fig. 10's flattening).
     pub alpha_histograms: Vec<Histogram>,
     /// Per-iteration workloads, for the compute-side timing model.
     pub iteration_stats: Vec<IterationStats>,
@@ -187,10 +190,6 @@ impl<'a> DegreeAwareCache<'a> {
         self.run_with(dram, |_, _| {})
     }
 
-    /// Like [`DegreeAwareCache::run`], invoking `on_edge(u, v)` once per
-    /// undirected edge, **in processing order**. The functional datapath
-    /// verification in `gnnie-core` uses this to aggregate features in
-    /// exactly the order the hardware would.
     /// Like [`DegreeAwareCache::run`], invoking `on_edge(u, v)` once per
     /// undirected edge, **in processing order**. The functional datapath
     /// verification in `gnnie-core` uses this to aggregate features in
@@ -315,8 +314,7 @@ impl<'a> DegreeAwareCache<'a> {
                 let mut pos = 0usize;
                 while cached.len() < quota && pos < n {
                     if alpha[pos] > 0 {
-                        let bytes =
-                            cfg.feature_bytes_per_vertex + 4 * g.degree(pos) as u64 + 4;
+                        let bytes = cfg.feature_bytes_per_vertex + 4 * g.degree(pos) as u64 + 4;
                         result.dram_cycles += dram.read_seq(bytes);
                         in_cache[pos] = true;
                         pinned[pos] = true;
@@ -344,7 +342,7 @@ impl<'a> DegreeAwareCache<'a> {
                             0.0,
                             (max_alpha0 + 1) as f64,
                             128.min(max_alpha0 as usize + 1),
-                            cached.iter().map(|&v| alpha[v as usize] as f64),
+                            alpha.iter().filter(|&&a| a > 0).map(|&a| a as f64),
                         ));
                     }
                     if recovery_active {

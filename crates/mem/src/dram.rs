@@ -26,7 +26,10 @@ pub struct DramCounters {
 impl DramCounters {
     /// Total bytes moved in either direction.
     pub fn total_bytes(&self) -> u64 {
-        self.seq_read_bytes + self.seq_write_bytes + self.rand_read_bytes + self.rand_write_bytes
+        self.seq_read_bytes
+            + self.seq_write_bytes
+            + self.rand_read_bytes
+            + self.rand_write_bytes
     }
 
     /// Bytes moved by random transactions.

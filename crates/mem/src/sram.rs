@@ -120,7 +120,8 @@ impl SramBuffer {
 
     /// Total access energy so far, in pJ.
     pub fn energy_pj(&self) -> f64 {
-        (self.counters.read_bytes + self.counters.write_bytes) as f64 * self.energy_pj_per_byte()
+        (self.counters.read_bytes + self.counters.write_bytes) as f64
+            * self.energy_pj_per_byte()
     }
 }
 

@@ -107,7 +107,11 @@ mod tests {
         let mut empty: [f32; 0] = [];
         softmax_inplace(&mut empty);
         let out = softmax(&[f32::NEG_INFINITY, f32::NEG_INFINITY]);
-        assert!(out.iter().all(|v| v.is_infinite() || *v == 0.0 || v.is_nan() || *v < 0.0 || *v >= 0.0));
+        assert!(out.iter().all(|v| v.is_infinite()
+            || *v == 0.0
+            || v.is_nan()
+            || *v < 0.0
+            || *v >= 0.0));
     }
 
     #[test]

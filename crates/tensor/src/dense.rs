@@ -261,11 +261,7 @@ impl DenseMatrix {
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, rhs: &DenseMatrix) -> f32 {
         assert_eq!(self.shape(), rhs.shape(), "max_abs_diff: shape mismatch");
-        self.data
-            .iter()
-            .zip(&rhs.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f32::max)
+        self.data.iter().zip(&rhs.data).map(|(a, b)| (a - b).abs()).fold(0.0, f32::max)
     }
 }
 

@@ -46,9 +46,7 @@ impl ExpLut {
     /// indexes the table with the top bits of the fraction).
     pub fn new(entries: usize) -> Self {
         assert!(entries.is_power_of_two(), "LUT entries must be a power of two");
-        let table = (0..entries)
-            .map(|i| (i as f32 / entries as f32).exp2())
-            .collect();
+        let table = (0..entries).map(|i| (i as f32 / entries as f32).exp2()).collect();
         Self { table }
     }
 
@@ -84,8 +82,9 @@ impl ExpLut {
         let n = self.table.len();
         let scaled = f * n as f32;
         let idx = (scaled as usize).min(n - 1);
-        let df = (scaled - idx as f32) / n as f32; // residual fraction of f
-        // 2^f = 2^(i/n) · 2^df ≈ table[i] · (1 + df·ln2)   (first-order Taylor)
+        // df is the residual fraction of f past the table index, so
+        // 2^f = 2^(i/n) · 2^df ≈ table[i] · (1 + df·ln2)   (first-order Taylor).
+        let df = (scaled - idx as f32) / n as f32;
         let two_f = self.table[idx] * (1.0 + df * LN_2);
         two_f * (m as i32 as f32).exp2()
     }

@@ -225,8 +225,7 @@ impl CsrMatrix {
 
     /// Builds a CSR matrix from a dense matrix, dropping exact zeros.
     pub fn from_dense(dense: &DenseMatrix) -> Self {
-        let rows: Vec<SparseVec> =
-            dense.iter_rows().map(SparseVec::from_dense).collect();
+        let rows: Vec<SparseVec> = dense.iter_rows().map(SparseVec::from_dense).collect();
         Self::from_sparse_rows(dense.cols(), &rows)
     }
 

@@ -43,7 +43,12 @@ impl Histogram {
     }
 
     /// Builds a histogram directly from an iterator of samples.
-    pub fn from_values(lo: f64, hi: f64, bins: usize, values: impl IntoIterator<Item = f64>) -> Self {
+    pub fn from_values(
+        lo: f64,
+        hi: f64,
+        bins: usize,
+        values: impl IntoIterator<Item = f64>,
+    ) -> Self {
         let mut h = Self::new(lo, hi, bins);
         for v in values {
             h.add(v);
@@ -55,11 +60,7 @@ impl Histogram {
     pub fn add(&mut self, v: f64) {
         let bins = self.counts.len();
         let t = (v - self.lo) / (self.hi - self.lo);
-        let idx = if t < 0.0 {
-            0
-        } else {
-            ((t * bins as f64) as usize).min(bins - 1)
-        };
+        let idx = if t < 0.0 { 0 } else { ((t * bins as f64) as usize).min(bins - 1) };
         self.counts[idx] += 1;
     }
 

@@ -55,8 +55,9 @@ fn main() {
 
     // --- The asymptotic claim: operation counts as the graph grows.
     println!("\n|V|      |E|        naive ops      reordered ops  ratio");
-    for (v, e) in [(1_000u64, 5_000u64), (10_000, 100_000), (100_000, 2_000_000),
-                   (233_000, 114_600_000)] {
+    for (v, e) in
+        [(1_000u64, 5_000u64), (10_000, 100_000), (100_000, 2_000_000), (233_000, 114_600_000)]
+    {
         let naive = AttentionCost::naive(v, e, 128);
         let linear = AttentionCost::linear(v, e, 128);
         println!(

@@ -66,8 +66,8 @@ fn main() {
         cycles
     );
     let mut dram2 = HbmModel::hbm2_256gbps(1.3e9);
-    let policy = DegreeAwareCache::new(&g, CacheConfig::with_capacity(1024, 512))
-        .run(&mut dram2);
+    let policy =
+        DegreeAwareCache::new(&g, CacheConfig::with_capacity(1024, 512)).run(&mut dram2);
     println!(
         "policy:   dram {} KB, all sequential, {} dram cycles ({:.1}x fewer)",
         policy.counters.total_bytes() / 1024,

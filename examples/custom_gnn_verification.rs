@@ -29,16 +29,12 @@ fn main() {
             let a = glorot(&mut rng, 1, 32);
             a.as_slice().to_vec()
         })),
-        GnnLayer::Sage(SageLayer::new(
-            glorot(&mut rng, 16, 8),
-            SageAggregator::Max,
-            10,
-            99,
-        )),
+        GnnLayer::Sage(SageLayer::new(glorot(&mut rng, 16, 8), SageAggregator::Max, 10, 99)),
     ];
 
     let g = generate::powerlaw_chung_lu(400, 2400, 2.0, 11);
-    let h0 = DenseMatrix::from_fn(400, f0, |r, c| (((r * 31 + c * 17) % 23) as f32 - 11.0) * 0.05);
+    let h0 =
+        DenseMatrix::from_fn(400, f0, |r, c| (((r * 31 + c * 17) % 23) as f32 - 11.0) * 0.05);
     println!(
         "verifying a 3-layer custom stack (GCN→GAT→SAGE) on a {}-vertex power-law graph",
         g.num_vertices()

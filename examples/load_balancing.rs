@@ -11,9 +11,7 @@
 use gnnie::core::config::AcceleratorConfig;
 use gnnie::core::cpe::CpeArray;
 use gnnie::core::mpe::psum_stall_cycles;
-use gnnie::core::noc::{
-    awb_rebalance_traffic, lr_traffic, AwbRebalanceParams, LinkParams,
-};
+use gnnie::core::noc::{awb_rebalance_traffic, lr_traffic, AwbRebalanceParams, LinkParams};
 use gnnie::core::weighting::{schedule, BlockProfile, WeightingMode};
 use gnnie::graph::SyntheticDataset;
 use gnnie::Dataset;
@@ -34,8 +32,8 @@ fn main() {
         "dataset: {} vertices, F_in {}, {:.2}% sparse ({} nonzeros)\n",
         profile.vertices(),
         profile.f_in(),
-        100.0 * (1.0 - profile.total_nnz() as f64
-            / (profile.vertices() * profile.f_in()) as f64),
+        100.0
+            * (1.0 - profile.total_nnz() as f64 / (profile.vertices() * profile.f_in()) as f64),
         profile.total_nnz(),
     );
 
@@ -48,11 +46,7 @@ fn main() {
         let min = rows.iter().copied().min().unwrap_or(0);
         println!("-- {mode} (makespan {max}, spread {}) --", max - min);
         for (r, &c) in rows.iter().enumerate() {
-            println!(
-                "row {r:>2} ({} MACs): {c:>6} |{}",
-                arr.macs_in_row(r),
-                bar(c, max)
-            );
+            println!("row {r:>2} ({} MACs): {c:>6} |{}", arr.macs_in_row(r), bar(c, max));
         }
         if sched.lr_moved_blocks > 0 {
             println!(

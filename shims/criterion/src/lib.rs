@@ -1,0 +1,256 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API shape the workspace's benches use — [`Criterion`],
+//! [`BenchmarkId`], benchmark groups, `b.iter(..)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — backed by a simple
+//! wall-clock loop: calibrate an iteration count, warm up, then run
+//! `sample_size` samples and report min/mean per-iteration time to
+//! stdout. No statistical analysis, no HTML reports, no regression
+//! detection; repoint `[workspace.dependencies] criterion` at crates.io
+//! for those.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self, name, &mut |b| f(b));
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark a closure against one input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(self.criterion, &label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmark a closure under this group's prefix.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(self.criterion, &label, &mut |b| f(b));
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+///
+/// One `run_one` drives the closure several times with different modes:
+/// once to calibrate the per-sample iteration count, then repeatedly to
+/// warm up, then once to record samples.
+pub struct Bencher {
+    mode: Mode,
+    iters_per_sample: u64,
+    sample_count: usize,
+    /// Seconds of a single calibration iteration (set in `Calibrate`).
+    calibrated_iter_secs: f64,
+    samples: Vec<Duration>,
+}
+
+enum Mode {
+    Calibrate,
+    WarmUp,
+    Measure,
+}
+
+impl Bencher {
+    /// Measure `routine`; its result is kept alive via [`black_box`] so
+    /// the optimizer cannot delete the work.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::Calibrate => {
+                let t = Instant::now();
+                black_box(routine());
+                self.calibrated_iter_secs = t.elapsed().as_secs_f64().max(1e-9);
+            }
+            Mode::WarmUp => {
+                black_box(routine());
+            }
+            Mode::Measure => {
+                for _ in 0..self.sample_count {
+                    let t = Instant::now();
+                    for _ in 0..self.iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples.push(t.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// Run one benchmark: calibrate, warm up, measure, report.
+fn run_one(c: &Criterion, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        mode: Mode::Calibrate,
+        iters_per_sample: 1,
+        sample_count: c.sample_size,
+        calibrated_iter_secs: 1e-9,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+
+    // Size each sample at ~1/sample_size of the measurement budget.
+    let budget_per_sample = c.measurement_time.as_secs_f64() / c.sample_size.max(1) as f64;
+    let iters = (budget_per_sample / b.calibrated_iter_secs).clamp(1.0, 1e9) as u64;
+
+    let warm_until = Instant::now() + c.warm_up_time;
+    b.mode = Mode::WarmUp;
+    while Instant::now() < warm_until {
+        f(&mut b);
+    }
+
+    b.mode = Mode::Measure;
+    b.iters_per_sample = iters;
+    f(&mut b);
+
+    let per_iter: Vec<f64> = b.samples.iter().map(|d| d.as_secs_f64() / iters as f64).collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let min = per_iter.iter().copied().fold(f64::INFINITY, f64::min);
+    println!(
+        "{label:<48} min {:>12}  mean {:>12}  ({} samples x {iters} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        per_iter.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Define a benchmark group: both the `name/config/targets` form and the
+/// positional form are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::std::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,147 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of proptest the GNNIE test suites use:
+//!
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_flat_map`, and `prop_filter`;
+//! * range, tuple, [`Just`](strategy::Just), [`any`](arbitrary::any),
+//!   and [`collection::vec`] strategies;
+//! * the [`proptest!`] test macro with `#![proptest_config(..)]`, and
+//!   the [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//!   [`prop_oneof!`] macros.
+//!
+//! Differences from the real crate, deliberately accepted for an
+//! offline build:
+//!
+//! * **no shrinking** — a failing case reports the generated inputs via
+//!   `Debug` (when available) but is not minimized;
+//! * **fixed derivation of the RNG seed** per test function, so runs are
+//!   reproducible by default (the real crate randomizes unless
+//!   `PROPTEST_RNG_SEED` is set). Set `PROPTEST_CASES` to override the
+//!   case count globally.
+//!
+//! Swap back to the real crate by repointing `[workspace.dependencies]
+//! proptest` at crates.io; the test sources are unchanged.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Re-exports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Path alias so `prop::collection::vec(..)` works after a glob
+    /// import, as with the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// The property-test macro: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated
+/// inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let cases = config.effective_cases();
+                // Deterministic per-test seed: derived from the test
+                // name so distinct tests explore distinct streams.
+                let mut rng = $crate::test_runner::rng_for(stringify!($name));
+                for case in 0..cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "proptest case {}/{} of `{}` failed: {}",
+                            case + 1, cases, stringify!($name), e,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args..)`: on
+/// failure, return a [`test_runner::TestCaseError`] from the enclosing
+/// proptest body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(::std::format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{} ({:?} != {:?})", ::std::format!($($fmt)+), a, b);
+    }};
+}
+
+/// `prop_assert_ne!(a, b)` with an optional trailing format message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{} ({:?} == {:?})", ::std::format!($($fmt)+), a, b);
+    }};
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type: `prop_oneof![3 => s1, 1 => s2]` or `prop_oneof![s1, s2]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -1,0 +1,229 @@
+//! Offline stand-in for `rand` 0.9.
+//!
+//! Implements exactly the API surface the GNNIE workspace uses —
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], [`Rng::random`],
+//! [`Rng::random_range`], and [`seq::index::sample`] — over a
+//! xoshiro256++ generator seeded by SplitMix64. Deterministic for a
+//! given seed, like the real `StdRng`, which is all the simulator needs:
+//! every dataset synthesizer and parameter initializer takes an explicit
+//! seed so experiments are reproducible.
+//!
+//! Not a cryptographic generator and not stream-compatible with the real
+//! `StdRng` (ChaCha12); reseeding the shim swaps the stream, not the
+//! statistics. To use the real crate, repoint `[workspace.dependencies]
+//! rand` at crates.io; call sites are unchanged.
+
+pub mod rngs;
+pub mod seq;
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits (upper half of
+    /// [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling conveniences over any [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T` (floats in `[0, 1)`).
+    fn random<T: FromRandomBits>(&mut self) -> T {
+        T::from_random_bits(self.next_u64())
+    }
+
+    /// A uniform value in `range` (`lo..hi` or `lo..=hi`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types constructible from 64 uniform bits ("standard" distribution).
+pub trait FromRandomBits {
+    /// Map 64 uniform bits to a uniform value of `Self`.
+    fn from_random_bits(bits: u64) -> Self;
+}
+
+impl FromRandomBits for f64 {
+    fn from_random_bits(bits: u64) -> f64 {
+        // 53 explicit mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandomBits for f32 {
+    fn from_random_bits(bits: u64) -> f32 {
+        // 24 bits -> uniform in [0, 1).
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl FromRandomBits for bool {
+    fn from_random_bits(bits: u64) -> bool {
+        // Use a high bit; low bits of some generators are weaker.
+        bits >> 63 == 1
+    }
+}
+
+impl FromRandomBits for u64 {
+    fn from_random_bits(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl FromRandomBits for u32 {
+    fn from_random_bits(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl FromRandomBits for usize {
+    fn from_random_bits(bits: u64) -> usize {
+        bits as usize
+    }
+}
+
+/// Ranges that can produce a uniform sample, mirroring
+/// `rand::distr::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Rejection-free (modulo) integer sampling. The bias for test-sized
+/// spans (`span << 2^64`) is far below anything the simulator's
+/// statistics can resolve.
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit: $t = FromRandomBits::from_random_bits(rng.next_u64());
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit: $t = FromRandomBits::from_random_bits(rng.next_u64());
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    fn mean_of(n: usize, mut f: impl FnMut() -> f64) -> f64 {
+        (0..n).map(|_| f()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn floats_are_unit_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = mean_of(10_000, || rng.random::<f64>());
+        assert!((m - 0.5).abs() < 0.02, "mean {m}");
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x: f32 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-4i64..=4);
+            assert!((-4..=4).contains(&y));
+            let z = rng.random_range(-2.5f32..=2.5);
+            assert!((-2.5..=2.5).contains(&z));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn index_sample_is_a_distinct_subset() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let k = rng.random_range(0usize..=12);
+            let picked = super::seq::index::sample(&mut rng, 12, k).into_vec();
+            assert_eq!(picked.len(), k);
+            let mut sorted = picked.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {picked:?}");
+            assert!(picked.iter().all(|&i| i < 12));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Sequence sampling (`rand::seq` stand-in).
+
+/// Index sampling without replacement (`rand::seq::index` stand-in).
+pub mod index {
+    use crate::RngCore;
+
+    /// The result of [`sample`]: `amount` distinct indices in
+    /// `0..length`.
+    #[derive(Debug, Clone)]
+    pub struct IndexVec(Vec<usize>);
+
+    impl IndexVec {
+        /// The sampled indices, in selection order.
+        pub fn into_vec(self) -> Vec<usize> {
+            self.0
+        }
+
+        /// Number of sampled indices.
+        pub fn len(&self) -> usize {
+            self.0.len()
+        }
+
+        /// Whether the sample is empty.
+        pub fn is_empty(&self) -> bool {
+            self.0.is_empty()
+        }
+
+        /// Iterate over the sampled indices.
+        pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+            self.0.iter().copied()
+        }
+    }
+
+    /// Sample `amount` distinct indices uniformly from `0..length` by
+    /// partial Fisher–Yates shuffle.
+    ///
+    /// # Panics
+    /// Panics if `amount > length`, matching the real `rand`.
+    pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+        assert!(amount <= length, "cannot sample {amount} indices from {length}");
+        let mut idx: Vec<usize> = (0..length).collect();
+        for i in 0..amount {
+            let j = i + (rng.next_u64() as usize) % (length - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(amount);
+        IndexVec(idx)
+    }
+}

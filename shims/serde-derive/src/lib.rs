@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace marks its public data types `#[derive(Serialize,
+//! Deserialize)]` so that downstream users (and future PRs adding JSON
+//! report emission) get serialization for free. This build environment
+//! has no registry access, so these derives expand to **nothing** — the
+//! `serde` shim provides blanket trait impls instead (see
+//! `shims/serde/src/lib.rs`). The `attributes(serde)` registration keeps
+//! field annotations like `#[serde(default = "...")]` parsing.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,25 @@
+//! Offline stand-in for `serde`.
+//!
+//! The GNNIE workspace derives `Serialize`/`Deserialize` on its public
+//! data types but (so far) never serializes anything — no `serde_json`,
+//! no wire format. This shim keeps those derives compiling without
+//! registry access:
+//!
+//! * the derive macros (re-exported from the `serde_derive` shim) expand
+//!   to nothing;
+//! * the `Serialize`/`Deserialize` traits exist with blanket impls, so
+//!   any `T: Serialize` bound a future caller writes is satisfiable.
+//!
+//! When a PR actually needs serialization, point
+//! `[workspace.dependencies] serde` back at crates.io and delete this
+//! shim; the call sites will not change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}

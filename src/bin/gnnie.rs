@@ -22,7 +22,26 @@ use gnnie::graph::{generate, SyntheticDataset};
 use gnnie::tensor::DenseMatrix;
 use gnnie::{AcceleratorConfig, Dataset, Engine, GnnModel};
 
+/// Restore the default SIGPIPE disposition so `gnnie ... | head` exits
+/// quietly instead of panicking on a closed pipe (Rust ignores SIGPIPE by
+/// default). Declared directly to stay dependency-free.
+#[cfg(unix)]
+fn reset_sigpipe() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGPIPE: i32 = 13;
+    const SIG_DFL: usize = 0;
+    unsafe {
+        signal(SIGPIPE, SIG_DFL);
+    }
+}
+
+#[cfg(not(unix))]
+fn reset_sigpipe() {}
+
 fn main() -> ExitCode {
+    reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         usage();
@@ -210,10 +229,7 @@ fn cmd_compare(flags: &HashMap<String, String>) -> Result<(), String> {
     let seed = parse_seed(flags)?;
     let ds = SyntheticDataset::generate(dataset, scale, seed);
     let engine = Engine::new(AcceleratorConfig::paper(dataset));
-    println!(
-        "{} (scale {scale:.2}) — speedups over GNNIE per platform",
-        dataset.name()
-    );
+    println!("{} (scale {scale:.2}) — speedups over GNNIE per platform", dataset.name());
     println!(
         "{:10} {:>12} {:>10} {:>10} {:>9} {:>9}",
         "model", "GNNIE", "PyG-CPU", "PyG-GPU", "HyGCN", "AWB-GCN"

@@ -16,7 +16,11 @@ use gnnie::tensor::{CsrMatrix, DenseMatrix, SparseVec};
 use gnnie::Dataset;
 
 /// Wraps a custom graph + features into an engine-consumable dataset.
-fn custom_dataset(graph: CsrGraph, feature_len: usize, density_period: usize) -> SyntheticDataset {
+fn custom_dataset(
+    graph: CsrGraph,
+    feature_len: usize,
+    density_period: usize,
+) -> SyntheticDataset {
     let n = graph.num_vertices();
     let rows: Vec<SparseVec> = (0..n)
         .map(|v| {

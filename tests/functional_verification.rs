@@ -23,8 +23,7 @@ fn verify_model_on(
 ) {
     let params = ModelParams::init(ModelConfig::custom(model, widths), seed);
     let h0 = features(graph.num_vertices(), widths[0], 0.11);
-    let outcome =
-        verify_layers(&params.layers, graph, &h0, 16, 5, &ExpMode::Exact);
+    let outcome = verify_layers(&params.layers, graph, &h0, 16, 5, &ExpMode::Exact);
     assert!(
         outcome.passed(tol),
         "{model} failed verification: per-layer errors {:?}",
@@ -67,14 +66,8 @@ fn gat_datapath_with_lut_exp_stays_within_hardware_tolerance() {
     let g = generate::erdos_renyi(150, 600, 37);
     let params = ModelParams::init(ModelConfig::custom(GnnModel::Gat, &[16, 8]), 41);
     let h0 = features(150, 16, 0.1);
-    let outcome = verify_layers(
-        &params.layers,
-        &g,
-        &h0,
-        16,
-        5,
-        &ExpMode::Lut(ExpLut::default()),
-    );
+    let outcome =
+        verify_layers(&params.layers, &g, &h0, 16, 5, &ExpMode::Lut(ExpLut::default()));
     assert!(
         outcome.passed(0.05),
         "LUT-exp softmax should stay within 5%: {:?}",

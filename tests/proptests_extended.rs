@@ -9,9 +9,7 @@ use gnnie::core::config::AcceleratorConfig;
 use gnnie::core::cpe::CpeArray;
 use gnnie::core::engine::Engine;
 use gnnie::core::mpe::psum_stall_cycles;
-use gnnie::core::noc::{
-    awb_rebalance_traffic, lr_traffic, AwbRebalanceParams, Topology,
-};
+use gnnie::core::noc::{awb_rebalance_traffic, lr_traffic, AwbRebalanceParams, Topology};
 use gnnie::core::verify::{verify_layers, ExpMode};
 use gnnie::core::weighting::{schedule, BlockProfile, WeightingMode};
 use gnnie::gnn::model::{GnnModel, ModelConfig};
@@ -24,7 +22,10 @@ use gnnie::tensor::{DenseMatrix, SparseVec};
 use gnnie::Dataset;
 
 fn arb_graph(max_v: usize, max_e: usize) -> impl Strategy<Value = CsrGraph> {
-    (4usize..max_v, proptest::collection::vec((0u32..max_v as u32, 0u32..max_v as u32), 1..max_e))
+    (
+        4usize..max_v,
+        proptest::collection::vec((0u32..max_v as u32, 0u32..max_v as u32), 1..max_e),
+    )
         .prop_map(|(n, pairs)| {
             let mut edges = EdgeList::new(n);
             for (a, b) in pairs {
