@@ -134,6 +134,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn peak_ratios_are_sane() {
         // GPU ≈ 14× CPU peak; both positive.
         assert!(GPU_PEAK_FLOPS / CPU_PEAK_FLOPS > 10.0);
@@ -142,6 +143,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn sampling_penalty_is_worse_on_gpu() {
         assert!(GPU_SAMPLE_OVERHEAD_S_PER_EDGE > CPU_SAMPLE_OVERHEAD_S_PER_EDGE);
     }

@@ -1,0 +1,6 @@
+//! Regenerates the ablation; see `gnnie_bench::experiments::ablation_cache_policy`.
+
+fn main() {
+    let ctx = gnnie_bench::Ctx::from_env();
+    gnnie_bench::experiments::ablation_cache_policy::run(&ctx).print();
+}

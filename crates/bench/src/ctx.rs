@@ -10,7 +10,7 @@ use gnnie_gnn::model::{GnnModel, ModelConfig};
 use gnnie_graph::{Dataset, SyntheticDataset};
 
 /// Default seed for all harness runs (the experiments are deterministic).
-pub const HARNESS_SEED: u64 = 0xD0C5_EED;
+pub const HARNESS_SEED: u64 = 0x0D0C_5EED;
 
 /// The experiment context: scaling policy plus a dataset cache so the
 /// expensive generators run once per process.

@@ -5,6 +5,7 @@
 
 pub mod ablation_attention;
 pub mod ablation_buffers;
+pub mod ablation_cache_policy;
 pub mod ablation_comm;
 pub mod ablation_lut;
 pub mod ablation_multihead;

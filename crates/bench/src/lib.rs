@@ -44,8 +44,12 @@ impl ExperimentResult {
     }
 }
 
+/// An experiment entry point: regenerates one artifact from the shared
+/// context.
+pub type ExperimentFn = fn(&Ctx) -> ExperimentResult;
+
 /// Every experiment in paper order, as `(id, runner)` pairs.
-pub fn all_experiments() -> Vec<(&'static str, fn(&Ctx) -> ExperimentResult)> {
+pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
     vec![
         ("fig01", experiments::fig01_accuracy::run),
         ("table2", experiments::table2_datasets::run),
@@ -66,6 +70,7 @@ pub fn all_experiments() -> Vec<(&'static str, fn(&Ctx) -> ExperimentResult)> {
         // calls out: attention reordering, exp-LUT sizing, 8-bit weights).
         ("ablation_attention", experiments::ablation_attention::run),
         ("ablation_buffers", experiments::ablation_buffers::run),
+        ("ablation_cache_policy", experiments::ablation_cache_policy::run),
         ("ablation_comm", experiments::ablation_comm::run),
         ("ablation_lut", experiments::ablation_lut::run),
         ("ablation_multihead", experiments::ablation_multihead::run),

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use gnnie_graph::CsrGraph;
 use gnnie_mem::cache::IterationStats;
-use gnnie_mem::{CacheConfig, CacheSimResult, DegreeAwareCache, DoubleBuffer, HbmModel};
+use gnnie_mem::{CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel};
 
 use crate::config::AcceleratorConfig;
 use crate::cpe::{div_ceil, CpeArray};
@@ -145,7 +145,10 @@ pub fn simulate_aggregation(
     let (iteration_stats, cache, cache_dram_cycles) = if cfg.enable_cache_policy {
         let mut cache_cfg = CacheConfig::with_capacity(capacity, payload);
         cache_cfg.gamma = cfg.gamma;
-        let result = DegreeAwareCache::new(graph, cache_cfg).run(dram);
+        // The replacement decision is pluggable (`AcceleratorConfig::
+        // cache_policy`); the walk and its traffic accounting are shared.
+        let mut policy = cfg.cache_policy.instantiate();
+        let result = CacheSim::new(graph, cache_cfg).run(policy.as_mut(), dram);
         let cycles = result.dram_cycles;
         (result.iteration_stats.clone(), Some(result), cycles)
     } else {
@@ -345,6 +348,27 @@ mod tests {
             cp.dram_cycles,
             base.dram_cycles
         );
+    }
+
+    #[test]
+    fn every_cache_policy_kind_completes_the_same_workload() {
+        use gnnie_mem::CachePolicyKind;
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(600, 4000, 2.0, 13));
+        // A small buffer so the policies actually have to evict.
+        cfg.input_buffer_bytes = 32 * 1024;
+        let params = AggregationParams { f_out: 64, is_gat: false };
+        for kind in CachePolicyKind::ALL {
+            cfg.cache_policy = kind;
+            let r = run(&cfg, &arr, &g, params);
+            let cache = r.cache.as_ref().expect("cache policy enabled");
+            assert!(cache.completed, "{kind}");
+            assert_eq!(cache.policy, kind.name(), "{kind}");
+            assert_eq!(r.edge_updates, 2 * g.num_edges() as u64, "{kind}");
+            if kind == CachePolicyKind::Paper {
+                assert_eq!(cache.counters.random_bytes(), 0, "paper stays sequential");
+            }
+        }
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use serde::{Deserialize, Serialize};
 
 use gnnie_graph::Dataset;
+use gnnie_mem::cache::CachePolicyKind;
 
 /// A group of CPE rows sharing a MAC count (the FM architecture, §IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -105,6 +106,10 @@ pub struct AcceleratorConfig {
     /// Enable the degree-aware cache replacement policy (CP); when off,
     /// vertices are processed in id order with random DRAM fetches.
     pub enable_cache_policy: bool,
+    /// Which replacement policy drives the cache walk when
+    /// `enable_cache_policy` is on (the paper's α/γ policy, or one of the
+    /// LRU/LFU/Belady ablation comparators).
+    pub cache_policy: CachePolicyKind,
 }
 
 impl AcceleratorConfig {
@@ -136,6 +141,7 @@ impl AcceleratorConfig {
             enable_lr: design == Design::E,
             enable_agg_lb: true,
             enable_cache_policy: true,
+            cache_policy: CachePolicyKind::Paper,
         }
     }
 
@@ -313,5 +319,16 @@ mod tests {
     #[test]
     fn design_display() {
         assert_eq!(Design::E.to_string(), "Design E");
+    }
+
+    #[test]
+    fn paper_config_selects_the_paper_cache_policy() {
+        let cfg = AcceleratorConfig::paper(Dataset::Cora);
+        assert_eq!(cfg.cache_policy, CachePolicyKind::Paper);
+        // Ablation comparators swap in without touching anything else.
+        let mut ablated = cfg.clone();
+        ablated.cache_policy = CachePolicyKind::Belady;
+        ablated.validate();
+        assert_eq!(ablated.total_macs(), cfg.total_macs());
     }
 }

@@ -537,6 +537,29 @@ mod tests {
     }
 
     #[test]
+    fn cache_policy_selection_threads_through_the_engine() {
+        use gnnie_mem::CachePolicyKind;
+        let ds = small(Dataset::Cora, 0.2);
+        let mc = ModelConfig::paper(GnnModel::Gcn, &ds.spec);
+        let mut cycles_by_kind = Vec::new();
+        for kind in CachePolicyKind::ALL {
+            let mut cfg = AcceleratorConfig::paper(Dataset::Cora);
+            cfg.cache_policy = kind;
+            let r = Engine::new(cfg).run(&mc, &ds);
+            for layer in &r.layers {
+                let cache = layer.aggregation.cache.as_ref().expect("cache policy enabled");
+                assert!(cache.completed, "{kind}");
+                assert_eq!(cache.policy, kind.name());
+            }
+            if kind == CachePolicyKind::Paper {
+                assert_eq!(r.dram.random_bytes(), 0, "paper policy keeps DRAM sequential");
+            }
+            cycles_by_kind.push(r.total_cycles);
+        }
+        assert!(cycles_by_kind.iter().all(|&c| c > 0));
+    }
+
+    #[test]
     fn determinism_same_seed_same_report() {
         let ds = small(Dataset::Citeseer, 0.2);
         let a = run(GnnModel::Gat, &ds);

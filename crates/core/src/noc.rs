@@ -400,7 +400,7 @@ mod tests {
         assert_eq!(l.words, 150);
         assert_eq!(l.word_hops, 350);
         let link = LinkParams::default();
-        assert_eq!(l.cycles(&link), (350 + 10 + 15) / 16);
+        assert_eq!(l.cycles(&link), (350u64 + 10).div_ceil(16));
         assert!((l.energy_pj(&link) - 360.0 * 0.06).abs() < 1e-9);
     }
 

@@ -122,8 +122,8 @@ pub fn functional_aggregate_gcn(
     let n = graph.num_vertices();
     let inv: Vec<f32> = (0..n).map(|u| 1.0 / ((graph.degree(u) as f32 + 1.0).sqrt())).collect();
     let mut out = DenseMatrix::zeros(n, hw.cols());
-    for i in 0..n {
-        out.axpy_row(i, inv[i] * inv[i], hw.row(i));
+    for (i, &inv_i) in inv.iter().enumerate() {
+        out.axpy_row(i, inv_i * inv_i, hw.row(i));
     }
     cache_edge_walk(graph, capacity, gamma, |u, vx| {
         let (u, vx) = (u as usize, vx as usize);
@@ -195,8 +195,7 @@ pub fn functional_aggregate_gat(
         den[vx] += svu;
     });
     // Final SFU divide.
-    for i in 0..n {
-        let d = den[i];
+    for (i, &d) in den.iter().enumerate() {
         for x in num.row_mut(i) {
             *x /= d;
         }

@@ -592,12 +592,12 @@ mod tests {
         let layer = GatLayer::new(w.clone(), attn.clone());
         let hw = h.matmul(&w).unwrap();
         let (e1, e2) = layer.attention_partials(&hw);
-        for i in 0..3 {
-            for j in 0..3 {
+        for (i, &e1_i) in e1.iter().enumerate() {
+            for (j, &e2_j) in e2.iter().enumerate() {
                 let concat: Vec<f32> = hw.row(i).iter().chain(hw.row(j)).copied().collect();
                 let direct: f32 = attn.iter().zip(&concat).map(|(a, x)| a * x).sum();
                 assert!(
-                    (direct - (e1[i] + e2[j])).abs() < 1e-5,
+                    (direct - (e1_i + e2_j)).abs() < 1e-5,
                     "reordered e_ij must equal the concatenated inner product"
                 );
             }

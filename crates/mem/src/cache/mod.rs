@@ -1,27 +1,40 @@
-//! The degree-aware vertex cache of paper §VI.
+//! The degree-aware vertex cache of paper §VI, restructured around a
+//! pluggable replacement policy.
 //!
-//! GNNIE's Aggregation processes a *dynamic subgraph*: the vertices resident
-//! in the input buffer plus the edges between them. The policy:
+//! GNNIE's Aggregation processes a *dynamic subgraph*: the vertices
+//! resident in the input buffer plus the edges between them. The parts
+//! every policy shares live in the policy-agnostic [`CacheSim`]:
 //!
 //! * vertices are stored in DRAM contiguously in **descending degree
 //!   order** (preprocessing, `gnnie_graph::reorder`), so every fetch is
-//!   sequential;
+//!   part of a sequential sweep;
 //! * each vertex `v` tracks `α_v`, its number of **unprocessed edges**
 //!   (initially its degree, decremented per processed edge);
-//! * after each iteration, vertices with `α < γ` are evicted (up to `r` per
-//!   iteration, dictionary order) and replaced by the next vertices in the
-//!   DRAM stream;
 //! * when the stream pointer wraps, a **Round** completes; fully-processed
 //!   cache blocks are skipped on later Rounds;
-//! * deadlock (a full cache where nothing is evictable) is detected and
-//!   resolved by raising γ dynamically, exactly as §VI prescribes.
+//! * zero-progress Rounds trigger a liveness recovery pass, so the walk
+//!   terminates under *any* policy.
 //!
-//! The simulator processes an edge as soon as both endpoints coexist in the
-//! cache — the incremental equivalent of "process all unprocessed edges in
-//! the subgraph each iteration" — and therefore guarantees that **random
-//! accesses never reach DRAM**: every DRAM transfer it issues is
-//! sequential. The identity-order baseline ([`simulate_id_order_baseline`])
-//! shows what happens without the policy: per-neighbor random fetches.
+//! The *replacement decision* — which resident vertices leave, and in
+//! what order — is a [`CachePolicy`]. The paper's α/γ policy
+//! ([`PaperAlphaGamma`], with dynamic γ deadlock resolution exactly as
+//! §VI prescribes) is one implementation next to the [`Lru`], [`Lfu`],
+//! and offline [`BeladyOracle`] comparators, selected by
+//! [`CachePolicyKind`]. Because dictionary-order eviction of nearly-done
+//! vertices keeps every writeback and reload in stream order, the paper's
+//! policy guarantees that **random accesses never reach DRAM** — the
+//! other policies generally scatter theirs, which is precisely what the
+//! cache-policy ablation in `gnnie-bench` quantifies. The identity-order
+//! baseline ([`simulate_id_order_baseline`]) shows what happens with no
+//! cache policy at all: per-neighbor random fetches.
+
+pub mod policy;
+pub mod sim;
+
+pub use policy::{
+    BeladyOracle, CachePolicy, CachePolicyKind, Lfu, Lru, PaperAlphaGamma, PolicyCtx,
+};
+pub use sim::CacheSim;
 
 use serde::{Deserialize, Serialize};
 
@@ -30,7 +43,7 @@ use gnnie_tensor::stats::Histogram;
 
 use crate::dram::{DramCounters, HbmModel};
 
-/// Configuration for the degree-aware cache simulation.
+/// Configuration for the cache simulation (shared by every policy).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheConfig {
     /// Number of vertices the input buffer holds (derived from its byte
@@ -38,7 +51,8 @@ pub struct CacheConfig {
     pub capacity_vertices: usize,
     /// `r`: maximum vertices replaced per iteration.
     pub evict_per_iteration: usize,
-    /// `γ`: eviction threshold on the unprocessed-edge count.
+    /// `γ`: eviction threshold on the unprocessed-edge count (used by
+    /// [`PaperAlphaGamma`]; other policies ignore it).
     pub gamma: u32,
     /// Vertices per DRAM cache block; a block is skipped on refetch when
     /// all of its vertices are fully processed (paper §VI).
@@ -55,8 +69,9 @@ pub struct CacheConfig {
 
 impl CacheConfig {
     /// A reasonable default for a buffer of `capacity_vertices` vertices:
-    /// `r = capacity/16`, `γ = 5` (the paper's static choice), 4-vertex
-    /// blocks (4-way set associativity).
+    /// `r = capacity/16` clamped to at least 1 (tiny buffers must still
+    /// evict), `γ = 5` (the paper's static choice), 4-vertex blocks
+    /// (4-way set associativity).
     pub fn with_capacity(capacity_vertices: usize, feature_bytes_per_vertex: u64) -> Self {
         Self {
             capacity_vertices,
@@ -94,6 +109,8 @@ pub struct IterationStats {
 /// Outcome of a cache simulation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CacheSimResult {
+    /// Name of the policy that drove the walk (see [`CachePolicy::name`]).
+    pub policy: String,
     /// `true` if every edge was processed within the iteration budget.
     pub completed: bool,
     /// Total fetch/evict iterations.
@@ -116,9 +133,10 @@ pub struct CacheSimResult {
     /// DRAM channel cycles consumed by cache traffic.
     pub dram_cycles: u64,
     /// γ at the end (greater than the configured γ if deadlock forced
-    /// dynamic raises).
+    /// dynamic raises; the configured γ for policies without one).
     pub final_gamma: u32,
-    /// Number of dynamic γ raises.
+    /// Number of policy deadlock adaptations (dynamic γ raises for the
+    /// paper policy).
     pub gamma_raises: u32,
     /// Liveness recovery rounds taken after zero-progress rounds (pin the
     /// earliest unprocessed vertices, stream the rest past them).
@@ -164,12 +182,12 @@ pub fn build_edge_index(g: &CsrGraph) -> Vec<u32> {
     ids
 }
 
-/// The §VI cache policy simulator. See the module docs for the algorithm.
+/// The paper's §VI cache simulator: a [`CacheSim`] walk driven by the
+/// [`PaperAlphaGamma`] policy. Kept as the convenience front door for the
+/// common case; use [`CacheSim`] directly to run other policies.
 #[derive(Debug)]
 pub struct DegreeAwareCache<'a> {
-    graph: &'a CsrGraph,
-    config: CacheConfig,
-    edge_ids: Vec<u32>,
+    sim: CacheSim<'a>,
 }
 
 impl<'a> DegreeAwareCache<'a> {
@@ -180,9 +198,7 @@ impl<'a> DegreeAwareCache<'a> {
     ///
     /// Panics if the configuration is invalid.
     pub fn new(graph: &'a CsrGraph, config: CacheConfig) -> Self {
-        config.validate();
-        let edge_ids = build_edge_index(graph);
-        Self { graph, config, edge_ids }
+        Self { sim: CacheSim::new(graph, config) }
     }
 
     /// Runs the simulation, charging DRAM traffic to `dram`.
@@ -197,319 +213,18 @@ impl<'a> DegreeAwareCache<'a> {
     pub fn run_with(
         &self,
         dram: &mut HbmModel,
-        mut on_edge: impl FnMut(u32, u32),
+        on_edge: impl FnMut(u32, u32),
     ) -> CacheSimResult {
-        let g = self.graph;
-        let cfg = &self.config;
-        let n = g.num_vertices();
-        let total_edges = g.num_edges() as u64;
-        let offsets = g.offsets();
-
-        let mut alpha: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
-        let mut in_cache = vec![false; n];
-        let mut pinned = vec![false; n];
-        let mut cached: Vec<u32> = Vec::with_capacity(cfg.capacity_vertices);
-        let mut edge_done = vec![false; g.num_edges()];
-        // Scratch for per-iteration per-vertex edge counts.
-        let mut iter_edge_count = vec![0u32; n];
-        let mut touched: Vec<u32> = Vec::new();
-
-        let mut result = CacheSimResult {
-            completed: false,
-            iterations: 0,
-            rounds: 0,
-            edges_processed: 0,
-            evictions: 0,
-            partial_spills: 0,
-            refetches: 0,
-            fetched_vertices: 0,
-            skipped_blocks: 0,
-            dram_cycles: 0,
-            final_gamma: cfg.gamma,
-            gamma_raises: 0,
-            recovery_rounds: 0,
-            alpha_histograms: Vec::new(),
-            iteration_stats: Vec::new(),
-            counters: DramCounters::default(),
-        };
-
-        // Eviction bookkeeping shared by the normal policy, the recovery
-        // flush, and the recovery exit.
-        fn evict_one(
-            v: usize,
-            g: &CsrGraph,
-            cfg: &CacheConfig,
-            alpha: &[u32],
-            in_cache: &mut [bool],
-            result: &mut CacheSimResult,
-            dram: &mut HbmModel,
-        ) {
-            in_cache[v] = false;
-            result.evictions += 1;
-            if alpha[v] == 0 {
-                // Fully aggregated: final result leaves through the output
-                // buffer (charged by the engine), and the alpha word is
-                // retired.
-                return;
-            }
-            // Unfinished: write back alpha and spill the partial sum.
-            // Numerator/denominator live adjacently for locality (section VI),
-            // so the spill streams sequentially.
-            result.dram_cycles += dram.write_seq(4);
-            if alpha[v] < g.degree(v) as u32 {
-                result.dram_cycles += dram.write_seq(cfg.psum_bytes_per_vertex);
-                result.partial_spills += 1;
-            }
-        }
-
-        let mut gamma = cfg.gamma;
-        let mut stream_pos = 0usize; // next DRAM position to consider
-        let mut edges_this_round = 0u64;
-        let mut recovery_pending = false;
-        let mut recovery_active = false;
-        let mut recovery_exit = false;
-        let max_alpha0 = alpha.iter().copied().max().unwrap_or(0).max(1);
-        // Guard: generous bound on iterations so a policy bug cannot hang
-        // (recovery rounds guarantee progress long before this trips).
-        let max_iterations =
-            64 * (n as u64 / cfg.evict_per_iteration as u64 + 1) + 32 * (n as u64 + 32);
-        let before = *dram.counters();
-
-        while result.edges_processed < total_edges && result.iterations < max_iterations {
-            result.iterations += 1;
-            let mut arrivals: Vec<u32> = Vec::new();
-
-            // --- Recovery exit: the pinned round has seen the full stream;
-            // the pinned vertices are fully aggregated. Release them.
-            if recovery_exit {
-                recovery_exit = false;
-                recovery_active = false;
-                cached.retain(|&v| {
-                    let vi = v as usize;
-                    if pinned[vi] {
-                        pinned[vi] = false;
-                        evict_one(vi, g, cfg, &alpha, &mut in_cache, &mut result, dram);
-                        false
-                    } else {
-                        true
-                    }
-                });
-            }
-
-            // --- Recovery entry (liveness, section VI dynamic scheme): a full
-            // round made no progress, so plain gamma adjustment cannot help
-            // (the stuck edges' endpoints never coexist). Flush the cache,
-            // pin the earliest unprocessed vertices in stream order, and
-            // stream everyone else past them for one round: every edge
-            // incident to a pinned vertex completes, guaranteeing progress.
-            if recovery_pending {
-                recovery_pending = false;
-                recovery_active = true;
-                result.recovery_rounds += 1;
-                for &v in &cached {
-                    evict_one(v as usize, g, cfg, &alpha, &mut in_cache, &mut result, dram);
-                }
-                cached.clear();
-                let quota = (cfg.capacity_vertices / 2).max(1);
-                let mut pos = 0usize;
-                while cached.len() < quota && pos < n {
-                    if alpha[pos] > 0 {
-                        let bytes = cfg.feature_bytes_per_vertex + 4 * g.degree(pos) as u64 + 4;
-                        result.dram_cycles += dram.read_seq(bytes);
-                        in_cache[pos] = true;
-                        pinned[pos] = true;
-                        cached.push(pos as u32);
-                        arrivals.push(pos as u32);
-                        result.fetched_vertices += 1;
-                        result.refetches += 1;
-                    }
-                    pos += 1;
-                }
-                stream_pos = pos;
-            }
-
-            // --- Fetch phase: fill free slots from the sequential stream.
-            let mut free = cfg.capacity_vertices - cached.len();
-            // A fetch pass may wrap the stream at most once per iteration.
-            let mut wrapped_this_iter = false;
-            while free > 0 {
-                if stream_pos >= n {
-                    // Round boundary.
-                    stream_pos = 0;
-                    result.rounds += 1;
-                    if (result.alpha_histograms.len()) < cfg.max_alpha_hist_rounds {
-                        result.alpha_histograms.push(Histogram::from_values(
-                            0.0,
-                            (max_alpha0 + 1) as f64,
-                            128.min(max_alpha0 as usize + 1),
-                            alpha.iter().filter(|&&a| a > 0).map(|&a| a as f64),
-                        ));
-                    }
-                    if recovery_active {
-                        // The pinned round is complete; release the pins at
-                        // the top of the next iteration (this iteration's
-                        // arrivals still need processing).
-                        recovery_exit = true;
-                        break;
-                    }
-                    if wrapped_this_iter {
-                        // Nothing fetchable anywhere in the stream.
-                        break;
-                    }
-                    wrapped_this_iter = true;
-                    // Zero-progress round with work remaining: schedule a
-                    // recovery round (gamma alone cannot fix a thrashing
-                    // working set).
-                    if edges_this_round == 0 && result.edges_processed < total_edges {
-                        recovery_pending = true;
-                        break;
-                    }
-                    edges_this_round = 0;
-                }
-                // Block skipping: if the whole block starting here is done,
-                // jump it without traffic.
-                if stream_pos % cfg.vertices_per_block == 0 {
-                    let end = (stream_pos + cfg.vertices_per_block).min(n);
-                    if (stream_pos..end).all(|v| alpha[v] == 0 || in_cache[v]) {
-                        if (stream_pos..end).any(|v| alpha[v] == 0) {
-                            result.skipped_blocks += 1;
-                        }
-                        stream_pos = end;
-                        continue;
-                    }
-                }
-                let v = stream_pos;
-                stream_pos += 1;
-                if alpha[v] == 0 || in_cache[v] {
-                    continue;
-                }
-                // Sequential fetch of the vertex payload: features +
-                // connectivity (4 B per neighbor) + alpha word.
-                let bytes = cfg.feature_bytes_per_vertex + 4 * g.degree(v) as u64 + 4;
-                result.dram_cycles += dram.read_seq(bytes);
-                in_cache[v] = true;
-                cached.push(v as u32);
-                arrivals.push(v as u32);
-                result.fetched_vertices += 1;
-                if result.rounds > 0 {
-                    result.refetches += 1;
-                }
-                free -= 1;
-            }
-
-            // --- Process phase: edges between arrivals and the cache.
-            let mut iter_edges = 0u64;
-            for &w in &arrivals {
-                let w = w as usize;
-                for (i, &x) in g.neighbors(w).iter().enumerate() {
-                    let x = x as usize;
-                    if !in_cache[x] {
-                        continue;
-                    }
-                    let eid = self.edge_ids[offsets[w] + i] as usize;
-                    if edge_done[eid] {
-                        continue;
-                    }
-                    edge_done[eid] = true;
-                    alpha[w] -= 1;
-                    alpha[x] -= 1;
-                    on_edge(w as u32, x as u32);
-                    iter_edges += 1;
-                    for y in [w, x] {
-                        if iter_edge_count[y] == 0 {
-                            touched.push(y as u32);
-                        }
-                        iter_edge_count[y] += 1;
-                    }
-                }
-            }
-            result.edges_processed += iter_edges;
-            edges_this_round += iter_edges;
-            let max_vertex_edges =
-                touched.iter().map(|&v| iter_edge_count[v as usize]).max().unwrap_or(0);
-            // Vertices that just completed (alpha = 0) retire immediately:
-            // their aggregated result leaves through the output buffer and
-            // the slot frees for the stream (section VI: "when alpha_i = 0,
-            // h_i is fully computed"). Pinned vertices wait for the
-            // recovery exit instead.
-            let mut retired_any = false;
-            for &v in &touched {
-                let vi = v as usize;
-                iter_edge_count[vi] = 0;
-                if alpha[vi] == 0 && in_cache[vi] && !pinned[vi] {
-                    in_cache[vi] = false;
-                    retired_any = true;
-                }
-            }
-            if retired_any {
-                cached.retain(|&v| in_cache[v as usize]);
-            }
-            touched.clear();
-            result.iteration_stats.push(IterationStats {
-                edges: iter_edges,
-                arrivals: arrivals.len() as u32,
-                max_vertex_edges,
-            });
-
-            if result.edges_processed >= total_edges {
-                break;
-            }
-
-            // --- Evict phase.
-            if recovery_active {
-                // Stream mode: everything unpinned leaves so the next batch
-                // can flow past the pinned set.
-                cached.retain(|&v| {
-                    let vi = v as usize;
-                    if pinned[vi] {
-                        true
-                    } else {
-                        evict_one(vi, g, cfg, &alpha, &mut in_cache, &mut result, dram);
-                        false
-                    }
-                });
-                continue;
-            }
-            // Normal policy: replace up to r vertices with alpha < gamma
-            // per iteration, in dictionary order (section VI; fully
-            // processed vertices already retired above, so eviction only
-            // ever touches unfinished ones — the gamma knob of Fig. 11).
-            let mut candidates: Vec<u32> =
-                cached.iter().copied().filter(|&v| alpha[v as usize] < gamma).collect();
-            candidates.sort_unstable();
-            if candidates.is_empty() && cached.len() == cfg.capacity_vertices {
-                // Deadlock: full cache, nothing evictable. Raise gamma
-                // (section VI dynamic adjustment).
-                gamma = gamma.saturating_mul(2).max(gamma.saturating_add(1));
-                result.gamma_raises += 1;
-                continue;
-            }
-            for &v in candidates.iter().take(cfg.evict_per_iteration) {
-                let vi = v as usize;
-                let pos = cached.iter().position(|&c| c == v).expect("candidate is cached");
-                cached.swap_remove(pos);
-                evict_one(vi, g, cfg, &alpha, &mut in_cache, &mut result, dram);
-            }
-        }
-
-        result.completed = result.edges_processed == total_edges;
-        result.final_gamma = gamma;
-        let mut delta = *dram.counters();
-        // Attribute only this run's traffic.
-        delta.seq_read_bytes -= before.seq_read_bytes;
-        delta.seq_write_bytes -= before.seq_write_bytes;
-        delta.rand_read_bytes -= before.rand_read_bytes;
-        delta.rand_write_bytes -= before.rand_write_bytes;
-        delta.rand_transactions -= before.rand_transactions;
-        result.counters = delta;
-        result
+        let mut policy = PaperAlphaGamma::new();
+        self.sim.run_with(&mut policy, dram, on_edge)
     }
 }
 
 /// The no-caching baseline: vertices processed in **id order** with no
-/// degree reordering and no α/γ policy. Neighbors outside the currently
-/// buffered chunk are fetched from DRAM *randomly*, which is exactly the
-/// behaviour GNNIE's policy eliminates (used for Fig. 18's `CP` ablation).
+/// degree reordering and no replacement policy. Neighbors outside the
+/// currently buffered chunk are fetched from DRAM *randomly*, which is
+/// exactly the behaviour GNNIE's policy eliminates (used for Fig. 18's
+/// `CP` ablation).
 ///
 /// Returns `(iteration stats, dram cycles, counters)`.
 pub fn simulate_id_order_baseline(
@@ -747,5 +462,25 @@ mod tests {
         assert!(r.completed);
         assert_eq!(r.edges_processed, 0);
         assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn tiny_capacity_still_evicts_and_completes() {
+        // Regression: capacity < 16 must clamp `r` to 1, not 0 — an
+        // `evict_per_iteration` of 0 would make eviction a no-op and fail
+        // `validate`, so the walk could never replace anything.
+        for capacity in 2..16 {
+            let cfg = CacheConfig::with_capacity(capacity, 32);
+            assert!(cfg.evict_per_iteration >= 1, "capacity {capacity} left r = 0");
+        }
+        let g = reordered(&generate::powerlaw_chung_lu(120, 500, 2.0, 29));
+        for kind in CachePolicyKind::ALL {
+            let mut dram = HbmModel::hbm2_256gbps(1.3e9);
+            let mut policy = kind.instantiate();
+            let r = CacheSim::new(&g, CacheConfig::with_capacity(3, 32))
+                .run(policy.as_mut(), &mut dram);
+            assert!(r.completed, "{kind}: 3-vertex cache must still finish");
+            assert!(r.evictions > 0, "{kind}: a tiny cache must evict");
+        }
     }
 }

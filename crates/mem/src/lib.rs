@@ -13,10 +13,10 @@
 //!   that distinguishes sequential from random transactions.
 //! * [`SramBuffer`] / [`DoubleBuffer`] — on-chip buffer accounting with
 //!   CACTI-like energy scaling and double-buffered fetch overlap.
-//! * [`DegreeAwareCache`] — the paper's §VI caching policy: fetch vertices
-//!   in unprocessed-degree order, track per-vertex unprocessed-edge counts
-//!   (α), evict below the γ threshold, detect and resolve deadlock by
-//!   raising γ dynamically.
+//! * [`CacheSim`] — the policy-agnostic cache walk, with the replacement
+//!   decision behind the [`CachePolicy`] trait: the paper's §VI α/γ
+//!   policy ([`DegreeAwareCache`] is its convenience front door) next to
+//!   LRU/LFU/Belady comparators for the cache-policy ablation.
 //! * [`EnergyLedger`] — per-component energy bookkeeping for Fig. 14/15.
 
 pub mod cache;
@@ -26,7 +26,9 @@ pub mod psum;
 pub mod scheduler;
 pub mod sram;
 
-pub use cache::{CacheConfig, CacheSimResult, DegreeAwareCache};
+pub use cache::{
+    CacheConfig, CachePolicy, CachePolicyKind, CacheSim, CacheSimResult, DegreeAwareCache,
+};
 pub use dram::{DramCounters, HbmModel};
 pub use energy::{Component, EnergyLedger};
 pub use psum::{PsumBuffer, PsumStats, RetentionPolicy};

@@ -40,9 +40,9 @@ fn main() {
     let (e1, e2) = layer.attention_partials(&hw);
     let mut max_diff = 0.0f32;
     let mut edges_checked = 0u64;
-    for u in 0..g.num_vertices() {
+    for (u, &e1_u) in e1.iter().enumerate() {
         for &v in g.neighbors(u) {
-            let reordered = leaky_relu(e1[u] + e2[v as usize], 0.2);
+            let reordered = leaky_relu(e1_u + e2[v as usize], 0.2);
             let naive = naive_logit(&layer, &hw, u, v as usize);
             max_diff = max_diff.max((reordered - naive).abs());
             edges_checked += 1;

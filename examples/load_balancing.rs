@@ -17,7 +17,7 @@ use gnnie::graph::SyntheticDataset;
 use gnnie::Dataset;
 
 fn bar(cycles: u64, max: u64) -> String {
-    let width = if max == 0 { 0 } else { (cycles * 40 / max) as usize };
+    let width = (cycles * 40).checked_div(max).unwrap_or(0) as usize;
     "#".repeat(width)
 }
 

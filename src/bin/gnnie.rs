@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! gnnie run      --model gat --dataset cora [--scale 1.0] [--design e] [--seed 42] [--heads 8]
+//!                [--cache-policy paper|lru|lfu|belady]
 //! gnnie compare  --dataset pubmed [--scale 1.0]
 //! gnnie verify   --model gcn [--vertices 300] [--edges 1500] [--seed 42]
 //! gnnie comm     --dataset pubmed [--scale 1.0]
@@ -19,6 +20,7 @@ use gnnie::gnn::flops::ModelWorkload;
 use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
 use gnnie::graph::{generate, SyntheticDataset};
+use gnnie::mem::CachePolicyKind;
 use gnnie::tensor::DenseMatrix;
 use gnnie::{AcceleratorConfig, Dataset, Engine, GnnModel};
 
@@ -83,6 +85,7 @@ fn usage() {
          commands:\n\
          \x20 run      --model <gcn|sage|gat|gin|diffpool> --dataset <cr|cs|pb|ppi|rd>\n\
          \x20          [--scale 0.0-1.0] [--design a|b|c|d|e] [--seed N] [--heads K]\n\
+         \x20          [--cache-policy paper|lru|lfu|belady]\n\
          \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
          \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
          \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
@@ -150,6 +153,12 @@ fn parse_seed(flags: &HashMap<String, String>) -> Result<u64, String> {
     }
 }
 
+fn parse_cache_policy(
+    flags: &HashMap<String, String>,
+) -> Result<Option<CachePolicyKind>, String> {
+    flags.get("cache-policy").map(|s| s.parse::<CachePolicyKind>()).transpose()
+}
+
 fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, String> {
     match flags.get("design").map(|s| s.to_lowercase()).as_deref() {
         None => Ok(None),
@@ -168,13 +177,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let scale = parse_scale(flags, dataset)?;
     let seed = parse_seed(flags)?;
     let ds = SyntheticDataset::generate(dataset, scale, seed);
-    let config = match parse_design(flags)? {
+    let mut config = match parse_design(flags)? {
         Some(d) => AcceleratorConfig::with_design(
             d,
             AcceleratorConfig::paper(dataset).input_buffer_bytes,
         ),
         None => AcceleratorConfig::paper(dataset),
     };
+    if let Some(kind) = parse_cache_policy(flags)? {
+        config.cache_policy = kind;
+    }
     let heads: usize = flags.get("heads").map_or(Ok(1), |s| {
         s.parse::<usize>()
             .ok()
@@ -218,6 +230,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         "  dram     {:>12} bytes ({} random)",
         report.dram.total_bytes(),
         report.dram.random_bytes()
+    );
+    let (evictions, refetches) = report
+        .layers
+        .iter()
+        .filter_map(|l| l.aggregation.cache.as_ref())
+        .fold((0u64, 0u64), |(e, r), c| (e + c.evictions, r + c.refetches));
+    println!(
+        "  cache    {:>12} policy ({} evictions, {} refetches)",
+        engine.config().cache_policy,
+        evictions,
+        refetches
     );
     println!("  effective {:>11.2} TOPS", report.effective_tops());
     Ok(())
@@ -404,6 +427,20 @@ mod tests {
         assert_eq!(parse_design(&flags(&[("design", "E")])).unwrap(), Some(Design::E));
         assert_eq!(parse_design(&flags(&[])).unwrap(), None);
         assert!(parse_design(&flags(&[("design", "f")])).is_err());
+    }
+
+    #[test]
+    fn parse_cache_policy_maps_tokens_and_defaults_to_none() {
+        assert_eq!(parse_cache_policy(&flags(&[])).unwrap(), None);
+        assert_eq!(
+            parse_cache_policy(&flags(&[("cache-policy", "belady")])).unwrap(),
+            Some(CachePolicyKind::Belady)
+        );
+        assert_eq!(
+            parse_cache_policy(&flags(&[("cache-policy", "LRU")])).unwrap(),
+            Some(CachePolicyKind::Lru)
+        );
+        assert!(parse_cache_policy(&flags(&[("cache-policy", "arc")])).is_err());
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! End-to-end tests of the `gnnie` binary: cache-policy selection and the
+//! SIGPIPE-safe stdout path (`gnnie ... | head` must end quietly).
+
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_gnnie");
+
+fn run_args(args: &[&str]) -> std::process::Output {
+    Command::new(BIN).args(args).output().expect("spawn gnnie")
+}
+
+#[test]
+fn run_accepts_every_cache_policy() {
+    for policy in ["paper", "lru", "lfu", "belady"] {
+        let out = run_args(&[
+            "run",
+            "--model",
+            "gcn",
+            "--dataset",
+            "cora",
+            "--scale",
+            "0.05",
+            "--cache-policy",
+            policy,
+        ]);
+        assert!(
+            out.status.success(),
+            "--cache-policy {policy}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains(policy), "policy `{policy}` echoed in the report:\n{stdout}");
+        assert!(stdout.contains("evictions"), "cache line present:\n{stdout}");
+    }
+}
+
+#[test]
+fn run_rejects_unknown_cache_policy() {
+    let out = run_args(&[
+        "run",
+        "--model",
+        "gcn",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--cache-policy",
+        "arc",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cache policy"), "helpful error expected, got:\n{stderr}");
+}
+
+#[test]
+fn piped_output_is_sigpipe_safe() {
+    // `head -n 1` closes the read end after one line. gnnie restores the
+    // default SIGPIPE disposition at startup, so any writes past that
+    // point end the process quietly — never a Rust broken-pipe panic.
+    // The pipeline's exit status is `head`'s, which must be 0.
+    let out = Command::new("sh")
+        .arg("-c")
+        .arg(format!(
+            "\"{BIN}\" run --model gcn --dataset cora --scale 0.05 --cache-policy lru \
+             | head -n 1"
+        ))
+        .output()
+        .expect("spawn sh pipeline");
+    assert!(out.status.success(), "pipeline failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("GCN"), "first report line expected, got:\n{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("panicked"), "broken pipe must not panic:\n{stderr}");
+}
+
+#[test]
+fn datasets_listing_survives_early_closed_pipe() {
+    let out = Command::new("sh")
+        .arg("-c")
+        .arg(format!("\"{BIN}\" datasets | head -n 2"))
+        .output()
+        .expect("spawn sh pipeline");
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
+}
