@@ -1,0 +1,67 @@
+//! Regenerates the serving-throughput sweep; see
+//! `gnnie_bench::experiments::serving_throughput`.
+//!
+//! With `--json <path>`, additionally writes the sweep as a JSON array —
+//! CI uploads it as the `BENCH_serving_throughput.json` artifact so the
+//! serving numbers are a recorded perf trajectory, not a claim.
+
+use gnnie_bench::experiments::serving_throughput;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: serving_throughput [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let rows = serving_throughput::sweep(&ctx);
+    serving_throughput::render(&rows).print();
+
+    if let Some(path) = json_path {
+        let json = render_json(&rows);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[serving_throughput: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(rows: &[serving_throughput::SweepRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, row) in rows.iter().enumerate() {
+        let r = &row.report;
+        out.push_str(&format!(
+            "  {{\"mix\": \"{}\", \"policy\": \"{}\", \"max_batch\": {}, \"batches\": {}, \
+             \"requests\": {}, \"pipelined_total_cycles\": {}, \"batched_serial_cycles\": {}, \
+             \"serial_total_cycles\": {}, \"speedup_vs_serial\": {:.4}, \
+             \"weight_load_cycles_saved\": {}, \"p50_latency_us\": {:.3}, \
+             \"p95_latency_us\": {:.3}, \"throughput_inferences_per_s\": {:.1}}}{}\n",
+            row.mix,
+            row.policy,
+            row.max_batch,
+            r.batches.len(),
+            r.requests.len(),
+            r.pipelined_total_cycles,
+            r.batched_serial_cycles,
+            r.serial_total_cycles,
+            r.speedup_vs_serial(),
+            r.weight_load_cycles_saved,
+            r.p50_latency_s() * 1e6,
+            r.p95_latency_s() * 1e6,
+            r.throughput_inferences_per_s(),
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

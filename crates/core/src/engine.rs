@@ -78,16 +78,43 @@ impl Engine {
 
     /// Runs one inference of `model` over `ds` and reports cycles, DRAM
     /// traffic, and energy.
+    ///
+    /// Equivalent to [`Engine::begin`] followed by
+    /// [`RunSession::run_to_completion`] and [`RunSession::finish`]; the
+    /// serving path drives the phases individually instead so consecutive
+    /// batches can pipeline Weighting under Aggregation.
     pub fn run(&self, model: &ModelConfig, ds: &SyntheticDataset) -> InferenceReport {
+        let mut session = self.begin(model, ds);
+        session.run_to_completion();
+        session.finish()
+    }
+
+    /// Starts a phased run with default options: performs the one-time
+    /// preprocessing and returns the session holding the per-run state.
+    pub fn begin<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        ds: &'a SyntheticDataset,
+    ) -> RunSession<'a> {
+        self.begin_with(model, ds, RunOptions::default())
+    }
+
+    /// Starts a phased run of `model` over `ds`.
+    ///
+    /// Performs preprocessing (§VI + §IV-C): degree binning/reordering of
+    /// the graph and linear-time workload binning of the feature blocks.
+    /// Both are linear scans; charged at one element per cycle on the
+    /// controller. Included in all reported speedups (§VIII-B).
+    pub fn begin_with<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        ds: &'a SyntheticDataset,
+        opts: RunOptions,
+    ) -> RunSession<'a> {
         let mut dram = HbmModel::hbm2_256gbps(self.config.clock_hz);
-        let mut counts = ActivityCounts::default();
         let v = ds.graph.num_vertices();
         let e = ds.graph.num_edges();
 
-        // --- Preprocessing (§VI + §IV-C): degree binning/reordering of the
-        // graph and linear-time workload binning of the feature blocks.
-        // Both are linear scans; charged at one element per cycle on the
-        // controller. Included in all reported speedups (§VIII-B).
         let agg_graph = if self.config.enable_cache_policy {
             Permutation::descending_degree(&ds.graph).apply(&ds.graph)
         } else {
@@ -112,139 +139,20 @@ impl Engine {
             preprocessing_cycles += sampled;
         }
 
-        let mut layers = Vec::new();
-        let mut coarsening_cycles = 0u64;
-        match model.model {
-            GnnModel::DiffPool => {
-                self.run_diffpool(
-                    model,
-                    ds,
-                    &agg_graph,
-                    &mut dram,
-                    &mut counts,
-                    &mut layers,
-                    &mut coarsening_cycles,
-                );
-            }
-            _ => {
-                for (li, spec) in model.layers.iter().enumerate() {
-                    let layer_graph = if model.model == GnnModel::GraphSage {
-                        sampled_union_graph(
-                            &agg_graph,
-                            model.sample_size.unwrap_or(25),
-                            SAGE_ENGINE_SEED ^ ((li as u64 + 1) << 32),
-                        )
-                    } else {
-                        agg_graph.clone()
-                    };
-                    // GAT heads attend independently: every head re-runs
-                    // Weighting with its own W and Aggregation with its
-                    // own coefficients (Veličković et al.; Table III is
-                    // single-head, so heads = 1 on the paper configs).
-                    let heads =
-                        if model.model == GnnModel::Gat { model.gat_heads.max(1) } else { 1 };
-                    let mut weighting = self.weighting_phase(
-                        ds,
-                        li,
-                        spec.f_in,
-                        spec.f_out,
-                        spec.sparse_input,
-                        &mut dram,
-                        &mut counts,
-                    );
-                    if model.model == GnnModel::GinConv {
-                        // Second MLP linear: dense F_out → F_out pass.
-                        let extra = self.weighting_phase(
-                            ds,
-                            li,
-                            spec.f_out,
-                            spec.f_out,
-                            false,
-                            &mut dram,
-                            &mut counts,
-                        );
-                        weighting.absorb(&extra);
-                    }
-                    let mut aggregation = self.aggregation_phase(
-                        &layer_graph,
-                        spec.f_out,
-                        model.model == GnnModel::Gat,
-                        &mut dram,
-                        &mut counts,
-                    );
-                    for _ in 1..heads {
-                        let w = self.weighting_phase(
-                            ds,
-                            li,
-                            spec.f_in,
-                            spec.f_out,
-                            spec.sparse_input,
-                            &mut dram,
-                            &mut counts,
-                        );
-                        weighting.absorb(&w);
-                        let a = self.aggregation_phase(
-                            &layer_graph,
-                            spec.f_out,
-                            true,
-                            &mut dram,
-                            &mut counts,
-                        );
-                        aggregation.absorb(&a);
-                    }
-                    layers.push(LayerReport { layer: li, weighting, aggregation });
-                }
-            }
-        }
-
-        // --- Final writeback of the output embeddings.
-        let out_rows = if model.model == GnnModel::DiffPool {
-            model.diffpool_clusters.unwrap_or(1) as u64
-        } else {
-            v as u64
-        };
-        let writeback_bytes = out_rows * model.output_width() as u64 * 4;
-        let writeback_cycles = dram.write_seq(writeback_bytes);
-        counts.dram_output_bytes += writeback_bytes;
-
-        let total_cycles = preprocessing_cycles
-            + layers
-                .iter()
-                .map(|l| l.weighting.total_cycles + l.aggregation.total_cycles)
-                .sum::<u64>()
-            + coarsening_cycles
-            + writeback_cycles;
-        let latency_s = total_cycles as f64 / self.config.clock_hz;
-
-        let mut energy = EnergyLedger::new();
-        counts.charge(&self.ops, &mut energy);
-        energy.add(
-            gnnie_mem::Component::Control,
-            static_energy_pj(&self.ops, total_cycles, self.config.clock_hz),
-        );
-
-        let effective_ops = 2 * layers
-            .iter()
-            .map(|l| l.weighting.macs_issued + l.aggregation.macs_issued)
-            .sum::<u64>()
-            + layers.iter().map(|l| l.aggregation.exp_evals).sum::<u64>();
-
-        let dram_counters: DramCounters = *dram.counters();
-        InferenceReport {
-            model: model.model,
-            dataset: ds.spec.dataset,
-            scale: ds.spec.vertices as f64 / ds.spec.dataset.spec().vertices as f64,
-            vertices: v as u64,
-            edges: e as u64,
+        RunSession {
+            engine: self,
+            model,
+            ds,
+            opts,
+            agg_graph,
+            dram,
+            counts: ActivityCounts::default(),
+            layers: Vec::new(),
             preprocessing_cycles,
-            layers,
-            coarsening_cycles,
-            writeback_cycles,
-            total_cycles,
-            latency_s,
-            energy,
-            dram: dram_counters,
-            effective_ops,
+            coarsening_cycles: 0,
+            cursor: 0,
+            pending_weighting: None,
+            diffpool_done: false,
         }
     }
 
@@ -257,6 +165,7 @@ impl Engine {
         f_in: usize,
         f_out: usize,
         sparse_input: bool,
+        weights_resident: bool,
         dram: &mut HbmModel,
         counts: &mut ActivityCounts,
     ) -> WeightingReport {
@@ -270,6 +179,7 @@ impl Engine {
             f_out,
             feature_bytes_per_nnz: if sparse_input { RLC_BYTES_PER_NNZ } else { 4 },
             weight_bytes_per_elem: 1,
+            weights_resident,
         };
         let report = simulate_weighting(&self.config, &self.array, &profile, params, dram);
         self.charge_weighting(&report, v as u64, f_out as u64, counts);
@@ -337,6 +247,7 @@ impl Engine {
         model: &ModelConfig,
         ds: &SyntheticDataset,
         agg_graph: &CsrGraph,
+        weights_resident: bool,
         dram: &mut HbmModel,
         counts: &mut ActivityCounts,
         layers: &mut Vec<LayerReport>,
@@ -348,14 +259,17 @@ impl Engine {
         let h = model.hidden as u64;
         let f_in = model.layers[0].f_in;
         let total_macs = self.array.total_macs() as u64;
+        let resident = weights_resident;
 
         // Embedding GCN: F⁰ → hidden.
-        let w_embed = self.weighting_phase(ds, 0, f_in, model.hidden, true, dram, counts);
+        let w_embed =
+            self.weighting_phase(ds, 0, f_in, model.hidden, true, resident, dram, counts);
         let a_embed = self.aggregation_phase(agg_graph, model.hidden, false, dram, counts);
         layers.push(LayerReport { layer: 0, weighting: w_embed, aggregation: a_embed });
 
         // Pooling GCN: F⁰ → C, plus the row softmax through the SFUs.
-        let w_pool = self.weighting_phase(ds, 0, f_in, c as usize, true, dram, counts);
+        let w_pool =
+            self.weighting_phase(ds, 0, f_in, c as usize, true, resident, dram, counts);
         let mut a_pool = self.aggregation_phase(agg_graph, c as usize, false, dram, counts);
         let softmax_cycles = div_ceil(v * c, self.config.sfu_units as u64);
         a_pool.total_cycles += softmax_cycles;
@@ -382,6 +296,7 @@ impl Engine {
                 f_out: spec.f_out,
                 feature_bytes_per_nnz: 4,
                 weight_bytes_per_elem: 1,
+                weights_resident: resident,
             };
             let report = simulate_weighting(&self.config, &self.array, &profile, params, dram);
             self.charge_weighting(&report, c, spec.f_out as u64, counts);
@@ -393,6 +308,301 @@ impl Engine {
                 weighting: report,
                 aggregation: AggregationReport::empty(),
             });
+        }
+    }
+}
+
+/// Options for a phased run ([`Engine::begin_with`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOptions {
+    /// The model's layer weights are already resident on chip — an
+    /// earlier request of a model-homogeneous serving batch streamed
+    /// them — so no Weighting phase pays the weight DRAM load.
+    pub weights_resident: bool,
+}
+
+/// A phased inference run: the per-run mutable state of one
+/// `(model, dataset)` simulation, with the Weighting and Aggregation
+/// phases individually steppable.
+///
+/// Produced by [`Engine::begin`]/[`Engine::begin_with`] (which charge the
+/// one-time preprocessing). A serial caller just uses
+/// [`run_to_completion`](RunSession::run_to_completion); the serving
+/// subsystem instead alternates [`run_weighting`](RunSession::run_weighting)
+/// and [`run_aggregation`](RunSession::run_aggregation) so that, across
+/// concurrent sessions, batch *i+1*'s Weighting overlaps batch *i*'s
+/// Aggregation on the two engine resources. [`finish`](RunSession::finish)
+/// charges writeback and energy and emits the [`InferenceReport`].
+#[derive(Debug)]
+pub struct RunSession<'a> {
+    engine: &'a Engine,
+    model: &'a ModelConfig,
+    ds: &'a SyntheticDataset,
+    opts: RunOptions,
+    agg_graph: CsrGraph,
+    dram: HbmModel,
+    counts: ActivityCounts,
+    layers: Vec<LayerReport>,
+    preprocessing_cycles: u64,
+    coarsening_cycles: u64,
+    /// Next layer index awaiting phases (flat models).
+    cursor: usize,
+    /// Weighting report of `cursor`, awaiting its Aggregation.
+    pending_weighting: Option<WeightingReport>,
+    /// DiffPool's irregular schedule ran (all layers emitted).
+    diffpool_done: bool,
+}
+
+impl<'a> RunSession<'a> {
+    /// The engine driving this session.
+    pub fn engine(&self) -> &Engine {
+        self.engine
+    }
+
+    /// The model under simulation.
+    pub fn model(&self) -> &ModelConfig {
+        self.model
+    }
+
+    /// Cycles charged to the one-time preprocessing.
+    pub fn preprocessing_cycles(&self) -> u64 {
+        self.preprocessing_cycles
+    }
+
+    /// Whether every phase of the run has executed ([`finish`] is legal).
+    ///
+    /// [`finish`]: RunSession::finish
+    pub fn is_complete(&self) -> bool {
+        if self.model.model == GnnModel::DiffPool {
+            self.diffpool_done
+        } else {
+            self.pending_weighting.is_none() && self.cursor == self.model.layers.len()
+        }
+    }
+
+    /// Runs the Weighting phase of the current layer (all GAT heads, plus
+    /// GINConv's second MLP linear) and returns its cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a DiffPool model (its irregular schedule runs through
+    /// [`run_diffpool`](RunSession::run_diffpool)), if the current
+    /// layer's Weighting already ran, or if the run is complete.
+    pub fn run_weighting(&mut self) -> u64 {
+        assert_ne!(
+            self.model.model,
+            GnnModel::DiffPool,
+            "DiffPool phases are driven by run_diffpool"
+        );
+        assert!(self.pending_weighting.is_none(), "Weighting already ran for this layer");
+        let spec = *self
+            .model
+            .layers
+            .get(self.cursor)
+            .unwrap_or_else(|| panic!("no layer {} to weight", self.cursor));
+        let resident = self.opts.weights_resident;
+        let mut weighting = self.engine.weighting_phase(
+            self.ds,
+            self.cursor,
+            spec.f_in,
+            spec.f_out,
+            spec.sparse_input,
+            resident,
+            &mut self.dram,
+            &mut self.counts,
+        );
+        if self.model.model == GnnModel::GinConv {
+            // Second MLP linear: dense F_out → F_out pass.
+            let extra = self.engine.weighting_phase(
+                self.ds,
+                self.cursor,
+                spec.f_out,
+                spec.f_out,
+                false,
+                resident,
+                &mut self.dram,
+                &mut self.counts,
+            );
+            weighting.absorb(&extra);
+        }
+        // GAT heads attend independently: every head re-runs Weighting
+        // with its own W (Veličković et al.; Table III is single-head, so
+        // heads = 1 on the paper configs).
+        for _ in 1..self.heads() {
+            let w = self.engine.weighting_phase(
+                self.ds,
+                self.cursor,
+                spec.f_in,
+                spec.f_out,
+                spec.sparse_input,
+                resident,
+                &mut self.dram,
+                &mut self.counts,
+            );
+            weighting.absorb(&w);
+        }
+        let cycles = weighting.total_cycles;
+        self.pending_weighting = Some(weighting);
+        cycles
+    }
+
+    /// Runs the Aggregation phase of the current layer (all GAT heads),
+    /// closes the layer's report, and returns the phase cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current layer's Weighting has not run yet.
+    pub fn run_aggregation(&mut self) -> u64 {
+        let weighting =
+            self.pending_weighting.take().expect("run_weighting must precede run_aggregation");
+        let spec = self.model.layers[self.cursor];
+        let is_gat = self.model.model == GnnModel::Gat;
+        let layer_graph = if self.model.model == GnnModel::GraphSage {
+            sampled_union_graph(
+                &self.agg_graph,
+                self.model.sample_size.unwrap_or(25),
+                SAGE_ENGINE_SEED ^ ((self.cursor as u64 + 1) << 32),
+            )
+        } else {
+            self.agg_graph.clone()
+        };
+        let mut aggregation = self.engine.aggregation_phase(
+            &layer_graph,
+            spec.f_out,
+            is_gat,
+            &mut self.dram,
+            &mut self.counts,
+        );
+        for _ in 1..self.heads() {
+            let a = self.engine.aggregation_phase(
+                &layer_graph,
+                spec.f_out,
+                true,
+                &mut self.dram,
+                &mut self.counts,
+            );
+            aggregation.absorb(&a);
+        }
+        let cycles = aggregation.total_cycles;
+        self.layers.push(LayerReport { layer: self.cursor, weighting, aggregation });
+        self.cursor += 1;
+        cycles
+    }
+
+    /// Runs DiffPool's full irregular schedule (embedding + pooling GCNs,
+    /// coarsening matmuls, the dense coarse stack).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the model is DiffPool, or if already run.
+    pub fn run_diffpool(&mut self) {
+        assert_eq!(self.model.model, GnnModel::DiffPool, "run_diffpool is DiffPool-only");
+        assert!(!self.diffpool_done, "DiffPool schedule already ran");
+        let engine = self.engine;
+        engine.run_diffpool(
+            self.model,
+            self.ds,
+            &self.agg_graph,
+            self.opts.weights_resident,
+            &mut self.dram,
+            &mut self.counts,
+            &mut self.layers,
+            &mut self.coarsening_cycles,
+        );
+        self.diffpool_done = true;
+    }
+
+    /// Drives every remaining phase in serial order.
+    pub fn run_to_completion(&mut self) {
+        if self.model.model == GnnModel::DiffPool {
+            if !self.diffpool_done {
+                self.run_diffpool();
+            }
+            return;
+        }
+        if self.pending_weighting.is_some() {
+            self.run_aggregation();
+        }
+        while self.cursor < self.model.layers.len() {
+            self.run_weighting();
+            self.run_aggregation();
+        }
+    }
+
+    /// Charges the final writeback and static energy and emits the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if phases are still outstanding (see
+    /// [`is_complete`](RunSession::is_complete)).
+    pub fn finish(mut self) -> InferenceReport {
+        assert!(self.is_complete(), "phases still outstanding at finish");
+        let v = self.ds.graph.num_vertices();
+        let e = self.ds.graph.num_edges();
+
+        // --- Final writeback of the output embeddings.
+        let out_rows = if self.model.model == GnnModel::DiffPool {
+            self.model.diffpool_clusters.unwrap_or(1) as u64
+        } else {
+            v as u64
+        };
+        let writeback_bytes = out_rows * self.model.output_width() as u64 * 4;
+        let writeback_cycles = self.dram.write_seq(writeback_bytes);
+        self.counts.dram_output_bytes += writeback_bytes;
+
+        let total_cycles = self.preprocessing_cycles
+            + self
+                .layers
+                .iter()
+                .map(|l| l.weighting.total_cycles + l.aggregation.total_cycles)
+                .sum::<u64>()
+            + self.coarsening_cycles
+            + writeback_cycles;
+        let latency_s = total_cycles as f64 / self.engine.config.clock_hz;
+
+        let mut energy = EnergyLedger::new();
+        self.counts.charge(&self.engine.ops, &mut energy);
+        energy.add(
+            gnnie_mem::Component::Control,
+            static_energy_pj(&self.engine.ops, total_cycles, self.engine.config.clock_hz),
+        );
+
+        let effective_ops = 2 * self
+            .layers
+            .iter()
+            .map(|l| l.weighting.macs_issued + l.aggregation.macs_issued)
+            .sum::<u64>()
+            + self.layers.iter().map(|l| l.aggregation.exp_evals).sum::<u64>();
+        let weight_load_cycles =
+            self.layers.iter().map(|l| l.weighting.weight_dram_cycles).sum();
+
+        let dram_counters: DramCounters = *self.dram.counters();
+        InferenceReport {
+            model: self.model.model,
+            dataset: self.ds.spec.dataset,
+            scale: self.ds.spec.vertices as f64 / self.ds.spec.dataset.spec().vertices as f64,
+            vertices: v as u64,
+            edges: e as u64,
+            preprocessing_cycles: self.preprocessing_cycles,
+            layers: self.layers,
+            coarsening_cycles: self.coarsening_cycles,
+            writeback_cycles,
+            total_cycles,
+            latency_s,
+            energy,
+            dram: dram_counters,
+            effective_ops,
+            weight_load_cycles,
+            weights_resident: self.opts.weights_resident,
+        }
+    }
+
+    /// Independent attention heads per layer (1 for non-GAT models).
+    fn heads(&self) -> usize {
+        if self.model.model == GnnModel::Gat {
+            self.model.gat_heads.max(1)
+        } else {
+            1
         }
     }
 }
@@ -557,6 +767,60 @@ mod tests {
             cycles_by_kind.push(r.total_cycles);
         }
         assert!(cycles_by_kind.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn phased_session_reproduces_the_serial_run_exactly() {
+        // The serving path drives phases one at a time; the report must be
+        // indistinguishable from the one-shot Engine::run.
+        for model in GnnModel::ALL {
+            let ds = small(Dataset::Cora, 0.15);
+            let cfg = AcceleratorConfig::paper(Dataset::Cora);
+            let mc = ModelConfig::paper(model, &ds.spec);
+            let engine = Engine::new(cfg);
+            let serial = engine.run(&mc, &ds);
+
+            let mut session = engine.begin(&mc, &ds);
+            if model == GnnModel::DiffPool {
+                session.run_diffpool();
+            } else {
+                for _ in 0..mc.layers.len() {
+                    assert!(!session.is_complete());
+                    let w = session.run_weighting();
+                    let a = session.run_aggregation();
+                    assert!(w > 0 && a > 0, "{model}");
+                }
+            }
+            assert!(session.is_complete());
+            let phased = session.finish();
+            assert_eq!(serial.total_cycles, phased.total_cycles, "{model}");
+            assert_eq!(serial.energy, phased.energy, "{model}");
+            assert_eq!(serial.dram, phased.dram, "{model}");
+            assert_eq!(serial.weight_load_cycles, phased.weight_load_cycles, "{model}");
+            assert!(serial.weight_load_cycles > 0, "{model} must pay weight loads");
+        }
+    }
+
+    #[test]
+    fn resident_weights_cut_total_cycles_and_report_zero_weight_loads() {
+        for model in GnnModel::ALL {
+            let ds = small(Dataset::Cora, 0.15);
+            let cfg = AcceleratorConfig::paper(Dataset::Cora);
+            let mc = ModelConfig::paper(model, &ds.spec);
+            let engine = Engine::new(cfg);
+            let cold = engine.run(&mc, &ds);
+            let mut session =
+                engine.begin_with(&mc, &ds, RunOptions { weights_resident: true });
+            session.run_to_completion();
+            let hot = session.finish();
+            assert!(hot.weights_resident);
+            assert_eq!(hot.weight_load_cycles, 0, "{model}");
+            assert!(hot.total_cycles <= cold.total_cycles, "{model}");
+            assert!(
+                hot.dram.total_bytes() < cold.dram.total_bytes(),
+                "{model}: resident weights must remove DRAM traffic"
+            );
+        }
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct InferenceReport {
     pub dram: DramCounters,
     /// Zero-skipped effective operations executed (for TOPS).
     pub effective_ops: u64,
+    /// Cycles spent streaming layer weights from DRAM across all
+    /// Weighting phases (0 when the run reused weights a serving-batch
+    /// leader already made resident).
+    pub weight_load_cycles: u64,
+    /// Whether this run skipped its weight loads because a batch leader's
+    /// weights were still resident (batched serving followers).
+    pub weights_resident: bool,
 }
 
 impl InferenceReport {
@@ -77,17 +84,23 @@ impl InferenceReport {
     }
 
     /// Effective throughput in TOPS (executed ops over latency).
+    ///
+    /// A degenerate run (zero cycles, hence zero or non-finite latency)
+    /// reports 0.0 rather than dividing into NaN/inf.
     pub fn effective_tops(&self) -> f64 {
-        if self.latency_s <= 0.0 {
+        if !self.latency_s.is_finite() || self.latency_s <= 0.0 {
             return 0.0;
         }
         self.effective_ops as f64 / self.latency_s / 1e12
     }
 
     /// Inferences per kilojoule (Fig. 15's metric).
+    ///
+    /// A run with zero (or non-finite) recorded energy reports 0.0
+    /// rather than dividing into NaN/inf.
     pub fn inferences_per_kj(&self) -> f64 {
         let joules = self.energy.total_joules();
-        if joules <= 0.0 {
+        if !joules.is_finite() || joules <= 0.0 {
             return 0.0;
         }
         1000.0 / joules
@@ -128,6 +141,8 @@ mod tests {
             energy: EnergyLedger::new(),
             dram: DramCounters::default(),
             effective_ops: 1_000,
+            weight_load_cycles: 0,
+            weights_resident: false,
         }
     }
 
@@ -154,5 +169,25 @@ mod tests {
         let mut r = empty_report();
         r.latency_s = 0.0;
         assert_eq!(r.effective_tops(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_denominators_never_produce_nan_or_inf() {
+        // Zero cycles → zero latency, zero energy: both Fig. 15 metrics
+        // must degrade to 0.0, not NaN/inf.
+        let mut r = empty_report();
+        r.total_cycles = 0;
+        r.latency_s = 0.0;
+        assert_eq!(r.effective_tops(), 0.0);
+        assert_eq!(r.inferences_per_kj(), 0.0);
+        // Propagated NaN/inf latencies are also caught.
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            r.latency_s = bad;
+            let tops = r.effective_tops();
+            assert!(tops.is_finite() && tops == 0.0, "latency {bad}: got {tops}");
+        }
+        // (Negative/non-finite ledger entries are rejected at the source:
+        // EnergyLedger::add panics on them, so zero is the only degenerate
+        // energy a report can carry.)
     }
 }

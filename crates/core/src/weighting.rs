@@ -442,6 +442,10 @@ pub struct WeightingReport {
     pub feature_bytes: u64,
     /// Weight bytes streamed from DRAM.
     pub weight_bytes: u64,
+    /// DRAM cycles of the weight stream alone (0 when the weights were
+    /// already resident); the per-batch residency accounting of the
+    /// serving path reads this.
+    pub weight_dram_cycles: u64,
 }
 
 impl WeightingReport {
@@ -459,6 +463,7 @@ impl WeightingReport {
         self.lr_moved_blocks += other.lr_moved_blocks;
         self.feature_bytes += other.feature_bytes;
         self.weight_bytes += other.weight_bytes;
+        self.weight_dram_cycles += other.weight_dram_cycles;
         self.mpe_stall_cycles += other.mpe_stall_cycles;
         self.lr_overhead_cycles += other.lr_overhead_cycles;
     }
@@ -486,11 +491,20 @@ pub struct WeightingParams {
     /// Bytes per weight element (the paper sizes the weight buffer for
     /// 1-byte weights, §VIII-A).
     pub weight_bytes_per_elem: u64,
+    /// The layer weights are already resident in the weight buffer (a
+    /// previous request of a model-homogeneous serving batch streamed
+    /// them): skip the weight DRAM stream entirely.
+    pub weights_resident: bool,
 }
 
 impl Default for WeightingParams {
     fn default() -> Self {
-        WeightingParams { f_out: 128, feature_bytes_per_nnz: 4, weight_bytes_per_elem: 1 }
+        WeightingParams {
+            f_out: 128,
+            feature_bytes_per_nnz: 4,
+            weight_bytes_per_elem: 1,
+            weights_resident: false,
+        }
     }
 }
 
@@ -533,13 +547,18 @@ pub fn simulate_weighting_mode(
     let compute_cycles = passes * pass_cycles;
 
     // DRAM traffic: features stream once per pass (weight-stationary);
-    // weights stream once per layer.
+    // weights stream once per layer — or not at all when a serving batch
+    // already made them resident.
     let nnz = profile.total_nnz();
     let feature_bytes = passes * nnz * params.feature_bytes_per_nnz;
-    let weight_bytes =
-        (profile.f_in as u64) * (params.f_out as u64) * params.weight_bytes_per_elem;
+    let weight_bytes = if params.weights_resident {
+        0
+    } else {
+        (profile.f_in as u64) * (params.f_out as u64) * params.weight_bytes_per_elem
+    };
     let mut dram_cycles = dram.read_seq(feature_bytes);
-    dram_cycles += dram.read_seq(weight_bytes);
+    let weight_dram_cycles = dram.read_seq(weight_bytes);
+    dram_cycles += weight_dram_cycles;
 
     // Double buffering (§III): fetch of pass p+1 overlaps compute of pass
     // p, so the phase is bounded by the slower of the two streams plus one
@@ -567,6 +586,7 @@ pub fn simulate_weighting_mode(
         lr_moved_blocks: sched.lr_moved_blocks,
         feature_bytes,
         weight_bytes,
+        weight_dram_cycles,
     }
 }
 
@@ -719,6 +739,35 @@ mod tests {
             );
             last = makespan;
         }
+    }
+
+    #[test]
+    fn resident_weights_skip_the_weight_stream() {
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.2, 3);
+        let (cfg, arr) = paper_cfg();
+        let p = BlockProfile::from_sparse(&ds.features, 16);
+        let mut dram_cold = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let cold =
+            simulate_weighting(&cfg, &arr, &p, WeightingParams::default(), &mut dram_cold);
+        let mut dram_hot = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let hot = simulate_weighting(
+            &cfg,
+            &arr,
+            &p,
+            WeightingParams { weights_resident: true, ..WeightingParams::default() },
+            &mut dram_hot,
+        );
+        assert!(cold.weight_bytes > 0 && cold.weight_dram_cycles > 0);
+        assert_eq!(hot.weight_bytes, 0);
+        assert_eq!(hot.weight_dram_cycles, 0);
+        assert_eq!(hot.dram_cycles + cold.weight_dram_cycles, cold.dram_cycles);
+        assert!(hot.total_cycles <= cold.total_cycles);
+        // Compute is untouched; only the weight stream disappears.
+        assert_eq!(hot.compute_cycles, cold.compute_cycles);
+        assert_eq!(
+            dram_hot.counters().seq_read_bytes + cold.weight_bytes,
+            dram_cold.counters().seq_read_bytes
+        );
     }
 
     #[test]

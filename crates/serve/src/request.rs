@@ -1,0 +1,98 @@
+//! Inference requests and their weight-compatibility grouping key.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_gnn::model::{GnnModel, ModelConfig};
+use gnnie_graph::{Dataset, SyntheticDataset};
+
+/// One queued inference question: run `model` over an instance of
+/// `dataset` synthesized at `scale` from `seed`.
+///
+/// Requests with equal [`model_key`](InferenceRequest::model_key)s
+/// instantiate byte-identical [`ModelConfig`]s (the Table III stack's
+/// dimensions depend only on model, dataset, and scale), so their layer
+/// weights are interchangeable — the batch scheduler groups them so the
+/// weights stream from DRAM once per batch instead of once per request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InferenceRequest {
+    /// Caller-chosen identity (unique per queue; reports echo it).
+    pub id: u64,
+    /// The GNN to run.
+    pub model: GnnModel,
+    /// The Table II dataset family to synthesize from.
+    pub dataset: Dataset,
+    /// Synthesis scale in `(0, 1]` (1.0 = paper size).
+    pub scale: f64,
+    /// Synthesis seed — the per-request "payload": requests of one batch
+    /// usually differ only here.
+    pub seed: u64,
+}
+
+impl InferenceRequest {
+    /// A request at the given scale and seed.
+    pub fn new(id: u64, model: GnnModel, dataset: Dataset, scale: f64, seed: u64) -> Self {
+        InferenceRequest { id, model, dataset, scale, seed }
+    }
+
+    /// The weight-compatibility key: equal keys guarantee equal
+    /// [`ModelConfig`]s, hence shareable resident weights.
+    pub fn model_key(&self) -> ModelKey {
+        ModelKey { model: self.model, dataset: self.dataset, scale_bits: self.scale.to_bits() }
+    }
+
+    /// The Table III model configuration this request runs.
+    pub fn model_config(&self) -> ModelConfig {
+        ModelConfig::paper(self.model, &self.dataset.spec().scaled(self.scale))
+    }
+
+    /// Synthesizes the request's graph + features.
+    pub fn synthesize(&self) -> SyntheticDataset {
+        SyntheticDataset::generate(self.dataset, self.scale, self.seed)
+    }
+}
+
+/// Groups requests whose weights are interchangeable: the Table III
+/// stack's dimensions are a function of `(model, dataset, scale)` only
+/// (DiffPool's cluster count depends on the scaled vertex count, hence
+/// `scale` participates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ModelKey {
+    /// The GNN model.
+    pub model: GnnModel,
+    /// The dataset family (fixes feature/label widths).
+    pub dataset: Dataset,
+    /// Bit pattern of the synthesis scale (fixes DiffPool's cluster count).
+    pub scale_bits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_keys_mean_equal_model_configs() {
+        let a = InferenceRequest::new(0, GnnModel::DiffPool, Dataset::Cora, 0.25, 7);
+        let b = InferenceRequest::new(1, GnnModel::DiffPool, Dataset::Cora, 0.25, 99);
+        assert_eq!(a.model_key(), b.model_key());
+        assert_eq!(a.model_config(), b.model_config());
+    }
+
+    #[test]
+    fn scale_participates_in_the_key() {
+        // DiffPool's cluster count tracks the scaled vertex count, so
+        // different scales must not share weights.
+        let a = InferenceRequest::new(0, GnnModel::DiffPool, Dataset::Cora, 0.05, 7);
+        let b = InferenceRequest::new(1, GnnModel::DiffPool, Dataset::Cora, 0.10, 7);
+        assert_ne!(a.model_key(), b.model_key());
+        assert_ne!(a.model_config(), b.model_config());
+    }
+
+    #[test]
+    fn model_and_dataset_participate_in_the_key() {
+        let base = InferenceRequest::new(0, GnnModel::Gcn, Dataset::Cora, 0.2, 7);
+        let other_model = InferenceRequest { model: GnnModel::Gat, ..base };
+        let other_dataset = InferenceRequest { dataset: Dataset::Citeseer, ..base };
+        assert_ne!(base.model_key(), other_model.model_key());
+        assert_ne!(base.model_key(), other_dataset.model_key());
+    }
+}

@@ -1,0 +1,422 @@
+//! The serving engine: plans batches, simulates every request on a
+//! scoped worker pool, and pipelines batch phases on the two engine
+//! resources.
+//!
+//! For each batch the *leader* (first request) streams the layer weights
+//! from DRAM; every follower runs with
+//! [`RunOptions::weights_resident`](gnnie_core::engine::RunOptions), so
+//! the weight loads are charged once per batch. Followers are also
+//! simulated once more *without* residency to record the exact serial
+//! baseline (`Engine::run` in a loop) the throughput numbers are
+//! compared against.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_core::config::AcceleratorConfig;
+use gnnie_core::engine::{Engine, RunOptions};
+use gnnie_core::report::InferenceReport;
+use gnnie_gnn::model::GnnModel;
+use gnnie_graph::Dataset;
+
+use crate::pipeline::{pipeline, BatchProfile, PhasePair};
+use crate::request::InferenceRequest;
+use crate::scheduler::{BatchPlan, BatchScheduler, SchedulerPolicy};
+
+/// Serving parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Batch grouping strategy.
+    pub policy: SchedulerPolicy,
+    /// Hard cap on requests per batch.
+    pub max_batch: usize,
+    /// Simulation worker threads (the host-side parallelism; simulated
+    /// cycles are unaffected).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        ServeConfig { policy: SchedulerPolicy::ModelAffinity, max_batch: 8, workers }
+    }
+}
+
+/// One request's recorded outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestOutcome {
+    /// The request served.
+    pub request: InferenceRequest,
+    /// Index of the batch it rode in.
+    pub batch: usize,
+    /// Whether it reused the leader's resident weights.
+    pub weights_resident: bool,
+    /// The request's own cycles inside the batch (weight loads already
+    /// amortized).
+    pub batched_cycles: u64,
+    /// Its cycles as an independent `Engine::run` (the serial baseline).
+    pub serial_cycles: u64,
+    /// Simulated completion latency: its batch's pipeline completion
+    /// cycle over the accelerator clock.
+    pub latency_s: f64,
+}
+
+/// One batch's aggregate record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Position in the pipeline.
+    pub index: usize,
+    /// The shared model.
+    pub model: GnnModel,
+    /// The shared dataset family.
+    pub dataset: Dataset,
+    /// The shared synthesis scale.
+    pub scale: f64,
+    /// Requests in the batch.
+    pub size: usize,
+    /// Weighting-resource cycles across all layers and requests.
+    pub weighting_cycles: u64,
+    /// Aggregation-resource cycles across all layers and requests.
+    pub aggregation_cycles: u64,
+    /// Preprocessing cycles (serialized before the first Weighting).
+    pub pre_cycles: u64,
+    /// Coarsening + writeback cycles (after the last Aggregation).
+    pub post_cycles: u64,
+    /// Pipeline cycle at which the batch completed.
+    pub completion_cycle: u64,
+    /// Weight-load cycles the followers did not pay.
+    pub weight_load_cycles_saved: u64,
+}
+
+/// The full serving record: per-request and per-batch outcomes plus the
+/// aggregate throughput/latency numbers the CLI and bench print.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeReport {
+    /// Scheduler policy used.
+    pub policy: SchedulerPolicy,
+    /// Batch-size cap used.
+    pub max_batch: usize,
+    /// Per-request outcomes, in batch/pipeline order.
+    pub requests: Vec<RequestOutcome>,
+    /// Per-batch aggregates, in pipeline order.
+    pub batches: Vec<BatchReport>,
+    /// Makespan of the batched + pipelined schedule.
+    pub pipelined_total_cycles: u64,
+    /// The batched runs back to back (batching win without pipelining).
+    pub batched_serial_cycles: u64,
+    /// The serial baseline: every request as an independent
+    /// `Engine::run`, summed.
+    pub serial_total_cycles: u64,
+    /// Weight-load cycles the batching removed versus the baseline.
+    pub weight_load_cycles_saved: u64,
+    /// Accelerator clock the cycle counts are reported in.
+    pub clock_hz: f64,
+}
+
+impl ServeReport {
+    /// Served inferences per simulated second (0.0 on an empty run).
+    pub fn throughput_inferences_per_s(&self) -> f64 {
+        let seconds = self.pipelined_total_cycles as f64 / self.clock_hz;
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return 0.0;
+        }
+        self.requests.len() as f64 / seconds
+    }
+
+    /// End-to-end speedup of batched + pipelined serving over the serial
+    /// `Engine::run` loop (1.0 on an empty run).
+    pub fn speedup_vs_serial(&self) -> f64 {
+        if self.pipelined_total_cycles == 0 {
+            return 1.0;
+        }
+        self.serial_total_cycles as f64 / self.pipelined_total_cycles as f64
+    }
+
+    /// p50 simulated request latency in seconds.
+    pub fn p50_latency_s(&self) -> f64 {
+        self.latency_percentile(0.50)
+    }
+
+    /// p95 simulated request latency in seconds.
+    pub fn p95_latency_s(&self) -> f64 {
+        self.latency_percentile(0.95)
+    }
+
+    /// Nearest-rank latency percentile over all requests (`q` in [0, 1];
+    /// 0.0 on an empty run).
+    pub fn latency_percentile(&self, q: f64) -> f64 {
+        if self.requests.is_empty() {
+            return 0.0;
+        }
+        let mut latencies: Vec<f64> = self.requests.iter().map(|r| r.latency_s).collect();
+        latencies.sort_by(f64::total_cmp);
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+        latencies[rank - 1]
+    }
+}
+
+/// A simulation job: one request of one batch, with or without resident
+/// weights (`resident: false` on followers is the serial-baseline rerun).
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    batch: usize,
+    pos: usize,
+    resident: bool,
+}
+
+/// The batched, pipelined inference server over [`Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct Server {
+    config: ServeConfig,
+}
+
+impl Server {
+    /// A server with the given parameters.
+    pub fn new(config: ServeConfig) -> Self {
+        Server { config }
+    }
+
+    /// The serving parameters.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// Plans `queue` into batches (exposed for inspection and tests).
+    pub fn plan(&self, queue: &[InferenceRequest]) -> BatchPlan {
+        BatchScheduler::new(self.config.policy, self.config.max_batch).plan(queue)
+    }
+
+    /// Serves the whole queue: batches it, simulates every request on a
+    /// scoped worker pool, pipelines the batch phases, and reports
+    /// aggregate throughput, latency percentiles, and the weight-load
+    /// cycles batching saved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a request's scale is outside `(0, 1]` (the dataset
+    /// synthesizer's contract).
+    pub fn run(&self, queue: &[InferenceRequest]) -> ServeReport {
+        let plan = self.plan(queue);
+
+        // Every request simulates once inside its batch (followers with
+        // resident weights); followers additionally simulate cold for the
+        // exact serial baseline.
+        let mut jobs = Vec::new();
+        for (b, batch) in plan.batches.iter().enumerate() {
+            for pos in 0..batch.len() {
+                jobs.push(Job { batch: b, pos, resident: pos > 0 });
+                if pos > 0 {
+                    jobs.push(Job { batch: b, pos, resident: false });
+                }
+            }
+        }
+        let reports = self.simulate(&plan, &jobs);
+        let index: std::collections::HashMap<(usize, usize, bool), usize> =
+            jobs.iter().enumerate().map(|(i, j)| ((j.batch, j.pos, j.resident), i)).collect();
+        let report_for = |batch: usize, pos: usize, resident: bool| -> &InferenceReport {
+            let idx = index
+                .get(&(batch, pos, resident))
+                .expect("every (batch, pos, residency) job was scheduled");
+            reports[*idx].as_ref().expect("every job completed")
+        };
+
+        // Per-batch resource profiles for the pipeline.
+        let mut profiles = Vec::with_capacity(plan.batches.len());
+        for (b, batch) in plan.batches.iter().enumerate() {
+            let mut profile = BatchProfile::default();
+            for pos in 0..batch.len() {
+                let r = report_for(b, pos, pos > 0);
+                profile.pre_cycles += r.preprocessing_cycles;
+                profile.post_cycles += r.coarsening_cycles + r.writeback_cycles;
+                if profile.layers.len() < r.layers.len() {
+                    profile.layers.resize(r.layers.len(), PhasePair::default());
+                }
+                for (l, layer) in r.layers.iter().enumerate() {
+                    profile.layers[l].weighting += layer.weighting.total_cycles;
+                    profile.layers[l].aggregation += layer.aggregation.total_cycles;
+                }
+            }
+            profiles.push(profile);
+        }
+        let schedule = pipeline(&profiles);
+
+        let clock_hz = plan
+            .batches
+            .first()
+            .map(|b| AcceleratorConfig::paper(b.requests[0].dataset).clock_hz)
+            .unwrap_or(1.3e9);
+
+        let mut requests = Vec::new();
+        let mut batches = Vec::new();
+        let mut serial_total_cycles = 0u64;
+        let mut weight_load_cycles_saved = 0u64;
+        for (b, batch) in plan.batches.iter().enumerate() {
+            let completion_cycle = schedule.batch_completion[b];
+            let mut saved = 0u64;
+            for (pos, &request) in batch.requests.iter().enumerate() {
+                let resident = pos > 0;
+                let batched = report_for(b, pos, resident);
+                let serial = report_for(b, pos, false);
+                debug_assert_eq!(
+                    batched.weight_load_cycles,
+                    if resident { 0 } else { serial.weight_load_cycles }
+                );
+                serial_total_cycles += serial.total_cycles;
+                if resident {
+                    saved += serial.weight_load_cycles;
+                }
+                requests.push(RequestOutcome {
+                    request,
+                    batch: b,
+                    weights_resident: resident,
+                    batched_cycles: batched.total_cycles,
+                    serial_cycles: serial.total_cycles,
+                    latency_s: completion_cycle as f64 / clock_hz,
+                });
+            }
+            weight_load_cycles_saved += saved;
+            let lead = batch.requests[0];
+            batches.push(BatchReport {
+                index: b,
+                model: lead.model,
+                dataset: lead.dataset,
+                scale: lead.scale,
+                size: batch.len(),
+                weighting_cycles: profiles[b].layers.iter().map(|l| l.weighting).sum(),
+                aggregation_cycles: profiles[b].layers.iter().map(|l| l.aggregation).sum(),
+                pre_cycles: profiles[b].pre_cycles,
+                post_cycles: profiles[b].post_cycles,
+                completion_cycle,
+                weight_load_cycles_saved: saved,
+            });
+        }
+
+        ServeReport {
+            policy: self.config.policy,
+            max_batch: self.config.max_batch,
+            requests,
+            batches,
+            pipelined_total_cycles: schedule.total_cycles,
+            batched_serial_cycles: schedule.serial_cycles,
+            serial_total_cycles,
+            weight_load_cycles_saved,
+            clock_hz,
+        }
+    }
+
+    /// Runs every job on a scoped worker pool; returns reports in job
+    /// order.
+    fn simulate(&self, plan: &BatchPlan, jobs: &[Job]) -> Vec<Option<InferenceReport>> {
+        let workers = self.config.workers.clamp(1, jobs.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results = Mutex::new(vec![None; jobs.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(i) else { break };
+                    let request = plan.batches[job.batch].requests[job.pos];
+                    let ds = request.synthesize();
+                    let model = request.model_config();
+                    let engine = Engine::new(AcceleratorConfig::paper(request.dataset));
+                    let mut session = engine.begin_with(
+                        &model,
+                        &ds,
+                        RunOptions { weights_resident: job.resident },
+                    );
+                    session.run_to_completion();
+                    let report = session.finish();
+                    results.lock().expect("results lock poisoned")[i] = Some(report);
+                });
+            }
+        });
+        results.into_inner().expect("results lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(n: u64, model: GnnModel) -> Vec<InferenceRequest> {
+        (0..n).map(|i| InferenceRequest::new(i, model, Dataset::Cora, 0.08, 100 + i)).collect()
+    }
+
+    #[test]
+    fn batched_pipelined_serving_beats_the_serial_loop() {
+        // The acceptance mix: ≥ 8 same-model requests.
+        let queue = mix(8, GnnModel::Gcn);
+        let server = Server::new(ServeConfig {
+            policy: SchedulerPolicy::ModelAffinity,
+            max_batch: 8,
+            workers: 4,
+        });
+        let report = server.run(&queue);
+        assert_eq!(report.requests.len(), 8);
+        assert_eq!(report.batches.len(), 1);
+        assert!(report.weight_load_cycles_saved > 0, "7 followers skip weight loads");
+        assert!(
+            report.pipelined_total_cycles < report.serial_total_cycles,
+            "batched+pipelined ({}) must beat serial ({})",
+            report.pipelined_total_cycles,
+            report.serial_total_cycles
+        );
+        // The batching win alone (no overlap credit) already beats serial.
+        assert!(report.batched_serial_cycles < report.serial_total_cycles);
+        assert!(report.speedup_vs_serial() > 1.0);
+        assert!(report.throughput_inferences_per_s() > 0.0);
+        assert!(report.p95_latency_s() >= report.p50_latency_s());
+    }
+
+    #[test]
+    fn multi_batch_mix_pipelines_across_batches() {
+        let mut queue = mix(4, GnnModel::Gcn);
+        queue.extend(
+            (10..14).map(|i| InferenceRequest::new(i, GnnModel::Gat, Dataset::Cora, 0.08, i)),
+        );
+        let server = Server::new(ServeConfig {
+            policy: SchedulerPolicy::ModelAffinity,
+            max_batch: 4,
+            workers: 4,
+        });
+        let report = server.run(&queue);
+        assert_eq!(report.batches.len(), 2);
+        assert!(
+            report.pipelined_total_cycles < report.batched_serial_cycles,
+            "batch 1's Weighting must overlap batch 0's Aggregation: {} vs {}",
+            report.pipelined_total_cycles,
+            report.batched_serial_cycles
+        );
+        assert!(report.pipelined_total_cycles < report.serial_total_cycles);
+        // Leaders pay weight loads, followers don't.
+        for outcome in &report.requests {
+            assert_eq!(outcome.weights_resident, outcome.request.id % 10 != 0);
+            assert!(outcome.batched_cycles <= outcome.serial_cycles);
+        }
+    }
+
+    #[test]
+    fn empty_queue_serves_cleanly() {
+        let report = Server::default().run(&[]);
+        assert_eq!(report.pipelined_total_cycles, 0);
+        assert_eq!(report.serial_total_cycles, 0);
+        assert_eq!(report.throughput_inferences_per_s(), 0.0);
+        assert_eq!(report.p50_latency_s(), 0.0);
+        assert_eq!(report.speedup_vs_serial(), 1.0);
+    }
+
+    #[test]
+    fn single_request_matches_engine_run() {
+        let queue = mix(1, GnnModel::Gcn);
+        let report = Server::default().run(&queue);
+        let ds = queue[0].synthesize();
+        let model = queue[0].model_config();
+        let serial = Engine::new(AcceleratorConfig::paper(Dataset::Cora)).run(&model, &ds);
+        assert_eq!(report.pipelined_total_cycles, serial.total_cycles);
+        assert_eq!(report.serial_total_cycles, serial.total_cycles);
+        assert_eq!(report.weight_load_cycles_saved, 0, "a lone leader saves nothing");
+    }
+}

@@ -3,6 +3,8 @@
 //! ```text
 //! gnnie run      --model gat --dataset cora [--scale 1.0] [--design e] [--seed 42] [--heads 8]
 //!                [--cache-policy paper|lru|lfu|belady]
+//! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
+//!                [--batch 8] [--policy fifo|affinity] [--workers 4] [--seed 42]
 //! gnnie compare  --dataset pubmed [--scale 1.0]
 //! gnnie verify   --model gcn [--vertices 300] [--edges 1500] [--seed 42]
 //! gnnie comm     --dataset pubmed [--scale 1.0]
@@ -21,6 +23,7 @@ use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
 use gnnie::graph::{generate, SyntheticDataset};
 use gnnie::mem::CachePolicyKind;
+use gnnie::serve::{InferenceRequest, SchedulerPolicy, ServeConfig, Server};
 use gnnie::tensor::DenseMatrix;
 use gnnie::{AcceleratorConfig, Dataset, Engine, GnnModel};
 
@@ -42,6 +45,24 @@ fn reset_sigpipe() {
 #[cfg(not(unix))]
 fn reset_sigpipe() {}
 
+/// Every subcommand, in usage order (unknown-command errors list these).
+const COMMANDS: [&str; 7] = ["run", "serve", "compare", "verify", "comm", "datasets", "help"];
+
+/// The flags each subcommand accepts; `parse_flags` rejects anything
+/// else by name so a typo (`--modle`) fails loudly instead of being
+/// silently ignored.
+fn allowed_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "run" => &["model", "dataset", "scale", "design", "seed", "heads", "cache-policy"],
+        "serve" => {
+            &["requests", "models", "datasets", "scale", "seed", "batch", "policy", "workers"]
+        }
+        "compare" | "comm" => &["dataset", "scale", "seed"],
+        "verify" => &["model", "vertices", "edges", "seed"],
+        _ => &[],
+    }
+}
+
 fn main() -> ExitCode {
     reset_sigpipe();
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -49,7 +70,16 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     };
-    let flags = match parse_flags(&args[1..]) {
+    let command = command.as_str();
+    if !COMMANDS.contains(&command) && !matches!(command, "--help" | "-h") {
+        eprintln!(
+            "error: unknown command `{command}` (expected one of: {})",
+            COMMANDS.join(", ")
+        );
+        usage();
+        return ExitCode::FAILURE;
+    }
+    let flags = match parse_flags(&args[1..], allowed_flags(command)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -57,17 +87,17 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let result = match command.as_str() {
+    let result = match command {
         "run" => cmd_run(&flags),
+        "serve" => cmd_serve(&flags),
         "compare" => cmd_compare(&flags),
         "verify" => cmd_verify(&flags),
         "comm" => cmd_comm(&flags),
         "datasets" => cmd_datasets(),
-        "help" | "--help" | "-h" => {
+        _ => {
             usage();
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`")),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -86,6 +116,9 @@ fn usage() {
          \x20 run      --model <gcn|sage|gat|gin|diffpool> --dataset <cr|cs|pb|ppi|rd>\n\
          \x20          [--scale 0.0-1.0] [--design a|b|c|d|e] [--seed N] [--heads K]\n\
          \x20          [--cache-policy paper|lru|lfu|belady]\n\
+         \x20 serve    [--requests N] [--models gcn,gat] [--datasets cr,pb] [--scale ...]\n\
+         \x20          [--batch N] [--policy fifo|affinity] [--workers N] [--seed N]\n\
+         \x20          batched + pipelined serving of a request mix\n\
          \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
          \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
          \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
@@ -94,40 +127,85 @@ fn usage() {
     );
 }
 
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let Some(key) = arg.strip_prefix("--") else {
             return Err(format!("expected a --flag, got `{arg}`"));
         };
-        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
+        if !allowed.contains(&key) {
+            return Err(if allowed.is_empty() {
+                format!("unknown flag `--{key}` (this command takes no flags)")
+            } else {
+                let expected =
+                    allowed.iter().map(|f| format!("--{f}")).collect::<Vec<_>>().join(", ");
+                format!("unknown flag `--{key}` (expected one of: {expected})")
+            });
+        }
+        let value = it.next().ok_or_else(|| format!("flag `--{key}` needs a value"))?;
+        if flags.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("flag `--{key}` given more than once"));
+        }
     }
     Ok(flags)
 }
 
+fn model_token(tok: &str) -> Result<GnnModel, String> {
+    match tok.to_lowercase().as_str() {
+        "gcn" => Ok(GnnModel::Gcn),
+        "sage" | "graphsage" => Ok(GnnModel::GraphSage),
+        "gat" => Ok(GnnModel::Gat),
+        "gin" | "ginconv" => Ok(GnnModel::GinConv),
+        "diffpool" => Ok(GnnModel::DiffPool),
+        other => Err(format!("unknown model `{other}`")),
+    }
+}
+
+fn dataset_token(tok: &str) -> Result<Dataset, String> {
+    match tok.to_lowercase().as_str() {
+        "cr" | "cora" => Ok(Dataset::Cora),
+        "cs" | "citeseer" => Ok(Dataset::Citeseer),
+        "pb" | "pubmed" => Ok(Dataset::Pubmed),
+        "ppi" => Ok(Dataset::Ppi),
+        "rd" | "reddit" => Ok(Dataset::Reddit),
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}
+
 fn parse_model(flags: &HashMap<String, String>) -> Result<GnnModel, String> {
-    match flags.get("model").map(String::as_str) {
-        Some("gcn") => Ok(GnnModel::Gcn),
-        Some("sage" | "graphsage") => Ok(GnnModel::GraphSage),
-        Some("gat") => Ok(GnnModel::Gat),
-        Some("gin" | "ginconv") => Ok(GnnModel::GinConv),
-        Some("diffpool") => Ok(GnnModel::DiffPool),
-        Some(other) => Err(format!("unknown model `{other}`")),
+    match flags.get("model") {
+        Some(tok) => model_token(tok),
         None => Err("--model is required".into()),
     }
 }
 
 fn parse_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
-    match flags.get("dataset").map(|s| s.to_lowercase()).as_deref() {
-        Some("cr" | "cora") => Ok(Dataset::Cora),
-        Some("cs" | "citeseer") => Ok(Dataset::Citeseer),
-        Some("pb" | "pubmed") => Ok(Dataset::Pubmed),
-        Some("ppi") => Ok(Dataset::Ppi),
-        Some("rd" | "reddit") => Ok(Dataset::Reddit),
-        Some(other) => Err(format!("unknown dataset `{other}`")),
+    match flags.get("dataset") {
+        Some(tok) => dataset_token(tok),
         None => Err("--dataset is required".into()),
+    }
+}
+
+/// Parses a comma-separated list flag (`--models gcn,gat`), defaulting to
+/// `default` when absent.
+fn parse_list<T>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+    token: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    match flags.get(key) {
+        None => Ok(vec![default]),
+        Some(s) => {
+            let items: Result<Vec<T>, String> =
+                s.split(',').filter(|t| !t.is_empty()).map(|t| token(t.trim())).collect();
+            let items = items?;
+            if items.is_empty() {
+                return Err(format!("--{key} needs at least one entry"));
+            }
+            Ok(items)
+        }
     }
 }
 
@@ -243,6 +321,88 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         refetches
     );
     println!("  effective {:>11.2} TOPS", report.effective_tops());
+    Ok(())
+}
+
+/// Parses an optional positive-integer flag, defaulting when absent.
+fn parse_positive(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: usize,
+) -> Result<usize, String> {
+    flags.get(key).map_or(Ok(default), |s| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--{key} must be a positive integer, got `{s}`"))
+    })
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = parse_positive(flags, "requests", 16)?;
+    let models = parse_list(flags, "models", GnnModel::Gcn, model_token)?;
+    let datasets = parse_list(flags, "datasets", Dataset::Cora, dataset_token)?;
+    let seed = parse_seed(flags)?;
+    let max_batch = parse_positive(flags, "batch", 8)?;
+    let policy: SchedulerPolicy =
+        flags.get("policy").map_or(Ok(SchedulerPolicy::ModelAffinity), |s| s.parse())?;
+    let workers = parse_positive(flags, "workers", ServeConfig::default().workers)?;
+
+    // The request mix: model varies fastest so a FIFO scheduler sees the
+    // worst-case interleaving; every request gets its own seed.
+    let mut queue = Vec::with_capacity(n);
+    for i in 0..n {
+        let model = models[i % models.len()];
+        let dataset = datasets[(i / models.len()) % datasets.len()];
+        let scale = parse_scale(flags, dataset)?;
+        queue.push(InferenceRequest::new(i as u64, model, dataset, scale, seed + i as u64));
+    }
+
+    let server = Server::new(ServeConfig { policy, max_batch, workers });
+    let report = server.run(&queue);
+
+    println!(
+        "serving {n} requests (policy {policy}, max batch {max_batch}, {workers} workers)"
+    );
+    println!(
+        "  mix      {} over {}",
+        models.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
+        datasets.iter().map(|d| d.abbrev()).collect::<Vec<_>>().join(",")
+    );
+    println!("  batches:");
+    for b in &report.batches {
+        println!(
+            "    #{:<2} {:<9} on {:<8} x{:<3} W {:>12}  A {:>12}  done @ {:>12}  saved {:>10}",
+            b.index,
+            b.model.name(),
+            b.dataset.name(),
+            b.size,
+            b.weighting_cycles,
+            b.aggregation_cycles,
+            b.completion_cycle,
+            b.weight_load_cycles_saved,
+        );
+    }
+    println!(
+        "  throughput {:>12.1} inferences/s (simulated @ {:.1} GHz)",
+        report.throughput_inferences_per_s(),
+        report.clock_hz / 1e9
+    );
+    println!(
+        "  latency    {:>12.2} us p50   {:>12.2} us p95",
+        report.p50_latency_s() * 1e6,
+        report.p95_latency_s() * 1e6
+    );
+    println!(
+        "  cycles     {:>12} pipelined   {:>12} batched-serial   {:>12} serial loop",
+        report.pipelined_total_cycles, report.batched_serial_cycles, report.serial_total_cycles
+    );
+    println!(
+        "  weights    {:>12} load cycles saved across {} resident followers",
+        report.weight_load_cycles_saved,
+        report.requests.iter().filter(|r| r.weights_resident).count()
+    );
+    println!("  speedup    {:>12.2}x vs serial Engine::run loop", report.speedup_vs_serial());
     Ok(())
 }
 
@@ -387,15 +547,62 @@ mod tests {
         pairs.iter().map(|&(k, v)| (k.to_string(), v.to_string())).collect()
     }
 
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
     #[test]
     fn parse_flags_accepts_pairs_and_rejects_bare_args() {
-        let args: Vec<String> =
-            ["--model", "gat", "--seed", "7"].iter().map(|s| s.to_string()).collect();
-        let f = parse_flags(&args).unwrap();
+        let run = allowed_flags("run");
+        let f = parse_flags(&args(&["--model", "gat", "--seed", "7"]), run).unwrap();
         assert_eq!(f.get("model").map(String::as_str), Some("gat"));
         assert_eq!(f.get("seed").map(String::as_str), Some("7"));
-        assert!(parse_flags(&["oops".to_string()]).is_err());
-        assert!(parse_flags(&["--model".to_string()]).is_err(), "value required");
+        assert!(parse_flags(&args(&["oops"]), run).is_err());
+        let missing = parse_flags(&args(&["--model"]), run).unwrap_err();
+        assert!(missing.contains("--model"), "names the flag: {missing}");
+    }
+
+    #[test]
+    fn parse_flags_names_the_offending_flag() {
+        // A typo must fail loudly, naming the flag and the valid set.
+        let err = parse_flags(&args(&["--modle", "gat"]), allowed_flags("run")).unwrap_err();
+        assert!(err.contains("--modle"), "offending flag named: {err}");
+        assert!(err.contains("--model"), "valid flags listed: {err}");
+        // Commands without flags say so.
+        let err = parse_flags(&args(&["--x", "1"]), allowed_flags("datasets")).unwrap_err();
+        assert!(err.contains("--x") && err.contains("no flags"), "{err}");
+        // Duplicates are rejected by name.
+        let err = parse_flags(&args(&["--seed", "1", "--seed", "2"]), allowed_flags("run"))
+            .unwrap_err();
+        assert!(err.contains("--seed") && err.contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn every_command_has_a_flag_table_entry() {
+        for cmd in COMMANDS {
+            // The table is total over COMMANDS (help/datasets take none).
+            let _ = allowed_flags(cmd);
+        }
+        assert!(allowed_flags("serve").contains(&"policy"));
+        assert!(allowed_flags("run").contains(&"cache-policy"));
+    }
+
+    #[test]
+    fn parse_list_splits_and_validates() {
+        let f = flags(&[("models", "gcn, gat,sage")]);
+        let models = parse_list(&f, "models", GnnModel::Gcn, model_token).unwrap();
+        assert_eq!(models, vec![GnnModel::Gcn, GnnModel::Gat, GnnModel::GraphSage]);
+        let def = parse_list(&flags(&[]), "models", GnnModel::Gat, model_token).unwrap();
+        assert_eq!(def, vec![GnnModel::Gat]);
+        assert!(parse_list(
+            &flags(&[("models", "gcn,bert")]),
+            "models",
+            GnnModel::Gcn,
+            model_token
+        )
+        .is_err());
+        assert!(parse_list(&flags(&[("models", ",")]), "models", GnnModel::Gcn, model_token)
+            .is_err());
     }
 
     #[test]

@@ -33,6 +33,7 @@
 //! | [`mem`] | HBM model, SRAM buffers, the degree-aware cache, energy ledger |
 //! | [`gnn`] | golden GCN/GraphSAGE/GAT/GINConv/DiffPool + workload accounting |
 //! | [`core`] | the accelerator: schedulers, cycle/energy engine, functional verification |
+//! | [`serve`] | batched, pipelined inference serving (request batching, weight residency, phase pipelining) |
 //! | [`baselines`] | PyG-CPU/GPU rooflines, HyGCN and AWB-GCN models |
 //!
 //! The `gnnie-bench` crate (not re-exported) regenerates every table and
@@ -64,6 +65,7 @@ pub use gnnie_core as core;
 pub use gnnie_gnn as gnn;
 pub use gnnie_graph as graph;
 pub use gnnie_mem as mem;
+pub use gnnie_serve as serve;
 pub use gnnie_tensor as tensor;
 
 /// The paper's headline configuration re-exported at the top level.

@@ -83,3 +83,60 @@ fn datasets_listing_survives_early_closed_pipe() {
     assert!(out.status.success());
     assert!(!String::from_utf8_lossy(&out.stderr).contains("panicked"));
 }
+
+#[test]
+fn serve_reports_batched_throughput_and_weight_savings() {
+    let out = run_args(&[
+        "serve",
+        "--requests",
+        "6",
+        "--models",
+        "gcn",
+        "--datasets",
+        "cora",
+        "--scale",
+        "0.05",
+        "--batch",
+        "4",
+        "--policy",
+        "affinity",
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "serve failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("serving 6 requests"), "{stdout}");
+    assert!(stdout.contains("throughput"), "{stdout}");
+    assert!(stdout.contains("p50") && stdout.contains("p95"), "{stdout}");
+    assert!(stdout.contains("load cycles saved"), "{stdout}");
+    assert!(stdout.contains("speedup"), "{stdout}");
+}
+
+#[test]
+fn serve_rejects_bad_policy_with_a_helpful_error() {
+    let out = run_args(&["serve", "--requests", "2", "--policy", "lifo", "--scale", "0.05"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("lifo") && stderr.contains("fifo"), "{stderr}");
+}
+
+#[test]
+fn unknown_flag_is_named_in_the_error() {
+    // `--modle` (typo) used to be silently ignored; it must now fail and
+    // name both the offending flag and the valid alternatives.
+    let out = run_args(&["run", "--modle", "gcn", "--dataset", "cora"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--modle"), "offending flag named:\n{stderr}");
+    assert!(stderr.contains("--model"), "valid flags listed:\n{stderr}");
+}
+
+#[test]
+fn unknown_command_lists_every_subcommand() {
+    let out = run_args(&["frobnicate"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["run", "serve", "compare", "verify", "comm", "datasets", "help"] {
+        assert!(stderr.contains(cmd), "`{cmd}` missing from:\n{stderr}");
+    }
+}
