@@ -1,0 +1,70 @@
+//! Regenerates the ingest-throughput sweep; see
+//! `gnnie_bench::experiments::ingest_throughput`.
+//!
+//! With `--json <path>`, additionally writes the sweep as JSON — CI
+//! uploads it as the `BENCH_ingest_throughput.json` artifact, recording
+//! the parallel-builder speedup and snapshot-cache payoff per run.
+
+use gnnie_bench::experiments::ingest_throughput;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: ingest_throughput [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let sweep = ingest_throughput::sweep(&ctx);
+    ingest_throughput::render(&sweep).print();
+
+    if let Some(path) = json_path {
+        let json = render_json(&sweep);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[ingest_throughput: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(sweep: &ingest_throughput::IngestSweep) -> String {
+    let mut out = String::from("{\n  \"sweep\": [\n");
+    for (i, r) in sweep.rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"format\": \"{}\", \"shards\": {}, \"parse_ms\": {:.4}, \
+             \"build_ms\": {:.4}, \"serial_build_ms\": {:.4}, \"speedup_vs_serial\": {:.4}, \
+             \"matches_serial\": {}, \"vertices\": {}, \"input_edges\": {}}}{}\n",
+            r.format,
+            r.shards,
+            r.parse_ms,
+            r.build_ms,
+            r.serial_build_ms,
+            r.speedup,
+            r.matches_serial,
+            r.vertices,
+            r.input_edges,
+            if i + 1 == sweep.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"cache\": [\n");
+    for (i, c) in sweep.cache.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kind\": \"{}\", \"read_ms\": {:.4}, \"text_path_ms\": {:.4}}}{}\n",
+            c.kind,
+            c.read_ms,
+            c.text_path_ms,
+            if i + 1 == sweep.cache.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -24,6 +24,7 @@ pub mod fig15_energy_efficiency;
 pub mod fig16_weighting_balance;
 pub mod fig17_beta_designs;
 pub mod fig18_optimizations;
+pub mod ingest_throughput;
 pub mod serving_throughput;
 pub mod table2_datasets;
 pub mod table3_configs;

@@ -78,6 +78,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ablation_psum_policy", experiments::ablation_psum_policy::run),
         ("ablation_quant", experiments::ablation_quant::run),
         ("dse", experiments::dse::run),
+        ("ingest_throughput", experiments::ingest_throughput::run),
         ("serving_throughput", experiments::serving_throughput::run),
     ]
 }

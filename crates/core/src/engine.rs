@@ -19,7 +19,7 @@
 
 use gnnie_gnn::model::{GnnModel, ModelConfig};
 use gnnie_graph::reorder::Permutation;
-use gnnie_graph::{CsrGraph, EdgeList, SyntheticDataset};
+use gnnie_graph::{CsrGraph, EdgeList, GraphDataset};
 use gnnie_mem::{DramCounters, EnergyLedger, HbmModel};
 use gnnie_tensor::rlc;
 
@@ -83,7 +83,12 @@ impl Engine {
     /// [`RunSession::run_to_completion`] and [`RunSession::finish`]; the
     /// serving path drives the phases individually instead so consecutive
     /// batches can pipeline Weighting under Aggregation.
-    pub fn run(&self, model: &ModelConfig, ds: &SyntheticDataset) -> InferenceReport {
+    ///
+    /// The dataset may come from the Table II synthesizer or from
+    /// `gnnie-ingest`'s registry (edge-list/CSR files, `.gnniecsr`
+    /// snapshots) — the engine consumes both identically, and equal
+    /// datasets produce byte-identical reports regardless of source.
+    pub fn run(&self, model: &ModelConfig, ds: &GraphDataset) -> InferenceReport {
         let mut session = self.begin(model, ds);
         session.run_to_completion();
         session.finish()
@@ -91,11 +96,7 @@ impl Engine {
 
     /// Starts a phased run with default options: performs the one-time
     /// preprocessing and returns the session holding the per-run state.
-    pub fn begin<'a>(
-        &'a self,
-        model: &'a ModelConfig,
-        ds: &'a SyntheticDataset,
-    ) -> RunSession<'a> {
+    pub fn begin<'a>(&'a self, model: &'a ModelConfig, ds: &'a GraphDataset) -> RunSession<'a> {
         self.begin_with(model, ds, RunOptions::default())
     }
 
@@ -108,7 +109,7 @@ impl Engine {
     pub fn begin_with<'a>(
         &'a self,
         model: &'a ModelConfig,
-        ds: &'a SyntheticDataset,
+        ds: &'a GraphDataset,
         opts: RunOptions,
     ) -> RunSession<'a> {
         let mut dram = HbmModel::hbm2_256gbps(self.config.clock_hz);
@@ -160,7 +161,7 @@ impl Engine {
     #[allow(clippy::too_many_arguments)]
     fn weighting_phase(
         &self,
-        ds: &SyntheticDataset,
+        ds: &GraphDataset,
         _layer: usize,
         f_in: usize,
         f_out: usize,
@@ -245,7 +246,7 @@ impl Engine {
     fn run_diffpool(
         &self,
         model: &ModelConfig,
-        ds: &SyntheticDataset,
+        ds: &GraphDataset,
         agg_graph: &CsrGraph,
         weights_resident: bool,
         dram: &mut HbmModel,
@@ -337,7 +338,7 @@ pub struct RunOptions {
 pub struct RunSession<'a> {
     engine: &'a Engine,
     model: &'a ModelConfig,
-    ds: &'a SyntheticDataset,
+    ds: &'a GraphDataset,
     opts: RunOptions,
     agg_graph: CsrGraph,
     dram: HbmModel,
@@ -627,11 +628,11 @@ mod tests {
     use crate::config::Design;
     use gnnie_graph::Dataset;
 
-    fn small(dataset: Dataset, scale: f64) -> SyntheticDataset {
-        SyntheticDataset::generate(dataset, scale, 42)
+    fn small(dataset: Dataset, scale: f64) -> GraphDataset {
+        GraphDataset::generate(dataset, scale, 42)
     }
 
-    fn run(model: GnnModel, ds: &SyntheticDataset) -> InferenceReport {
+    fn run(model: GnnModel, ds: &GraphDataset) -> InferenceReport {
         let cfg = AcceleratorConfig::paper(ds.spec.dataset);
         let mc = ModelConfig::paper(model, &ds.spec);
         Engine::new(cfg).run(&mc, ds)

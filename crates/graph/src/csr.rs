@@ -7,10 +7,63 @@
 //! *coordinate array* of neighbors ([`CsrGraph::neighbors_flat`]); the
 //! *property array* (weighted vertex features) lives with the engine.
 
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 
 use crate::coo::EdgeList;
 use crate::VertexId;
+
+/// A malformed-input error from the loader-facing CSR constructors.
+///
+/// File loaders (`gnnie-ingest`) feed untrusted edge data into
+/// [`CsrGraph::try_from_pairs`] and [`CsrGraph::from_raw_parts`]; both
+/// report *what* is wrong and *where* instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphBuildError {
+    /// An edge endpoint is `>=` the declared vertex count.
+    VertexOutOfRange {
+        /// Zero-based index of the offending edge in the input order.
+        edge_index: usize,
+        /// The offending vertex id.
+        vertex: VertexId,
+        /// The declared vertex count.
+        num_vertices: usize,
+    },
+    /// A raw CSR structure violates an invariant (monotone offsets,
+    /// sorted deduplicated adjacency lists, symmetry, no self-loops).
+    InvalidCsr(String),
+}
+
+impl fmt::Display for GraphBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphBuildError::VertexOutOfRange { edge_index, vertex, num_vertices } => write!(
+                f,
+                "edge {edge_index}: vertex id {vertex} >= declared vertex count {num_vertices}"
+            ),
+            GraphBuildError::InvalidCsr(msg) => write!(f, "invalid CSR structure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphBuildError {}
+
+/// Accounting from a checked CSR build: what the input contained and what
+/// was dropped to make the graph simple.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrBuildStats {
+    /// Edges in the input, self-loops and duplicates included.
+    pub input_edges: usize,
+    /// Self-loops dropped (the GNN formulations add `{i}` to the
+    /// neighborhood explicitly, paper §II, so the graph stays simple).
+    pub self_loops: usize,
+    /// Duplicate undirected edges collapsed (`(u,v)` and `(v,u)` count
+    /// as the same edge).
+    pub duplicates: usize,
+    /// Unique undirected edges in the resulting graph.
+    pub edges: usize,
+}
 
 /// An undirected graph in CSR form.
 ///
@@ -73,6 +126,154 @@ impl CsrGraph {
         let mut el = EdgeList::new(n);
         el.extend(pairs);
         Self::from_edge_list(el)
+    }
+
+    /// Checked build from untrusted `(u, v)` pairs over `n` vertices — the
+    /// loader-facing constructor.
+    ///
+    /// Unlike [`CsrGraph::from_edges`] this never panics on malformed
+    /// input: vertex ids `>= n` yield a typed
+    /// [`GraphBuildError::VertexOutOfRange`] naming the offending edge,
+    /// while self-loops and duplicate edges are dropped *and counted* in
+    /// the returned [`CsrBuildStats`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphBuildError::VertexOutOfRange`] for the first edge
+    /// (in input order) with an endpoint `>= n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gnnie_graph::CsrGraph;
+    ///
+    /// let (g, stats) =
+    ///     CsrGraph::try_from_pairs(3, [(0, 1), (1, 0), (2, 2)]).unwrap();
+    /// assert_eq!(g.num_edges(), 1);
+    /// assert_eq!((stats.self_loops, stats.duplicates), (1, 1));
+    /// assert!(CsrGraph::try_from_pairs(3, [(0, 7)]).is_err());
+    /// ```
+    pub fn try_from_pairs(
+        n: usize,
+        pairs: impl IntoIterator<Item = (VertexId, VertexId)>,
+    ) -> Result<(Self, CsrBuildStats), GraphBuildError> {
+        let mut stats = CsrBuildStats::default();
+        let mut el = EdgeList::new(n);
+        for (edge_index, (u, v)) in pairs.into_iter().enumerate() {
+            stats.input_edges += 1;
+            for id in [u, v] {
+                if id as usize >= n {
+                    return Err(GraphBuildError::VertexOutOfRange {
+                        edge_index,
+                        vertex: id,
+                        num_vertices: n,
+                    });
+                }
+            }
+            if u == v {
+                stats.self_loops += 1;
+            } else {
+                el.push(u, v);
+            }
+        }
+        let before = el.len();
+        let graph = Self::from_edge_list(el);
+        stats.duplicates = before - graph.num_edges();
+        stats.edges = graph.num_edges();
+        Ok((graph, stats))
+    }
+
+    /// Reassembles a graph from raw CSR arrays, validating every structural
+    /// invariant — the reload path for `.gnniecsr` snapshots and the
+    /// shard-parallel builder in `gnnie-ingest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphBuildError::InvalidCsr`] unless `offsets` is a
+    /// monotone array starting at 0 and ending at `neighbors.len()`, every
+    /// adjacency list is strictly increasing (sorted, deduplicated) with
+    /// ids `< n` and no self-loops, adjacency is symmetric, and
+    /// `num_edges` is exactly `neighbors.len() / 2`.
+    pub fn from_raw_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        num_edges: usize,
+    ) -> Result<Self, GraphBuildError> {
+        let invalid = |msg: String| Err(GraphBuildError::InvalidCsr(msg));
+        let Some((&first, _)) = offsets.split_first() else {
+            return invalid("offsets array is empty (need n + 1 entries)".into());
+        };
+        let n = offsets.len() - 1;
+        if first != 0 {
+            return invalid(format!("offsets[0] is {first}, expected 0"));
+        }
+        if *offsets.last().expect("nonempty") != neighbors.len() {
+            return invalid(format!(
+                "offsets[{n}] is {} but there are {} neighbor entries",
+                offsets[n],
+                neighbors.len()
+            ));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return invalid("offsets are not monotonically nondecreasing".into());
+        }
+        if neighbors.len() % 2 != 0 {
+            return invalid(format!("odd neighbor count {} (undirected)", neighbors.len()));
+        }
+        if num_edges != neighbors.len() / 2 {
+            return invalid(format!(
+                "num_edges {num_edges} does not match {} neighbor entries / 2",
+                neighbors.len()
+            ));
+        }
+        let graph = Self { offsets, neighbors, num_edges };
+        graph.validate_lists(n)?;
+        Ok(graph)
+    }
+
+    fn validate_lists(&self, n: usize) -> Result<(), GraphBuildError> {
+        let invalid = |msg: String| Err(GraphBuildError::InvalidCsr(msg));
+        for v in 0..n {
+            let list = self.neighbors(v);
+            if let Some(&w) = list.iter().find(|&&w| w as usize >= n) {
+                return invalid(format!("vertex {v}: neighbor id {w} >= vertex count {n}"));
+            }
+            if list.binary_search(&(v as VertexId)).is_ok() {
+                return invalid(format!("vertex {v}: self-loop"));
+            }
+            if list.windows(2).any(|w| w[0] >= w[1]) {
+                return invalid(format!("vertex {v}: adjacency list not strictly increasing"));
+            }
+            if let Some(&w) = list.iter().find(|&&w| !self.has_edge(w as usize, v)) {
+                return invalid(format!("asymmetric edge ({v}, {w}): reverse entry missing"));
+            }
+        }
+        Ok(())
+    }
+
+    /// [`CsrGraph::from_raw_parts`] for callers that construct the
+    /// invariants by design (the shard-parallel builder in
+    /// `gnnie-ingest`): full validation runs only under
+    /// `debug_assertions`, so release ingest is not taxed with an
+    /// `O(E log d)` re-check of arrays it just produced. Untrusted input
+    /// (snapshot reload, foreign files) must go through the validating
+    /// constructor instead.
+    ///
+    /// # Panics
+    ///
+    /// With `debug_assertions`, panics if the arrays violate any CSR
+    /// invariant. Without them, a violating input produces a graph whose
+    /// accessors may panic or return wrong results later.
+    pub fn from_raw_parts_trusted(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        num_edges: usize,
+    ) -> Self {
+        if cfg!(debug_assertions) {
+            return Self::from_raw_parts(offsets, neighbors, num_edges)
+                .expect("trusted caller violated CSR invariants");
+        }
+        Self { offsets, neighbors, num_edges }
     }
 
     /// Number of vertices.
@@ -304,5 +505,64 @@ mod tests {
     fn csr_bytes_counts_structure() {
         let g = path_graph(3);
         assert_eq!(g.csr_bytes(), 4 * 8 + 4 * 4);
+    }
+
+    #[test]
+    fn try_from_pairs_counts_self_loops_and_duplicates() {
+        let pairs = [(0, 1), (1, 0), (2, 2), (1, 2), (2, 1), (2, 2)];
+        let (g, stats) = CsrGraph::try_from_pairs(3, pairs).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(stats.input_edges, 6);
+        assert_eq!(stats.self_loops, 2);
+        assert_eq!(stats.duplicates, 2);
+        assert_eq!(stats.edges, 2);
+        // The checked path builds exactly what the panicking path builds.
+        assert_eq!(g, CsrGraph::from_edges(3, [(0, 1), (1, 2)]));
+    }
+
+    #[test]
+    fn try_from_pairs_rejects_out_of_range_with_location() {
+        let err = CsrGraph::try_from_pairs(4, [(0, 1), (9, 2)]).unwrap_err();
+        assert_eq!(
+            err,
+            GraphBuildError::VertexOutOfRange { edge_index: 1, vertex: 9, num_vertices: 4 }
+        );
+        assert!(err.to_string().contains("edge 1"), "{err}");
+    }
+
+    #[test]
+    fn from_raw_parts_roundtrips_a_valid_graph() {
+        let g = CsrGraph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let rebuilt = CsrGraph::from_raw_parts(
+            g.offsets().to_vec(),
+            g.neighbors_flat().to_vec(),
+            g.num_edges(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_structural_corruption() {
+        let g = CsrGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let (off, nbr, e) = (g.offsets().to_vec(), g.neighbors_flat().to_vec(), g.num_edges());
+        // Wrong edge count.
+        assert!(CsrGraph::from_raw_parts(off.clone(), nbr.clone(), e + 1).is_err());
+        // Asymmetric adjacency: rewrite 0's neighbor to 2 without reverse.
+        let mut bad = nbr.clone();
+        bad[0] = 2;
+        let err = CsrGraph::from_raw_parts(off.clone(), bad, e).unwrap_err();
+        assert!(matches!(err, GraphBuildError::InvalidCsr(_)));
+        // Out-of-range neighbor id.
+        let mut bad = nbr.clone();
+        bad[0] = 7;
+        assert!(CsrGraph::from_raw_parts(off.clone(), bad, e).is_err());
+        // Non-monotone offsets.
+        let mut bad_off = off;
+        bad_off[1] = 3;
+        bad_off[2] = 1;
+        assert!(CsrGraph::from_raw_parts(bad_off, nbr, e).is_err());
+        // Empty offsets.
+        assert!(CsrGraph::from_raw_parts(Vec::new(), Vec::new(), 0).is_err());
     }
 }

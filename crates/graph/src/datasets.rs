@@ -118,6 +118,24 @@ impl Dataset {
     }
 }
 
+impl std::str::FromStr for Dataset {
+    type Err = String;
+
+    /// Parses the paper abbreviation or the common lowercase name
+    /// (`cr`/`cora`, `cs`/`citeseer`, `pb`/`pubmed`, `ppi`, `rd`/`reddit`),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_lowercase().as_str() {
+            "cr" | "cora" => Ok(Dataset::Cora),
+            "cs" | "citeseer" => Ok(Dataset::Citeseer),
+            "pb" | "pubmed" => Ok(Dataset::Pubmed),
+            "ppi" => Ok(Dataset::Ppi),
+            "rd" | "reddit" => Ok(Dataset::Reddit),
+            other => Err(format!("unknown dataset `{other}`")),
+        }
+    }
+}
+
 /// Target statistics for one dataset (paper Table II plus the degree-shape
 /// parameters our generators use).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -198,18 +216,28 @@ impl DatasetSpec {
     }
 }
 
-/// A generated dataset: the graph plus its sparse input feature matrix.
+/// A runnable dataset: the graph plus its sparse input feature matrix and
+/// the spec describing it.
+///
+/// Historically every instance was synthesized (hence the back-compat
+/// alias [`SyntheticDataset`]); since the `gnnie-ingest` crate, instances
+/// are also loaded from edge-list files, binary CSR files, and
+/// `.gnniecsr` snapshots — the engine consumes all of them identically.
 #[derive(Debug, Clone)]
-pub struct SyntheticDataset {
-    /// The statistics this dataset was generated to match.
+pub struct GraphDataset {
+    /// The statistics this dataset was generated to match (or the spec
+    /// recovered from a dataset file's header).
     pub spec: DatasetSpec,
-    /// The synthetic graph.
+    /// The graph.
     pub graph: CsrGraph,
     /// Sparse input features, `|V| x feature_len`.
     pub features: CsrMatrix,
 }
 
-impl SyntheticDataset {
+/// Back-compat alias from before file-backed datasets existed.
+pub type SyntheticDataset = GraphDataset;
+
+impl GraphDataset {
     /// Convenience: generate `dataset` at `scale` with `seed`.
     ///
     /// # Panics
@@ -217,6 +245,22 @@ impl SyntheticDataset {
     /// Panics unless `0 < scale <= 1`.
     pub fn generate(dataset: Dataset, scale: f64, seed: u64) -> Self {
         dataset.spec().scaled(scale).generate(seed)
+    }
+
+    /// Assembles a dataset from loader-produced parts (the `gnnie-ingest`
+    /// registry and snapshot reload paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` has a row count different from the graph's
+    /// vertex count — a loader bug, not a data property.
+    pub fn from_parts(spec: DatasetSpec, graph: CsrGraph, features: CsrMatrix) -> Self {
+        assert_eq!(
+            features.rows(),
+            graph.num_vertices(),
+            "feature rows must match vertex count"
+        );
+        Self { spec, graph, features }
     }
 }
 
@@ -293,5 +337,31 @@ mod tests {
         let b = SyntheticDataset::generate(Dataset::Citeseer, 0.5, 3);
         assert_eq!(a.graph, b.graph);
         assert_eq!(a.features, b.features);
+    }
+
+    #[test]
+    fn dataset_parses_abbrevs_and_names() {
+        for d in Dataset::ALL {
+            assert_eq!(d.abbrev().parse::<Dataset>().unwrap(), d);
+        }
+        assert_eq!("Cora".parse::<Dataset>().unwrap(), Dataset::Cora);
+        assert_eq!("REDDIT".parse::<Dataset>().unwrap(), Dataset::Reddit);
+        assert!("imdb".parse::<Dataset>().is_err());
+    }
+
+    #[test]
+    fn from_parts_reassembles_a_generated_dataset() {
+        let ds = GraphDataset::generate(Dataset::Cora, 0.05, 7);
+        let re = GraphDataset::from_parts(ds.spec, ds.graph.clone(), ds.features.clone());
+        assert_eq!(re.graph, ds.graph);
+        assert_eq!(re.features, ds.features);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature rows")]
+    fn from_parts_rejects_row_mismatch() {
+        let ds = GraphDataset::generate(Dataset::Cora, 0.05, 7);
+        let bad = gnnie_tensor::CsrMatrix::from_sparse_rows(4, &[]);
+        let _ = GraphDataset::from_parts(ds.spec, ds.graph, bad);
     }
 }

@@ -36,8 +36,8 @@ pub mod reorder;
 pub mod traversal;
 
 pub use coo::EdgeList;
-pub use csr::CsrGraph;
-pub use datasets::{Dataset, DatasetSpec, SyntheticDataset};
+pub use csr::{CsrBuildStats, CsrGraph, GraphBuildError};
+pub use datasets::{Dataset, DatasetSpec, GraphDataset, SyntheticDataset};
 pub use reorder::Permutation;
 
 /// Vertex identifier. Graphs in the paper reach 233 k vertices (Reddit);

@@ -1,0 +1,61 @@
+//! Real-graph ingestion for the GNNIE simulator.
+//!
+//! Every other crate in the workspace consumes a
+//! [`gnnie_graph::GraphDataset`]; until this crate existed, the only way
+//! to get one was the Table II synthesizer. `gnnie-ingest` adds the
+//! file-backed path — the DGI/Ginex-style observation being that
+//! inference results become credible at scale only when the engine runs
+//! real edge-list/CSR datasets, and that ingest itself is a
+//! throughput-critical path worth parallelizing:
+//!
+//! * [`parse`] — streaming parsers for whitespace/CSV/TSV edge lists
+//!   (with line-numbered errors and self-describing `gnnie` header
+//!   directives) and an ogbn-style binary CSR layout;
+//! * [`mod@format`] — on-disk format auto-detection from leading bytes;
+//! * [`build`] — a sharded, `std::thread::scope`-parallel COO→CSR
+//!   builder (per-shard degree counting + prefix-sum merge) that is
+//!   bit-for-bit identical to the serial [`gnnie_graph::CsrGraph`] path;
+//! * [`snapshot`] — the versioned, checksummed, write-once `.gnniecsr`
+//!   snapshot cache; reloading reproduces byte-identical
+//!   `InferenceReport`s;
+//! * [`export`] — edge-list / binary-CSR writers (fixtures and the
+//!   round-trip guarantee);
+//! * [`registry`] — [`DatasetRegistry`], resolving a dataset name or
+//!   path to file-backed data when present and falling back to the
+//!   synthesizer offline.
+//!
+//! # Example
+//!
+//! ```
+//! use gnnie_graph::Dataset;
+//! use gnnie_ingest::{build, registry::DatasetRegistry};
+//!
+//! // No data directory: names resolve to the Table II synthesizer.
+//! let reg = DatasetRegistry::new(None);
+//! let out = reg.load(Dataset::Cora, 0.02, 42).unwrap();
+//! assert!(out.dataset.graph.num_edges() > 0);
+//!
+//! // The parallel CSR builder matches the serial path bit-for-bit.
+//! let pairs = vec![(0, 1), (1, 2), (2, 0), (1, 2)];
+//! let (serial, _) = build::build_csr_serial(3, &pairs).unwrap();
+//! let (parallel, stats) = build::build_csr_parallel(3, &pairs, 4).unwrap();
+//! assert_eq!(serial, parallel);
+//! assert_eq!(stats.duplicates, 1);
+//! ```
+
+pub mod build;
+pub mod bytes;
+pub mod error;
+pub mod export;
+pub mod format;
+pub mod parse;
+pub mod registry;
+pub mod snapshot;
+
+pub use build::{build_csr_parallel, build_csr_serial, default_shards, MAX_SHARDS};
+pub use error::IngestError;
+pub use export::{export_edge_list, render_edge_list, write_binary_csr};
+pub use format::{detect_file_format, EdgeListFormat, FileFormat};
+pub use parse::{parse_edge_list, parse_edge_list_path, ParsedEdgeList, RecordedSpec};
+pub use registry::{DatasetRegistry, LoadOutcome, SourceKind};
+pub use snapshot::{read_snapshot, write_snapshot};

@@ -1,0 +1,461 @@
+//! Streaming parsers: text edge lists (with header directives) and the
+//! binary CSR layout.
+//!
+//! Text parsing is line-oriented over a [`BufRead`] so multi-gigabyte
+//! edge lists never live in memory as text; every error carries the
+//! 1-based line number. Comment lines may carry `gnnie` directives —
+//! written by [`crate::export`] — that record the vertex count and the
+//! full [`DatasetSpec`] + seed, which is what makes an exported Table II
+//! dataset reload to a bit-identical [`gnnie_graph::GraphDataset`].
+
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+
+use gnnie_graph::{CsrGraph, DatasetSpec, VertexId};
+
+use crate::bytes::{checksum64, ByteReader};
+use crate::error::IngestError;
+use crate::format::{detect_file_format, is_comment, EdgeListFormat, FileFormat};
+use crate::format::{BINARY_CSR_MAGIC, SNAPSHOT_MAGIC};
+
+/// Version of the binary CSR layout this crate reads and writes.
+pub const BINARY_CSR_VERSION: u32 = 1;
+
+/// A [`DatasetSpec`] plus generation seed recovered from a `gnnie spec`
+/// header directive: enough to regenerate the input features bit-exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecordedSpec {
+    /// The (already scale-adjusted) spec of the exported dataset.
+    pub spec: DatasetSpec,
+    /// The seed the dataset was generated with.
+    pub seed: u64,
+}
+
+/// The outcome of parsing a text edge list.
+#[derive(Debug, Clone)]
+pub struct ParsedEdgeList {
+    /// The dialect that was parsed.
+    pub format: EdgeListFormat,
+    /// Vertex count from a `gnnie vertices` directive, if present.
+    pub declared_vertices: Option<usize>,
+    /// Spec + seed from a `gnnie spec` directive, if present.
+    pub recorded: Option<RecordedSpec>,
+    /// The raw `(u, v)` pairs in file order (self-loops and duplicates
+    /// included — the CSR builder accounts for them).
+    pub pairs: Vec<(VertexId, VertexId)>,
+    /// Largest id seen and the 1-based line it first appeared on.
+    max_seen: Option<(VertexId, usize)>,
+}
+
+impl ParsedEdgeList {
+    /// The vertex count: the declared count when a directive is present,
+    /// otherwise `max id + 1` (0 for an empty file).
+    pub fn num_vertices(&self) -> usize {
+        self.declared_vertices
+            .unwrap_or_else(|| self.max_seen.map_or(0, |(m, _)| m as usize + 1))
+    }
+}
+
+/// Parses the edge list at `path`, auto-detecting the dialect.
+///
+/// # Errors
+///
+/// [`IngestError::Io`] on read failure, [`IngestError::Format`] if the
+/// file is binary, [`IngestError::Parse`] (with line number) on malformed
+/// content.
+pub fn parse_edge_list_path(path: &Path) -> Result<ParsedEdgeList, IngestError> {
+    match detect_file_format(path)? {
+        FileFormat::EdgeList(format) => parse_edge_list(path, format),
+        other => Err(IngestError::Format(format!(
+            "{}: {other}, not a text edge list (load it via the registry instead)",
+            path.display()
+        ))),
+    }
+}
+
+/// Parses the edge list at `path` in a known dialect.
+///
+/// # Errors
+///
+/// See [`parse_edge_list_path`].
+pub fn parse_edge_list(
+    path: &Path,
+    format: EdgeListFormat,
+) -> Result<ParsedEdgeList, IngestError> {
+    let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+    parse_edge_list_reader(BufReader::new(file), path, format)
+}
+
+/// Parses an edge list from any buffered reader; `path` is used only for
+/// error messages. This is the streaming core of [`parse_edge_list`].
+///
+/// # Errors
+///
+/// See [`parse_edge_list_path`].
+pub fn parse_edge_list_reader<R: BufRead>(
+    mut reader: R,
+    path: &Path,
+    format: EdgeListFormat,
+) -> Result<ParsedEdgeList, IngestError> {
+    let mut out = ParsedEdgeList {
+        format,
+        declared_vertices: None,
+        recorded: None,
+        pairs: Vec::new(),
+        max_seen: None,
+    };
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line).map_err(|e| IngestError::io(path, e))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        if is_comment(&line) {
+            parse_directive(&line, path, lineno, &mut out)?;
+            continue;
+        }
+        let text = line.trim_end_matches(['\n', '\r']);
+        let mut fields = format.split(text);
+        let (u, v) = match (fields.next(), fields.next()) {
+            (Some(u), Some(v)) => (u, v),
+            _ => {
+                return Err(IngestError::parse(
+                    path,
+                    lineno,
+                    format!("expected `src{}dst`, got `{text}`", format_sep(format)),
+                ))
+            }
+        };
+        // A third column (edge weight) is tolerated and ignored; more is
+        // a malformed line.
+        let extra = fields.next();
+        if extra.is_some() && fields.next().is_some() {
+            return Err(IngestError::parse(
+                path,
+                lineno,
+                format!("too many fields in `{text}` (expected 2, or 3 with a weight)"),
+            ));
+        }
+        let parse_id = |tok: &str| -> Result<VertexId, IngestError> {
+            tok.parse::<VertexId>().map_err(|_| {
+                IngestError::parse(path, lineno, format!("`{tok}` is not a vertex id"))
+            })
+        };
+        let (u, v) = (parse_id(u)?, parse_id(v)?);
+        if let Some(declared) = out.declared_vertices {
+            for id in [u, v] {
+                if id as usize >= declared {
+                    return Err(IngestError::parse(
+                        path,
+                        lineno,
+                        format!("vertex id {id} >= declared vertex count {declared}"),
+                    ));
+                }
+            }
+        }
+        let line_max = u.max(v);
+        let is_new_max = match out.max_seen {
+            Some((m, _)) => line_max > m,
+            None => true,
+        };
+        if is_new_max {
+            out.max_seen = Some((line_max, lineno));
+        }
+        out.pairs.push((u, v));
+    }
+    // A `vertices` directive may legally appear after edge lines; the
+    // per-line check only covers lines parsed after it, so re-validate,
+    // pointing at the line the offending id actually came from.
+    if let (Some(declared), Some((max, max_line))) = (out.declared_vertices, out.max_seen) {
+        if max as usize >= declared {
+            return Err(IngestError::parse(
+                path,
+                max_line,
+                format!("vertex id {max} >= declared vertex count {declared}"),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+fn format_sep(format: EdgeListFormat) -> &'static str {
+    match format {
+        EdgeListFormat::Whitespace => " ",
+        EdgeListFormat::Csv => ",",
+        EdgeListFormat::Tsv => "\t",
+    }
+}
+
+/// Interprets a comment line, harvesting `gnnie` directives.
+fn parse_directive(
+    line: &str,
+    path: &Path,
+    lineno: usize,
+    out: &mut ParsedEdgeList,
+) -> Result<(), IngestError> {
+    let body = line.trim_start().trim_start_matches(['#', '%']).trim_start_matches("//").trim();
+    let Some(rest) = body.strip_prefix("gnnie ") else {
+        return Ok(()); // an ordinary comment
+    };
+    let mut words = rest.split_whitespace();
+    match words.next() {
+        Some("edgelist") => Ok(()), // banner; version token ignored for now
+        Some("vertices") => match words.next().and_then(|w| w.parse::<usize>().ok()) {
+            Some(n) => {
+                out.declared_vertices = Some(n);
+                Ok(())
+            }
+            None => Err(IngestError::parse(path, lineno, "gnnie vertices: expected a count")),
+        },
+        Some("spec") => {
+            out.recorded = Some(parse_spec_directive(words, path, lineno)?);
+            Ok(())
+        }
+        Some(other) => Err(IngestError::parse(
+            path,
+            lineno,
+            format!("unknown gnnie directive `{other}` (expected edgelist/vertices/spec)"),
+        )),
+        None => Err(IngestError::parse(path, lineno, "empty gnnie directive")),
+    }
+}
+
+/// Parses the `k=v` pairs of a `gnnie spec` directive into a
+/// [`RecordedSpec`]. All nine keys are required.
+fn parse_spec_directive<'a>(
+    words: impl Iterator<Item = &'a str>,
+    path: &Path,
+    lineno: usize,
+) -> Result<RecordedSpec, IngestError> {
+    let bad = |msg: String| IngestError::parse(path, lineno, msg);
+    let mut dataset = None;
+    let mut seed = None;
+    let mut vertices = None;
+    let mut edges = None;
+    let mut feature_len = None;
+    let mut labels = None;
+    let mut feature_sparsity = None;
+    let mut degree_gamma = None;
+    let mut uniform_frac = None;
+    for word in words {
+        let (k, v) = word
+            .split_once('=')
+            .ok_or_else(|| bad(format!("gnnie spec: `{word}` is not key=value")))?;
+        let parse_usize =
+            |v: &str| v.parse::<usize>().map_err(|_| bad(format!("{k}: bad count `{v}`")));
+        let parse_f64 =
+            |v: &str| v.parse::<f64>().map_err(|_| bad(format!("{k}: bad float `{v}`")));
+        match k {
+            "dataset" => {
+                dataset = Some(v.parse().map_err(|e: String| bad(format!("dataset: {e}")))?)
+            }
+            "seed" => {
+                seed = Some(v.parse::<u64>().map_err(|_| bad(format!("seed: bad `{v}`")))?)
+            }
+            "vertices" => vertices = Some(parse_usize(v)?),
+            "edges" => edges = Some(parse_usize(v)?),
+            "feature_len" => feature_len = Some(parse_usize(v)?),
+            "labels" => labels = Some(parse_usize(v)?),
+            "feature_sparsity" => feature_sparsity = Some(parse_f64(v)?),
+            "degree_gamma" => degree_gamma = Some(parse_f64(v)?),
+            "uniform_frac" => uniform_frac = Some(parse_f64(v)?),
+            other => return Err(bad(format!("gnnie spec: unknown key `{other}`"))),
+        }
+    }
+    let missing = |what: &str| bad(format!("gnnie spec: missing `{what}`"));
+    Ok(RecordedSpec {
+        spec: DatasetSpec {
+            dataset: dataset.ok_or_else(|| missing("dataset"))?,
+            vertices: vertices.ok_or_else(|| missing("vertices"))?,
+            edges: edges.ok_or_else(|| missing("edges"))?,
+            feature_len: feature_len.ok_or_else(|| missing("feature_len"))?,
+            labels: labels.ok_or_else(|| missing("labels"))?,
+            feature_sparsity: feature_sparsity.ok_or_else(|| missing("feature_sparsity"))?,
+            degree_gamma: degree_gamma.ok_or_else(|| missing("degree_gamma"))?,
+            uniform_frac: uniform_frac.ok_or_else(|| missing("uniform_frac"))?,
+        },
+        seed: seed.ok_or_else(|| missing("seed"))?,
+    })
+}
+
+/// Reads a binary CSR graph file (magic `GCSRBIN1`).
+///
+/// Layout, all little-endian: magic (8 bytes) · version `u32` ·
+/// `n: u64` · `num_edges: u64` · offsets (`n + 1` × `u64`) · neighbors
+/// (`2·num_edges` × `u32`) · word-wise checksum64 over everything before it.
+///
+/// # Errors
+///
+/// [`IngestError::Snapshot`] on truncation, checksum mismatch, version
+/// skew, or structurally invalid CSR content.
+pub fn read_binary_csr(path: &Path) -> Result<CsrGraph, IngestError> {
+    let data = std::fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    read_binary_csr_bytes(&data, &path.display().to_string())
+}
+
+/// [`read_binary_csr`] over an in-memory buffer; `what` names the source
+/// in errors.
+///
+/// # Errors
+///
+/// See [`read_binary_csr`].
+pub fn read_binary_csr_bytes(data: &[u8], what: &str) -> Result<CsrGraph, IngestError> {
+    let body = verify_checksummed(data, what)?;
+    let mut r = ByteReader::new(body, what);
+    let magic = r.bytes::<8>()?;
+    if magic != BINARY_CSR_MAGIC {
+        let which =
+            if magic == SNAPSHOT_MAGIC { " (this is a .gnniecsr snapshot)" } else { "" };
+        return Err(IngestError::Snapshot(format!("{what}: not a binary CSR file{which}")));
+    }
+    let version = r.u32()?;
+    if version != BINARY_CSR_VERSION {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: binary CSR version {version}, this build reads {BINARY_CSR_VERSION}"
+        )));
+    }
+    let n = r.len(r.remaining() / 8)?;
+    let num_edges = r.len(r.remaining() / 4)?;
+    let offsets = r.usize_vec(n + 1)?;
+    let neighbors = r.u32_vec(2 * num_edges)?;
+    if r.remaining() != 0 {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} trailing bytes after the neighbor array",
+            r.remaining()
+        )));
+    }
+    Ok(CsrGraph::from_raw_parts(offsets, neighbors, num_edges)?)
+}
+
+/// Splits a checksummed buffer into its body, verifying the trailing
+/// checksum64. Shared by the binary CSR and snapshot readers.
+pub(crate) fn verify_checksummed<'a>(
+    data: &'a [u8],
+    what: &str,
+) -> Result<&'a [u8], IngestError> {
+    if data.len() < 8 {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} bytes is too short to hold a checksum",
+            data.len()
+        )));
+    }
+    let (body, tail) = data.split_at(data.len() - 8);
+    let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+    let computed = checksum64(body);
+    if stored != computed {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: checksum mismatch (stored {stored:#018x}, computed {computed:#018x}) — \
+             file is corrupted or was not fully written"
+        )));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse_str(s: &str, format: EdgeListFormat) -> Result<ParsedEdgeList, IngestError> {
+        parse_edge_list_reader(Cursor::new(s), Path::new("<test>"), format)
+    }
+
+    #[test]
+    fn parses_all_dialects() {
+        for (s, f) in [
+            ("0 1\n1 2\n", EdgeListFormat::Whitespace),
+            ("0,1\n1,2\n", EdgeListFormat::Csv),
+            ("0\t1\n1\t2\n", EdgeListFormat::Tsv),
+        ] {
+            let p = parse_str(s, f).unwrap();
+            assert_eq!(p.pairs, vec![(0, 1), (1, 2)], "{f}");
+            assert_eq!(p.num_vertices(), 3, "{f}");
+        }
+    }
+
+    #[test]
+    fn weight_column_is_tolerated_but_four_fields_are_not() {
+        let p = parse_str("0 1 0.5\n", EdgeListFormat::Whitespace).unwrap();
+        assert_eq!(p.pairs, vec![(0, 1)]);
+        let err = parse_str("0 1 0.5 x\n", EdgeListFormat::Whitespace).unwrap_err();
+        assert!(err.to_string().contains(":1:"), "{err}");
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_str("0 1\n2 banana\n", EdgeListFormat::Whitespace).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains(":2:") && s.contains("banana"), "{s}");
+        let err = parse_str("0 1\n\n3\n", EdgeListFormat::Whitespace).unwrap_err();
+        assert!(err.to_string().contains(":3:"), "{err}");
+    }
+
+    #[test]
+    fn late_vertices_directive_points_at_the_offending_line() {
+        // The directive arrives after the edges: the error must name the
+        // line the out-of-range id came from, not the directive/EOF line.
+        let err = parse_str("0 1\n0 5\n1 2\n# gnnie vertices 3\n", EdgeListFormat::Whitespace)
+            .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains(":2:") && s.contains("vertex id 5"), "{s}");
+    }
+
+    #[test]
+    fn vertices_directive_declares_and_enforces_the_count() {
+        let p = parse_str("# gnnie vertices 10\n0 1\n", EdgeListFormat::Whitespace).unwrap();
+        assert_eq!(p.num_vertices(), 10);
+        let err =
+            parse_str("# gnnie vertices 2\n0 5\n", EdgeListFormat::Whitespace).unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains(":2:") && s.contains(">= declared vertex count 2"), "{s}");
+    }
+
+    #[test]
+    fn spec_directive_roundtrips() {
+        let s = "# gnnie spec dataset=cr vertices=135 edges=520 feature_len=1433 labels=7 \
+                 feature_sparsity=0.9873 degree_gamma=2.2 uniform_frac=0 seed=42\n0 1\n";
+        let p = parse_str(s, EdgeListFormat::Whitespace).unwrap();
+        let rec = p.recorded.unwrap();
+        assert_eq!(rec.seed, 42);
+        assert_eq!(rec.spec.vertices, 135);
+        assert_eq!(rec.spec.feature_len, 1433);
+        assert!((rec.spec.feature_sparsity - 0.9873).abs() < 1e-15);
+    }
+
+    #[test]
+    fn malformed_directives_fail_with_line_numbers() {
+        for s in [
+            "# gnnie vertices many\n",
+            "# gnnie teleport 3\n",
+            "# gnnie spec dataset=cr\n", // missing keys
+            "# gnnie spec notkv\n",
+        ] {
+            let err = parse_str(s, EdgeListFormat::Whitespace).unwrap_err();
+            assert!(err.to_string().contains(":1:"), "{s} -> {err}");
+        }
+        // Ordinary comments are not directives.
+        assert!(parse_str("# hello world\n0 1\n", EdgeListFormat::Whitespace).is_ok());
+    }
+
+    #[test]
+    fn empty_file_parses_to_zero_vertices() {
+        let p = parse_str("", EdgeListFormat::Whitespace).unwrap();
+        assert!(p.pairs.is_empty());
+        assert_eq!(p.num_vertices(), 0);
+    }
+
+    #[test]
+    fn checksum_guard_catches_flips() {
+        let mut data = b"payload".to_vec();
+        let sum = checksum64(&data);
+        data.extend_from_slice(&sum.to_le_bytes());
+        assert!(verify_checksummed(&data, "t").is_ok());
+        data[0] ^= 1;
+        assert!(verify_checksummed(&data, "t").is_err());
+        assert!(verify_checksummed(&[1, 2, 3], "t").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! The dataset registry: name/path → runnable [`GraphDataset`].
+//!
+//! Resolution order for a Table II dataset name:
+//!
+//! 1. a file in the data directory (`GNNIE_DATA_DIR` or an explicit
+//!    path), probed as `<stem>.<ext>` for stems `cora`/`cr` (etc.) and
+//!    extensions `.gnniecsr`, `.bcsr`, `.edges`, `.csv`, `.tsv` — in
+//!    that priority order (cache beats raw);
+//! 2. otherwise the existing Table II synthesizer — so everything keeps
+//!    working offline with no data directory at all.
+//!
+//! Explicit paths skip the probe: [`DatasetRegistry::load_path`] detects
+//! the format from the file's leading bytes and loads accordingly.
+//! Files without a recorded spec (foreign edge lists, binary CSR) get
+//! features synthesized from a fallback dataset's Table II statistics,
+//! sized to the actual graph.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use gnnie_graph::features::generate_features;
+use gnnie_graph::{CsrBuildStats, Dataset, DatasetSpec, GraphDataset};
+
+use crate::build::{build_csr_parallel, default_shards};
+use crate::error::IngestError;
+use crate::format::{detect_file_format, FileFormat};
+use crate::parse::{parse_edge_list, read_binary_csr, RecordedSpec};
+use crate::snapshot::read_snapshot;
+
+/// The seed-mixing constant of `DatasetSpec::generate`: features are
+/// always generated with `seed ^ FEATURE_SEED_MIX`, so file-backed loads
+/// reproduce synthesized features bit-for-bit.
+const FEATURE_SEED_MIX: u64 = 0xFEA7_0000;
+
+/// Where a resolved dataset comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceKind {
+    /// The offline Table II synthesizer.
+    Synthetic,
+    /// A text edge list on disk.
+    EdgeList(PathBuf),
+    /// A binary CSR file on disk.
+    BinaryCsr(PathBuf),
+    /// A `.gnniecsr` snapshot on disk.
+    Snapshot(PathBuf),
+}
+
+impl SourceKind {
+    /// The backing file, if any.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            SourceKind::Synthetic => None,
+            SourceKind::EdgeList(p) | SourceKind::BinaryCsr(p) | SourceKind::Snapshot(p) => {
+                Some(p)
+            }
+        }
+    }
+}
+
+impl fmt::Display for SourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceKind::Synthetic => f.write_str("synthetic"),
+            SourceKind::EdgeList(p) => write!(f, "edge list {}", p.display()),
+            SourceKind::BinaryCsr(p) => write!(f, "binary csr {}", p.display()),
+            SourceKind::Snapshot(p) => write!(f, "snapshot {}", p.display()),
+        }
+    }
+}
+
+/// A loaded dataset plus its provenance and (for parsed files) the
+/// build accounting.
+#[derive(Debug, Clone)]
+pub struct LoadOutcome {
+    /// The runnable dataset.
+    pub dataset: GraphDataset,
+    /// Where it came from.
+    pub source: SourceKind,
+    /// Parse/build accounting — present for edge-list loads, `None` for
+    /// snapshots and binary CSR (nothing is dropped on those paths).
+    pub stats: Option<CsrBuildStats>,
+    /// `true` when `dataset.spec` is authoritative (synthesis, snapshot,
+    /// or a recorded `gnnie spec` header); `false` when it was sized
+    /// from the fallback dataset's statistics (foreign edge list,
+    /// binary CSR).
+    pub recorded_spec: bool,
+}
+
+/// Resolves dataset names and paths to graphs; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct DatasetRegistry {
+    data_dir: Option<PathBuf>,
+}
+
+/// File stems probed for a dataset, most specific first.
+fn stems(dataset: Dataset) -> [&'static str; 2] {
+    match dataset {
+        Dataset::Cora => ["cora", "cr"],
+        Dataset::Citeseer => ["citeseer", "cs"],
+        Dataset::Pubmed => ["pubmed", "pb"],
+        Dataset::Ppi => ["ppi", "ppi"],
+        Dataset::Reddit => ["reddit", "rd"],
+    }
+}
+
+/// Extension probe order: the snapshot cache beats raw formats.
+const EXTENSIONS: [&str; 5] = ["gnniecsr", "bcsr", "edges", "csv", "tsv"];
+
+impl DatasetRegistry {
+    /// A registry over an explicit data directory (`None` = synthesis
+    /// only).
+    pub fn new(data_dir: Option<PathBuf>) -> Self {
+        Self { data_dir }
+    }
+
+    /// A registry over `$GNNIE_DATA_DIR` (unset/empty = synthesis only).
+    pub fn from_env() -> Self {
+        Self::new(std::env::var_os("GNNIE_DATA_DIR").filter(|v| !v.is_empty()).map(Into::into))
+    }
+
+    /// The data directory being probed, if any.
+    pub fn data_dir(&self) -> Option<&Path> {
+        self.data_dir.as_deref()
+    }
+
+    /// Where `dataset` currently resolves: the first existing candidate
+    /// file, else the synthesizer.
+    pub fn source_for(&self, dataset: Dataset) -> SourceKind {
+        let Some(dir) = &self.data_dir else {
+            return SourceKind::Synthetic;
+        };
+        for ext in EXTENSIONS {
+            for stem in stems(dataset) {
+                let path = dir.join(format!("{stem}.{ext}"));
+                if path.is_file() {
+                    return match ext {
+                        "gnniecsr" => SourceKind::Snapshot(path),
+                        "bcsr" => SourceKind::BinaryCsr(path),
+                        _ => SourceKind::EdgeList(path),
+                    };
+                }
+            }
+        }
+        SourceKind::Synthetic
+    }
+
+    /// Loads `dataset`: file-backed when a candidate file exists,
+    /// otherwise synthesized at `scale` with `seed` (file-backed loads
+    /// ignore `scale` — the file is what it is).
+    ///
+    /// # Errors
+    ///
+    /// Any [`IngestError`] from the file path; a file recorded for a
+    /// *different* dataset is rejected rather than silently served.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1` (synthesis path only).
+    pub fn load(
+        &self,
+        dataset: Dataset,
+        scale: f64,
+        seed: u64,
+    ) -> Result<LoadOutcome, IngestError> {
+        match self.source_for(dataset) {
+            SourceKind::Synthetic => Ok(LoadOutcome {
+                dataset: GraphDataset::generate(dataset, scale, seed),
+                source: SourceKind::Synthetic,
+                stats: None,
+                recorded_spec: true,
+            }),
+            source => {
+                let path = source.path().expect("file-backed source").to_path_buf();
+                let outcome = self.load_path_with(&path, dataset, seed, default_shards())?;
+                let got = outcome.dataset.spec.dataset;
+                if got != dataset {
+                    return Err(IngestError::Format(format!(
+                        "{}: file records dataset {} but {} was requested",
+                        path.display(),
+                        got.abbrev(),
+                        dataset.abbrev()
+                    )));
+                }
+                Ok(outcome)
+            }
+        }
+    }
+
+    /// Loads the dataset file at `path`, auto-detecting its format.
+    /// Foreign files (no recorded spec) synthesize features from
+    /// `fallback`'s Table II statistics, sized to the actual graph, with
+    /// `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`IngestError`] surfaced by detection, parsing, CSR
+    /// construction, or snapshot verification.
+    pub fn load_path(
+        &self,
+        path: &Path,
+        fallback: Dataset,
+        seed: u64,
+    ) -> Result<LoadOutcome, IngestError> {
+        self.load_path_with(path, fallback, seed, default_shards())
+    }
+
+    /// [`DatasetRegistry::load_path`] with an explicit shard count for
+    /// the parallel CSR builder.
+    ///
+    /// # Errors
+    ///
+    /// See [`DatasetRegistry::load_path`].
+    pub fn load_path_with(
+        &self,
+        path: &Path,
+        fallback: Dataset,
+        seed: u64,
+        shards: usize,
+    ) -> Result<LoadOutcome, IngestError> {
+        match detect_file_format(path)? {
+            FileFormat::Snapshot => Ok(LoadOutcome {
+                dataset: read_snapshot(path)?,
+                source: SourceKind::Snapshot(path.to_path_buf()),
+                stats: None,
+                recorded_spec: true,
+            }),
+            FileFormat::BinaryCsr => {
+                let graph = read_binary_csr(path)?;
+                let spec = spec_sized_to(fallback, graph.num_vertices(), graph.num_edges());
+                let features = regenerate_features(&spec, seed);
+                Ok(LoadOutcome {
+                    dataset: GraphDataset::from_parts(spec, graph, features),
+                    source: SourceKind::BinaryCsr(path.to_path_buf()),
+                    stats: None,
+                    recorded_spec: false,
+                })
+            }
+            FileFormat::EdgeList(format) => {
+                let parsed = parse_edge_list(path, format)?;
+                let (graph, stats) =
+                    build_csr_parallel(parsed.num_vertices(), &parsed.pairs, shards)?;
+                let recorded_spec = parsed.recorded.is_some();
+                let (spec, feature_seed) = match parsed.recorded {
+                    Some(RecordedSpec { spec, seed: recorded_seed }) => {
+                        if spec.vertices != graph.num_vertices() {
+                            return Err(IngestError::Format(format!(
+                                "{}: recorded spec says {} vertices but the file has {}",
+                                path.display(),
+                                spec.vertices,
+                                graph.num_vertices()
+                            )));
+                        }
+                        (spec, recorded_seed)
+                    }
+                    None => {
+                        (spec_sized_to(fallback, graph.num_vertices(), graph.num_edges()), seed)
+                    }
+                };
+                let features = regenerate_features(&spec, feature_seed);
+                Ok(LoadOutcome {
+                    dataset: GraphDataset::from_parts(spec, graph, features),
+                    source: SourceKind::EdgeList(path.to_path_buf()),
+                    stats: Some(stats),
+                    recorded_spec,
+                })
+            }
+        }
+    }
+}
+
+/// `fallback`'s Table II shape parameters, sized to an actual graph.
+fn spec_sized_to(fallback: Dataset, vertices: usize, edges: usize) -> DatasetSpec {
+    let mut spec = fallback.spec();
+    spec.vertices = vertices;
+    spec.edges = edges;
+    spec
+}
+
+/// Regenerates input features exactly as `DatasetSpec::generate` does.
+fn regenerate_features(spec: &DatasetSpec, seed: u64) -> gnnie_tensor::CsrMatrix {
+    generate_features(
+        spec.vertices,
+        spec.feature_len,
+        spec.feature_profile(),
+        seed ^ FEATURE_SEED_MIX,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{export_edge_list, write_binary_csr};
+    use crate::format::EdgeListFormat;
+    use crate::snapshot::write_snapshot;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("gnnie-registry-test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn no_data_dir_means_synthetic() {
+        let reg = DatasetRegistry::new(None);
+        assert_eq!(reg.source_for(Dataset::Cora), SourceKind::Synthetic);
+        let out = reg.load(Dataset::Cora, 0.02, 7).unwrap();
+        assert_eq!(out.source, SourceKind::Synthetic);
+        let direct = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        assert_eq!(out.dataset.graph, direct.graph);
+        assert_eq!(out.dataset.features, direct.features);
+    }
+
+    #[test]
+    fn snapshot_beats_edge_list_in_probe_order() {
+        let dir = tmpdir("probe");
+        let ds = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        let rec = RecordedSpec { spec: ds.spec, seed: 7 };
+        export_edge_list(
+            &dir.join("cora.edges"),
+            &ds.graph,
+            EdgeListFormat::Whitespace,
+            Some(&rec),
+        )
+        .unwrap();
+        let reg = DatasetRegistry::new(Some(dir.clone()));
+        assert!(matches!(reg.source_for(Dataset::Cora), SourceKind::EdgeList(_)));
+        write_snapshot(&dir.join("cora.gnniecsr"), &ds, false).unwrap();
+        assert!(matches!(reg.source_for(Dataset::Cora), SourceKind::Snapshot(_)));
+        // Other datasets still synthesize.
+        assert_eq!(reg.source_for(Dataset::Reddit), SourceKind::Synthetic);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_backed_load_reproduces_synthesis_exactly() {
+        let dir = tmpdir("exact");
+        let ds = GraphDataset::generate(Dataset::Citeseer, 0.05, 42);
+        let rec = RecordedSpec { spec: ds.spec, seed: 42 };
+        export_edge_list(&dir.join("cs.csv"), &ds.graph, EdgeListFormat::Csv, Some(&rec))
+            .unwrap();
+        let reg = DatasetRegistry::new(Some(dir.clone()));
+        let out = reg.load(Dataset::Citeseer, 0.9, 1234).unwrap(); // scale/seed ignored
+        assert_eq!(out.dataset.graph, ds.graph);
+        assert_eq!(out.dataset.features, ds.features);
+        assert_eq!(out.dataset.spec, ds.spec);
+        assert_eq!(out.stats.unwrap().edges, ds.graph.num_edges());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mismatched_dataset_file_is_rejected() {
+        let dir = tmpdir("mismatch");
+        let ds = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        // A Cora snapshot masquerading under the Pubmed stem.
+        write_snapshot(&dir.join("pubmed.gnniecsr"), &ds, false).unwrap();
+        let reg = DatasetRegistry::new(Some(dir.clone()));
+        let err = reg.load(Dataset::Pubmed, 1.0, 7).unwrap_err();
+        assert!(err.to_string().contains("records dataset CR"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_files_get_fallback_features() {
+        let dir = tmpdir("foreign");
+        let path = dir.join("web.edges");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n0 3\n").unwrap();
+        let reg = DatasetRegistry::new(None);
+        let out = reg.load_path(&path, Dataset::Cora, 99).unwrap();
+        assert_eq!(out.dataset.graph.num_vertices(), 4);
+        assert_eq!(out.dataset.spec.dataset, Dataset::Cora);
+        assert_eq!(out.dataset.spec.vertices, 4);
+        assert_eq!(out.dataset.features.rows(), 4);
+        assert_eq!(out.dataset.features.cols(), Dataset::Cora.spec().feature_len);
+        // Deterministic in the seed.
+        let again = reg.load_path(&path, Dataset::Cora, 99).unwrap();
+        assert_eq!(again.dataset.features, out.dataset.features);
+        // Binary CSR takes the same fallback path.
+        let bin = dir.join("web.bcsr");
+        write_binary_csr(&bin, &out.dataset.graph).unwrap();
+        let from_bin = reg.load_path(&bin, Dataset::Cora, 99).unwrap();
+        assert_eq!(from_bin.dataset.graph, out.dataset.graph);
+        assert_eq!(from_bin.dataset.features, out.dataset.features);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recorded_vertex_mismatch_is_rejected() {
+        let dir = tmpdir("vmismatch");
+        let ds = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        let mut spec = ds.spec;
+        spec.vertices += 5; // lie about the count
+        let rec = RecordedSpec { spec, seed: 7 };
+        let path = dir.join("lie.edges");
+        export_edge_list(&path, &ds.graph, EdgeListFormat::Whitespace, Some(&rec)).unwrap();
+        // The vertices directive (truthful) wins for graph size, so the
+        // recorded spec disagrees and the load is rejected.
+        let reg = DatasetRegistry::new(None);
+        let err = reg.load_path(&path, Dataset::Cora, 7).unwrap_err();
+        assert!(err.to_string().contains("recorded spec"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

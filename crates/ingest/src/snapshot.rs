@@ -1,0 +1,239 @@
+//! The versioned `.gnniecsr` binary snapshot cache.
+//!
+//! A snapshot freezes a complete [`GraphDataset`] — spec, CSR adjacency,
+//! and sparse input features — into one checksummed file, so expensive
+//! parse-and-build (or synthesis) runs once per graph (the Ginex-style
+//! "prepare offline, serve from cache" split). Reloading a snapshot
+//! reproduces the dataset bit-for-bit, which makes `InferenceReport`s
+//! from a snapshot byte-identical to reports from the original source.
+//!
+//! Snapshots are **write-once**: [`write_snapshot`] refuses to replace an
+//! existing file unless explicitly asked, because a cache that silently
+//! rewrites itself under a running experiment invalidates its results.
+//!
+//! Layout (all integers little-endian, values as IEEE-754 bit patterns):
+//! magic `GNNIECSR` · version `u32` · spec block · graph block · feature
+//! block · word-wise `checksum64` of everything before it.
+
+use std::path::Path;
+
+use gnnie_graph::{Dataset, DatasetSpec, GraphDataset};
+use gnnie_tensor::CsrMatrix;
+
+use crate::bytes::{checksum64, put_f64, put_u32, put_u64, ByteReader};
+use crate::error::IngestError;
+use crate::format::SNAPSHOT_MAGIC;
+
+/// Version of the snapshot layout this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Serializes `ds` to `path`.
+///
+/// # Errors
+///
+/// [`IngestError::Io`] if `path` already exists and `overwrite` is false
+/// (snapshots are write-once), or on any write failure.
+pub fn write_snapshot(
+    path: &Path,
+    ds: &GraphDataset,
+    overwrite: bool,
+) -> Result<(), IngestError> {
+    if !overwrite && path.exists() {
+        return Err(IngestError::io(
+            path,
+            "snapshot already exists (write-once; pass --force to replace)",
+        ));
+    }
+    let bytes = encode_snapshot(ds);
+    std::fs::write(path, bytes).map_err(|e| IngestError::io(path, e))
+}
+
+/// Reloads the dataset frozen at `path`.
+///
+/// # Errors
+///
+/// [`IngestError::Snapshot`] on checksum mismatch, truncation, version
+/// skew, or structurally invalid content; [`IngestError::Io`] on read
+/// failure.
+pub fn read_snapshot(path: &Path) -> Result<GraphDataset, IngestError> {
+    let data = std::fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    decode_snapshot(&data, &path.display().to_string())
+}
+
+/// In-memory serialization; see the module docs for the layout.
+pub fn encode_snapshot(ds: &GraphDataset) -> Vec<u8> {
+    let graph_bytes = ds.graph.offsets().len() * 8 + ds.graph.neighbors_flat().len() * 4;
+    let feat_bytes = ds.features.offsets().len() * 8 + ds.features.nnz() * 8;
+    let mut buf = Vec::with_capacity(128 + graph_bytes + feat_bytes);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    put_u32(&mut buf, SNAPSHOT_VERSION);
+    // Spec block.
+    let spec = &ds.spec;
+    let dataset_index =
+        Dataset::ALL.iter().position(|&d| d == spec.dataset).expect("Dataset::ALL is total")
+            as u32;
+    put_u32(&mut buf, dataset_index);
+    put_u64(&mut buf, spec.vertices as u64);
+    put_u64(&mut buf, spec.edges as u64);
+    put_u64(&mut buf, spec.feature_len as u64);
+    put_u64(&mut buf, spec.labels as u64);
+    put_f64(&mut buf, spec.feature_sparsity);
+    put_f64(&mut buf, spec.degree_gamma);
+    put_f64(&mut buf, spec.uniform_frac);
+    // Graph block.
+    put_u64(&mut buf, ds.graph.num_vertices() as u64);
+    put_u64(&mut buf, ds.graph.num_edges() as u64);
+    for &o in ds.graph.offsets() {
+        put_u64(&mut buf, o as u64);
+    }
+    for &w in ds.graph.neighbors_flat() {
+        put_u32(&mut buf, w);
+    }
+    // Feature block.
+    let f = &ds.features;
+    put_u64(&mut buf, f.rows() as u64);
+    put_u64(&mut buf, f.cols() as u64);
+    put_u64(&mut buf, f.nnz() as u64);
+    for &o in f.offsets() {
+        put_u64(&mut buf, o as u64);
+    }
+    for &c in f.col_indices() {
+        put_u32(&mut buf, c);
+    }
+    for &v in f.values() {
+        put_u32(&mut buf, v.to_bits());
+    }
+    let checksum = checksum64(&buf);
+    put_u64(&mut buf, checksum);
+    buf
+}
+
+/// In-memory deserialization; `what` names the source in errors.
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn decode_snapshot(data: &[u8], what: &str) -> Result<GraphDataset, IngestError> {
+    let body = crate::parse::verify_checksummed(data, what)?;
+    let mut r = ByteReader::new(body, what);
+    let magic = r.bytes::<8>()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: bad magic (not a .gnniecsr snapshot)"
+        )));
+    }
+    let version = r.u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+        )));
+    }
+    // Spec block.
+    let dataset_index = r.u32()? as usize;
+    let dataset = *Dataset::ALL.get(dataset_index).ok_or_else(|| {
+        IngestError::Snapshot(format!("{what}: dataset index {dataset_index} out of range"))
+    })?;
+    let spec = DatasetSpec {
+        dataset,
+        vertices: r.len(usize::MAX)?,
+        edges: r.len(usize::MAX)?,
+        feature_len: r.len(usize::MAX)?,
+        labels: r.len(usize::MAX)?,
+        feature_sparsity: r.f64()?,
+        degree_gamma: r.f64()?,
+        uniform_frac: r.f64()?,
+    };
+    // Graph block. Counts are capped by the bytes actually present so a
+    // corrupted header cannot drive a huge allocation.
+    let n = r.len(r.remaining() / 8)?;
+    let num_edges = r.len(r.remaining() / 4)?;
+    let offsets = r.usize_vec(n + 1)?;
+    let neighbors = r.u32_vec(2 * num_edges)?;
+    let graph = gnnie_graph::CsrGraph::from_raw_parts(offsets, neighbors, num_edges)?;
+    // Feature block.
+    let rows = r.len(r.remaining() / 8)?;
+    let cols = r.len(usize::MAX)?;
+    let nnz = r.len(r.remaining() / 8)?;
+    let foffsets = r.usize_vec(rows + 1)?;
+    let col_indices = r.u32_vec(nnz)?;
+    let values: Vec<f32> = r.u32_vec(nnz)?.into_iter().map(f32::from_bits).collect();
+    if r.remaining() != 0 {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} trailing bytes after the feature block",
+            r.remaining()
+        )));
+    }
+    let features = CsrMatrix::from_raw_parts(rows, cols, foffsets, col_indices, values)
+        .map_err(|e| IngestError::Snapshot(format!("{what}: feature block: {e}")))?;
+    if features.rows() != graph.num_vertices() {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} feature rows but {} vertices",
+            features.rows(),
+            graph.num_vertices()
+        )));
+    }
+    Ok(GraphDataset::from_parts(spec, graph, features))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> GraphDataset {
+        GraphDataset::generate(Dataset::Cora, 0.02, 9)
+    }
+
+    #[test]
+    fn encode_decode_roundtrips_bit_for_bit() {
+        let ds = tiny();
+        let bytes = encode_snapshot(&ds);
+        let re = decode_snapshot(&bytes, "mem").unwrap();
+        assert_eq!(re.graph, ds.graph);
+        assert_eq!(re.features, ds.features);
+        assert_eq!(re.spec, ds.spec);
+    }
+
+    #[test]
+    fn any_corruption_is_detected() {
+        let ds = tiny();
+        let bytes = encode_snapshot(&ds);
+        // Flip one bit at a spread of positions: header, graph, features,
+        // checksum itself.
+        for pos in [0, 9, 60, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x10;
+            assert!(decode_snapshot(&bad, "mem").is_err(), "flip at {pos} undetected");
+        }
+        // Truncation at any prefix fails.
+        assert!(decode_snapshot(&bytes[..bytes.len() - 3], "mem").is_err());
+        assert!(decode_snapshot(&[], "mem").is_err());
+    }
+
+    #[test]
+    fn version_skew_is_named() {
+        let ds = tiny();
+        let mut bytes = encode_snapshot(&ds);
+        bytes[8] = 99; // version field, little-endian low byte
+        let len = bytes.len();
+        let sum = checksum64(&bytes[..len - 8]);
+        bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+        let err = decode_snapshot(&bytes, "mem").unwrap_err();
+        assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn write_is_write_once() {
+        let dir = std::env::temp_dir().join("gnnie-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.gnniecsr");
+        std::fs::remove_file(&path).ok();
+        let ds = tiny();
+        write_snapshot(&path, &ds, false).unwrap();
+        let err = write_snapshot(&path, &ds, false).unwrap_err();
+        assert!(err.to_string().contains("write-once"), "{err}");
+        write_snapshot(&path, &ds, true).unwrap();
+        let re = read_snapshot(&path).unwrap();
+        assert_eq!(re.graph, ds.graph);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -229,9 +229,78 @@ impl CsrMatrix {
         Self::from_sparse_rows(dense.cols(), &rows)
     }
 
+    /// Reassembles a matrix from raw CSR arrays, validating the structure —
+    /// the reload path for `.gnniecsr` feature blocks (`gnnie-ingest`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidSparseStructure`] unless `offsets`
+    /// has `rows + 1` monotone entries starting at 0 and ending at the
+    /// nonzero count, `col_indices` and `values` are parallel, and every
+    /// row's column indices are strictly increasing and `< cols`.
+    pub fn from_raw_parts(
+        rows: usize,
+        cols: usize,
+        offsets: Vec<usize>,
+        col_indices: Vec<u32>,
+        values: Vec<f32>,
+    ) -> Result<Self, TensorError> {
+        let invalid = |msg: String| Err(TensorError::InvalidSparseStructure(msg));
+        if offsets.len() != rows + 1 {
+            return invalid(format!("{} offsets for {rows} rows", offsets.len()));
+        }
+        if offsets.first() != Some(&0) {
+            return invalid("offsets must start at 0".into());
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return invalid("offsets are not monotonically nondecreasing".into());
+        }
+        if col_indices.len() != values.len() {
+            return invalid(format!(
+                "{} column indices but {} values",
+                col_indices.len(),
+                values.len()
+            ));
+        }
+        if *offsets.last().expect("nonempty") != col_indices.len() {
+            return invalid(format!(
+                "offsets end at {} but there are {} nonzeros",
+                offsets[rows],
+                col_indices.len()
+            ));
+        }
+        for r in 0..rows {
+            let row_cols = &col_indices[offsets[r]..offsets[r + 1]];
+            if row_cols.windows(2).any(|w| w[0] >= w[1]) {
+                return invalid(format!("row {r}: column indices not strictly increasing"));
+            }
+            if let Some(&c) = row_cols.last() {
+                if c as usize >= cols {
+                    return invalid(format!("row {r}: column index {c} >= {cols}"));
+                }
+            }
+        }
+        Ok(Self { rows, cols, offsets, col_indices, values })
+    }
+
     /// `(rows, cols)` pair.
     pub fn shape(&self) -> (usize, usize) {
         (self.rows, self.cols)
+    }
+
+    /// The CSR row-offset array, length `rows + 1`.
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat column-index array, parallel to [`Self::values`].
+    pub fn col_indices(&self) -> &[u32] {
+        &self.col_indices
+    }
+
+    /// The flat nonzero-value array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
     }
 
     /// Number of rows.
@@ -445,5 +514,37 @@ mod tests {
         let d = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]);
         let m = CsrMatrix::from_dense(&d);
         assert!((m.sparsity() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csr_from_raw_parts_roundtrips() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 1.0, 0.0], &[2.0, 0.0, 3.0]]);
+        let m = CsrMatrix::from_dense(&d);
+        let re = CsrMatrix::from_raw_parts(
+            m.rows(),
+            m.cols(),
+            m.offsets().to_vec(),
+            m.col_indices().to_vec(),
+            m.values().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(re, m);
+    }
+
+    #[test]
+    fn csr_from_raw_parts_rejects_corruption() {
+        let m = CsrMatrix::from_dense(&DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 2.0]]));
+        let (off, cols, vals) =
+            (m.offsets().to_vec(), m.col_indices().to_vec(), m.values().to_vec());
+        // Offsets not covering all nonzeros.
+        assert!(
+            CsrMatrix::from_raw_parts(2, 2, vec![0, 1, 1], cols.clone(), vals.clone()).is_err()
+        );
+        // Column index out of range.
+        assert!(CsrMatrix::from_raw_parts(2, 2, off.clone(), vec![0, 9], vals.clone()).is_err());
+        // Parallel-array length mismatch.
+        assert!(CsrMatrix::from_raw_parts(2, 2, off.clone(), cols.clone(), vec![1.0]).is_err());
+        // Wrong offsets length.
+        assert!(CsrMatrix::from_raw_parts(3, 2, off, cols, vals).is_err());
     }
 }

@@ -1,8 +1,10 @@
 //! `gnnie` — command-line front end for the accelerator simulator.
 //!
 //! ```text
-//! gnnie run      --model gat --dataset cora [--scale 1.0] [--design e] [--seed 42] [--heads 8]
-//!                [--cache-policy paper|lru|lfu|belady]
+//! gnnie run      --model gat (--dataset cora | --graph path) [--scale 1.0] [--design e]
+//!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady]
+//! gnnie ingest   <path> [--out snapshot.gnniecsr] [--shards N] [--dataset cora]
+//!                [--seed 42] [--force]
 //! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
 //!                [--batch 8] [--policy fifo|affinity] [--workers 4] [--seed 42]
 //! gnnie compare  --dataset pubmed [--scale 1.0]
@@ -13,7 +15,9 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Instant;
 
 use gnnie::baselines::{AwbGcnModel, HygcnModel, PygCpuModel, PygGpuModel};
 use gnnie::core::config::Design;
@@ -21,7 +25,8 @@ use gnnie::core::verify::{verify_layers, ExpMode};
 use gnnie::gnn::flops::ModelWorkload;
 use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
-use gnnie::graph::{generate, SyntheticDataset};
+use gnnie::graph::{generate, GraphDataset, SyntheticDataset};
+use gnnie::ingest::{write_snapshot, DatasetRegistry, SourceKind};
 use gnnie::mem::CachePolicyKind;
 use gnnie::serve::{InferenceRequest, SchedulerPolicy, ServeConfig, Server};
 use gnnie::tensor::DenseMatrix;
@@ -46,19 +51,31 @@ fn reset_sigpipe() {
 fn reset_sigpipe() {}
 
 /// Every subcommand, in usage order (unknown-command errors list these).
-const COMMANDS: [&str; 7] = ["run", "serve", "compare", "verify", "comm", "datasets", "help"];
+const COMMANDS: [&str; 8] =
+    ["run", "ingest", "serve", "compare", "verify", "comm", "datasets", "help"];
 
 /// The flags each subcommand accepts; `parse_flags` rejects anything
 /// else by name so a typo (`--modle`) fails loudly instead of being
 /// silently ignored.
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     match command {
-        "run" => &["model", "dataset", "scale", "design", "seed", "heads", "cache-policy"],
+        "run" => {
+            &["model", "dataset", "graph", "scale", "design", "seed", "heads", "cache-policy"]
+        }
+        "ingest" => &["out", "shards", "dataset", "seed", "force"],
         "serve" => {
             &["requests", "models", "datasets", "scale", "seed", "batch", "policy", "workers"]
         }
         "compare" | "comm" => &["dataset", "scale", "seed"],
         "verify" => &["model", "vertices", "edges", "seed"],
+        _ => &[],
+    }
+}
+
+/// Flags that take no value (presence means `true`).
+fn boolean_flags(command: &str) -> &'static [&'static str] {
+    match command {
+        "ingest" => &["force"],
         _ => &[],
     }
 }
@@ -79,7 +96,20 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::FAILURE;
     }
-    let flags = match parse_flags(&args[1..], allowed_flags(command)) {
+    // `ingest` takes its input file as a positional argument.
+    let (positional, flag_args) = if command == "ingest" {
+        match args.get(1) {
+            Some(p) if !p.starts_with("--") => (Some(p.as_str()), &args[2..]),
+            _ => {
+                eprintln!("error: ingest needs an input <path> before any flags");
+                usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        (None, &args[1..])
+    };
+    let flags = match parse_flags(flag_args, allowed_flags(command), boolean_flags(command)) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}");
@@ -89,6 +119,7 @@ fn main() -> ExitCode {
     };
     let result = match command {
         "run" => cmd_run(&flags),
+        "ingest" => cmd_ingest(positional.expect("checked above"), &flags),
         "serve" => cmd_serve(&flags),
         "compare" => cmd_compare(&flags),
         "verify" => cmd_verify(&flags),
@@ -113,9 +144,13 @@ fn usage() {
         "gnnie — GNN inference engine simulator (GNNIE, DAC 2022 reproduction)\n\
          \n\
          commands:\n\
-         \x20 run      --model <gcn|sage|gat|gin|diffpool> --dataset <cr|cs|pb|ppi|rd>\n\
-         \x20          [--scale 0.0-1.0] [--design a|b|c|d|e] [--seed N] [--heads K]\n\
+         \x20 run      --model <gcn|sage|gat|gin|diffpool>\n\
+         \x20          (--dataset <cr|cs|pb|ppi|rd> [--scale 0.0-1.0] | --graph <path>)\n\
+         \x20          [--design a|b|c|d|e] [--seed N] [--heads K]\n\
          \x20          [--cache-policy paper|lru|lfu|belady]\n\
+         \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
+         \x20          [--seed N] [--force]\n\
+         \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
          \x20 serve    [--requests N] [--models gcn,gat] [--datasets cr,pb] [--scale ...]\n\
          \x20          [--batch N] [--policy fifo|affinity] [--workers N] [--seed N]\n\
          \x20          batched + pipelined serving of a request mix\n\
@@ -127,7 +162,11 @@ fn usage() {
     );
 }
 
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    boolean: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -143,8 +182,12 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
                 format!("unknown flag `--{key}` (expected one of: {expected})")
             });
         }
-        let value = it.next().ok_or_else(|| format!("flag `--{key}` needs a value"))?;
-        if flags.insert(key.to_string(), value.clone()).is_some() {
+        let value = if boolean.contains(&key) {
+            "true".to_string()
+        } else {
+            it.next().ok_or_else(|| format!("flag `--{key}` needs a value"))?.clone()
+        };
+        if flags.insert(key.to_string(), value).is_some() {
             return Err(format!("flag `--{key}` given more than once"));
         }
     }
@@ -163,14 +206,7 @@ fn model_token(tok: &str) -> Result<GnnModel, String> {
 }
 
 fn dataset_token(tok: &str) -> Result<Dataset, String> {
-    match tok.to_lowercase().as_str() {
-        "cr" | "cora" => Ok(Dataset::Cora),
-        "cs" | "citeseer" => Ok(Dataset::Citeseer),
-        "pb" | "pubmed" => Ok(Dataset::Pubmed),
-        "ppi" => Ok(Dataset::Ppi),
-        "rd" | "reddit" => Ok(Dataset::Reddit),
-        other => Err(format!("unknown dataset `{other}`")),
-    }
+    tok.parse()
 }
 
 fn parse_model(flags: &HashMap<String, String>) -> Result<GnnModel, String> {
@@ -249,12 +285,106 @@ fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, Strin
     }
 }
 
+/// A dataset resolved for `run`, plus how to title it in the report.
+#[derive(Debug)]
+struct RunDataset {
+    ds: GraphDataset,
+    /// Display label: the dataset name, or the file name with the
+    /// fallback profile for foreign graphs.
+    label: String,
+    /// Scale to print; `None` for foreign graphs where a Table II scale
+    /// is meaningless.
+    scale: Option<f64>,
+}
+
+/// Emits the stderr provenance line for a file-backed load (stdout stays
+/// byte-comparable across file-backed and synthesized runs).
+fn note_loaded(out: &gnnie::ingest::LoadOutcome) {
+    eprintln!(
+        "[loaded {} vertices / {} edges from {}]",
+        out.dataset.graph.num_vertices(),
+        out.dataset.graph.num_edges(),
+        out.source
+    );
+}
+
+/// Scale implied by a loaded spec relative to the full-size dataset —
+/// agrees with the `--scale` flag to two printed decimals for exported
+/// datasets, keeping `run --graph` output byte-identical to the matching
+/// `run --dataset` output.
+fn derived_scale(ds: &GraphDataset) -> f64 {
+    ds.spec.vertices as f64 / ds.spec.dataset.spec().vertices as f64
+}
+
+/// Resolves the dataset for `run`. `--graph <path>` loads any supported
+/// file format; `--dataset <name>` goes through the registry too, so a
+/// file in `GNNIE_DATA_DIR` wins over synthesis (exactly what
+/// `gnnie datasets` advertises). With `--graph`, `--dataset` selects the
+/// fallback feature profile for files that carry no recorded spec.
+fn resolve_run_dataset(flags: &HashMap<String, String>) -> Result<RunDataset, String> {
+    let seed = parse_seed(flags)?;
+    let registry = DatasetRegistry::from_env();
+    let Some(path) = flags.get("graph") else {
+        let dataset = parse_dataset(flags)?;
+        let scale = parse_scale(flags, dataset)?;
+        let out = registry.load(dataset, scale, seed).map_err(|e| e.to_string())?;
+        let scale = match out.source {
+            SourceKind::Synthetic => scale,
+            _ => {
+                if flags.contains_key("scale") {
+                    eprintln!("[note: --scale ignored, {} is file-backed]", dataset.abbrev());
+                }
+                note_loaded(&out);
+                derived_scale(&out.dataset)
+            }
+        };
+        return Ok(RunDataset {
+            ds: out.dataset,
+            label: dataset.name().to_string(),
+            scale: Some(scale),
+        });
+    };
+    if flags.contains_key("scale") {
+        return Err("--scale applies only to synthesized --dataset runs".into());
+    }
+    let fallback = match flags.get("dataset") {
+        Some(tok) => dataset_token(tok)?,
+        None => Dataset::Cora,
+    };
+    let out = registry.load_path(Path::new(path), fallback, seed).map_err(|e| e.to_string())?;
+    note_loaded(&out);
+    if out.recorded_spec {
+        let recorded = out.dataset.spec.dataset;
+        if flags.contains_key("dataset") && recorded != fallback {
+            return Err(format!(
+                "{path}: file records dataset {} but --dataset {} was given",
+                recorded.abbrev(),
+                fallback.abbrev()
+            ));
+        }
+        let scale = derived_scale(&out.dataset);
+        Ok(RunDataset {
+            label: recorded.name().to_string(),
+            scale: Some(scale),
+            ds: out.dataset,
+        })
+    } else {
+        // Foreign graph: title it by its file, not a dataset it isn't.
+        let file = Path::new(path)
+            .file_name()
+            .map_or_else(|| path.to_string(), |f| f.to_string_lossy().into_owned());
+        Ok(RunDataset {
+            label: format!("{file} [{} feature profile]", fallback.name()),
+            scale: None,
+            ds: out.dataset,
+        })
+    }
+}
+
 fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     let model = parse_model(flags)?;
-    let dataset = parse_dataset(flags)?;
-    let scale = parse_scale(flags, dataset)?;
-    let seed = parse_seed(flags)?;
-    let ds = SyntheticDataset::generate(dataset, scale, seed);
+    let RunDataset { ds, label, scale } = resolve_run_dataset(flags)?;
+    let dataset = ds.spec.dataset;
     let mut config = match parse_design(flags)? {
         Some(d) => AcceleratorConfig::with_design(
             d,
@@ -281,14 +411,16 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     let engine = Engine::new(config);
     let report = engine.run(&model_config, &ds);
+    let size = match scale {
+        Some(s) => {
+            format!("scale {s:.2}: {} vertices, {} edges", report.vertices, report.edges)
+        }
+        None => format!("{} vertices, {} edges", report.vertices, report.edges),
+    };
     println!(
-        "{}{} on {} (scale {:.2}: {} vertices, {} edges)",
+        "{}{} on {label} ({size})",
         model.name(),
         if heads > 1 { format!(" ({heads} heads)") } else { String::new() },
-        dataset.name(),
-        scale,
-        report.vertices,
-        report.edges
     );
     println!(
         "  latency  {:>12.2} us  ({} cycles @ {:.1} GHz)",
@@ -321,6 +453,62 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         refetches
     );
     println!("  effective {:>11.2} TOPS", report.effective_tops());
+    Ok(())
+}
+
+fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = Path::new(path);
+    let seed = parse_seed(flags)?;
+    let shards = parse_positive(flags, "shards", gnnie::ingest::default_shards())?;
+    let force = flags.contains_key("force");
+    // Fallback dataset whose Table II statistics size the synthesized
+    // features when the file carries no recorded spec.
+    let fallback = match flags.get("dataset") {
+        Some(tok) => dataset_token(tok)?,
+        None => Dataset::Cora,
+    };
+    let out_path = match flags.get("out") {
+        Some(p) => PathBuf::from(p),
+        None => input.with_extension("gnniecsr"),
+    };
+
+    let registry = DatasetRegistry::from_env();
+    let t0 = Instant::now();
+    let loaded =
+        registry.load_path_with(input, fallback, seed, shards).map_err(|e| e.to_string())?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    write_snapshot(&out_path, &loaded.dataset, force).map_err(|e| e.to_string())?;
+    let write_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    let ds = &loaded.dataset;
+    println!("ingested {} ({})", input.display(), loaded.source);
+    println!(
+        "  graph    {:>10} vertices  {:>12} edges  (max degree {})",
+        ds.graph.num_vertices(),
+        ds.graph.num_edges(),
+        ds.graph.max_degree()
+    );
+    if let Some(stats) = loaded.stats {
+        println!(
+            "  cleaned  {:>10} input edges: {} self-loops dropped, {} duplicates collapsed",
+            stats.input_edges, stats.self_loops, stats.duplicates
+        );
+    }
+    println!(
+        "  features {:>10} x {} ({:.2}% sparse)",
+        ds.features.rows(),
+        ds.features.cols(),
+        ds.features.sparsity() * 100.0
+    );
+    println!("  parse+build {:>8.1} ms over {} shard(s)", load_ms, shards);
+    let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
+    println!(
+        "  snapshot {} ({} bytes, written in {:.1} ms)",
+        out_path.display(),
+        bytes,
+        write_ms
+    );
     Ok(())
 }
 
@@ -520,21 +708,35 @@ fn cmd_comm(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_datasets() -> Result<(), String> {
+    let registry = DatasetRegistry::from_env();
     println!(
-        "{:6} {:>9} {:>12} {:>6} {:>7} {:>9}",
+        "{:6} {:>9} {:>12} {:>6} {:>7} {:>9}  source",
         "name", "|V|", "|E|", "feat", "labels", "sparsity"
     );
     for dataset in Dataset::ALL {
         let s = dataset.spec();
+        let source = registry.source_for(dataset);
         println!(
-            "{:6} {:>9} {:>12} {:>6} {:>7} {:>8.2}%",
+            "{:6} {:>9} {:>12} {:>6} {:>7} {:>8.2}%  {}",
             dataset.abbrev(),
             s.vertices,
             s.edges,
             s.feature_len,
             s.labels,
-            s.feature_sparsity * 100.0
+            s.feature_sparsity * 100.0,
+            source
         );
+    }
+    match registry.data_dir() {
+        Some(dir) => println!(
+            "\nfile-backed datasets resolve from GNNIE_DATA_DIR={} for `gnnie run \
+             --dataset` (probe order: .gnniecsr, .bcsr, .edges, .csv, .tsv)",
+            dir.display()
+        ),
+        None => println!(
+            "\nall synthetic (set GNNIE_DATA_DIR, or pass --graph <path> to `gnnie run`, \
+             to use real graphs)"
+        ),
     }
     Ok(())
 }
@@ -554,26 +756,29 @@ mod tests {
     #[test]
     fn parse_flags_accepts_pairs_and_rejects_bare_args() {
         let run = allowed_flags("run");
-        let f = parse_flags(&args(&["--model", "gat", "--seed", "7"]), run).unwrap();
+        let f = parse_flags(&args(&["--model", "gat", "--seed", "7"]), run, &[]).unwrap();
         assert_eq!(f.get("model").map(String::as_str), Some("gat"));
         assert_eq!(f.get("seed").map(String::as_str), Some("7"));
-        assert!(parse_flags(&args(&["oops"]), run).is_err());
-        let missing = parse_flags(&args(&["--model"]), run).unwrap_err();
+        assert!(parse_flags(&args(&["oops"]), run, &[]).is_err());
+        let missing = parse_flags(&args(&["--model"]), run, &[]).unwrap_err();
         assert!(missing.contains("--model"), "names the flag: {missing}");
     }
 
     #[test]
     fn parse_flags_names_the_offending_flag() {
         // A typo must fail loudly, naming the flag and the valid set.
-        let err = parse_flags(&args(&["--modle", "gat"]), allowed_flags("run")).unwrap_err();
+        let err =
+            parse_flags(&args(&["--modle", "gat"]), allowed_flags("run"), &[]).unwrap_err();
         assert!(err.contains("--modle"), "offending flag named: {err}");
         assert!(err.contains("--model"), "valid flags listed: {err}");
         // Commands without flags say so.
-        let err = parse_flags(&args(&["--x", "1"]), allowed_flags("datasets")).unwrap_err();
+        let err =
+            parse_flags(&args(&["--x", "1"]), allowed_flags("datasets"), &[]).unwrap_err();
         assert!(err.contains("--x") && err.contains("no flags"), "{err}");
         // Duplicates are rejected by name.
-        let err = parse_flags(&args(&["--seed", "1", "--seed", "2"]), allowed_flags("run"))
-            .unwrap_err();
+        let err =
+            parse_flags(&args(&["--seed", "1", "--seed", "2"]), allowed_flags("run"), &[])
+                .unwrap_err();
         assert!(err.contains("--seed") && err.contains("more than once"), "{err}");
     }
 
@@ -582,9 +787,42 @@ mod tests {
         for cmd in COMMANDS {
             // The table is total over COMMANDS (help/datasets take none).
             let _ = allowed_flags(cmd);
+            let _ = boolean_flags(cmd);
         }
         assert!(allowed_flags("serve").contains(&"policy"));
         assert!(allowed_flags("run").contains(&"cache-policy"));
+        assert!(allowed_flags("run").contains(&"graph"));
+        assert!(allowed_flags("ingest").contains(&"out"));
+        assert!(COMMANDS.contains(&"ingest"));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let f = parse_flags(
+            &args(&["--force", "--shards", "4"]),
+            allowed_flags("ingest"),
+            boolean_flags("ingest"),
+        )
+        .unwrap();
+        assert_eq!(f.get("force").map(String::as_str), Some("true"));
+        assert_eq!(f.get("shards").map(String::as_str), Some("4"));
+        // Without the boolean table, --force would swallow the next flag.
+        assert!(parse_flags(&args(&["--force"]), allowed_flags("ingest"), &[]).is_err());
+    }
+
+    #[test]
+    fn run_rejects_graph_conflicts_and_missing_files() {
+        let err =
+            resolve_run_dataset(&flags(&[("graph", "/nope"), ("scale", "0.5")])).unwrap_err();
+        assert!(err.contains("--scale"), "{err}");
+        // A missing file surfaces the ingest error, not a panic.
+        let err = resolve_run_dataset(&flags(&[("graph", "/definitely/missing")])).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        // --dataset alongside --graph is the fallback-profile selector and
+        // must still validate its token.
+        let err = resolve_run_dataset(&flags(&[("graph", "/nope"), ("dataset", "imdb")]))
+            .unwrap_err();
+        assert!(err.contains("imdb"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,7 @@
 //! |---|---|
 //! | [`tensor`] | dense/sparse kernels, RLC codec, exp LUT, histograms |
 //! | [`graph`] | CSR graphs, power-law generators, Table II dataset synthesizers |
+//! | [`ingest`] | real-graph loading: edge-list/CSR parsers, parallel CSR builder, `.gnniecsr` snapshots, dataset registry |
 //! | [`mem`] | HBM model, SRAM buffers, the degree-aware cache, energy ledger |
 //! | [`gnn`] | golden GCN/GraphSAGE/GAT/GINConv/DiffPool + workload accounting |
 //! | [`core`] | the accelerator: schedulers, cycle/energy engine, functional verification |
@@ -64,6 +65,7 @@ pub use gnnie_baselines as baselines;
 pub use gnnie_core as core;
 pub use gnnie_gnn as gnn;
 pub use gnnie_graph as graph;
+pub use gnnie_ingest as ingest;
 pub use gnnie_mem as mem;
 pub use gnnie_serve as serve;
 pub use gnnie_tensor as tensor;

@@ -1,12 +1,25 @@
-//! End-to-end tests of the `gnnie` binary: cache-policy selection and the
-//! SIGPIPE-safe stdout path (`gnnie ... | head` must end quietly).
+//! End-to-end tests of the `gnnie` binary: cache-policy selection, the
+//! SIGPIPE-safe stdout path (`gnnie ... | head` must end quietly), and
+//! the ingestion round trip (`ingest` + `run --graph`).
 
+use std::path::PathBuf;
 use std::process::Command;
+
+use gnnie::graph::{Dataset, GraphDataset};
+use gnnie::ingest::{export_edge_list, EdgeListFormat, RecordedSpec};
 
 const BIN: &str = env!("CARGO_BIN_EXE_gnnie");
 
 fn run_args(args: &[&str]) -> std::process::Output {
     Command::new(BIN).args(args).output().expect("spawn gnnie")
+}
+
+/// A fresh temp dir for one test (std-only; no tempfile crate).
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("gnnie-cli-test").join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
 }
 
 #[test]
@@ -139,4 +152,191 @@ fn unknown_command_lists_every_subcommand() {
     for cmd in ["run", "serve", "compare", "verify", "comm", "datasets", "help"] {
         assert!(stderr.contains(cmd), "`{cmd}` missing from:\n{stderr}");
     }
+}
+
+#[test]
+fn datasets_listing_shows_provenance() {
+    let out = run_args(&["datasets"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("source"), "source column present:\n{stdout}");
+    // No GNNIE_DATA_DIR in the test environment: everything synthesizes.
+    for abbrev in ["CR", "CS", "PB", "PPI", "RD"] {
+        assert!(stdout.contains(abbrev), "{abbrev} listed:\n{stdout}");
+    }
+    assert!(stdout.contains("synthetic"), "synthetic provenance shown:\n{stdout}");
+}
+
+/// The round-trip acceptance criterion: a Table II dataset exported to an
+/// edge list and run via `--graph` produces a byte-identical report to
+/// `--dataset`, both directly and through a `gnnie ingest` snapshot.
+#[test]
+fn run_graph_reproduces_run_dataset_byte_for_byte() {
+    let dir = tmpdir("roundtrip");
+    let (scale, seed) = (0.05, 42u64);
+    let ds = GraphDataset::generate(Dataset::Cora, scale, seed);
+    let edges = dir.join("cora-export.edges");
+    export_edge_list(
+        &edges,
+        &ds.graph,
+        EdgeListFormat::Whitespace,
+        Some(&RecordedSpec { spec: ds.spec, seed }),
+    )
+    .unwrap();
+
+    let baseline = run_args(&[
+        "run",
+        "--model",
+        "gcn",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--seed",
+        "42",
+    ]);
+    assert!(
+        baseline.status.success(),
+        "baseline run: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+    let from_file = run_args(&["run", "--model", "gcn", "--graph", edges.to_str().unwrap()]);
+    assert!(
+        from_file.status.success(),
+        "file run: {}",
+        String::from_utf8_lossy(&from_file.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&baseline.stdout),
+        String::from_utf8_lossy(&from_file.stdout),
+        "file-backed report must be byte-identical to the synthesized one"
+    );
+
+    // Ingest to a snapshot and run from that, too.
+    let snap = dir.join("cora-export.gnniecsr");
+    let ingest = run_args(&["ingest", edges.to_str().unwrap(), "--shards", "3"]);
+    assert!(ingest.status.success(), "ingest: {}", String::from_utf8_lossy(&ingest.stderr));
+    let istdout = String::from_utf8_lossy(&ingest.stdout);
+    assert!(istdout.contains("self-loops dropped"), "{istdout}");
+    assert!(istdout.contains("snapshot"), "{istdout}");
+    assert!(snap.is_file(), "default --out is <input>.gnniecsr");
+    let from_snap = run_args(&["run", "--model", "gcn", "--graph", snap.to_str().unwrap()]);
+    assert!(
+        from_snap.status.success(),
+        "snapshot run: {}",
+        String::from_utf8_lossy(&from_snap.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&baseline.stdout),
+        String::from_utf8_lossy(&from_snap.stdout),
+        "snapshot-backed report must be byte-identical as well"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_is_write_once_unless_forced() {
+    let dir = tmpdir("write-once");
+    let edges = dir.join("tiny.edges");
+    std::fs::write(&edges, "0 1\n1 2\n2 0\n").unwrap();
+    let first = run_args(&["ingest", edges.to_str().unwrap()]);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let second = run_args(&["ingest", edges.to_str().unwrap()]);
+    assert!(!second.status.success(), "second ingest must refuse to overwrite");
+    let stderr = String::from_utf8_lossy(&second.stderr);
+    assert!(stderr.contains("write-once"), "{stderr}");
+    let forced = run_args(&["ingest", edges.to_str().unwrap(), "--force"]);
+    assert!(forced.status.success(), "{}", String::from_utf8_lossy(&forced.stderr));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingest_reports_parse_errors_with_line_numbers() {
+    let dir = tmpdir("parse-error");
+    let edges = dir.join("bad.edges");
+    std::fs::write(&edges, "0 1\n1 banana\n").unwrap();
+    let out = run_args(&["ingest", edges.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(":2:") && stderr.contains("banana"), "{stderr}");
+    // Malformed graph content (id beyond the declared count) is typed too.
+    let edges2 = dir.join("oob.edges");
+    std::fs::write(&edges2, "# gnnie vertices 2\n0 1\n1 7\n").unwrap();
+    let out = run_args(&["ingest", edges2.to_str().unwrap()]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains(":3:") && stderr.contains("declared vertex count"), "{stderr}");
+    // A missing positional path is a usage error.
+    let out = run_args(&["ingest", "--out", "x.gnniecsr"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("<path>"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// With GNNIE_DATA_DIR set, `run --dataset` must serve the file-backed
+/// graph (what `gnnie datasets` advertises) — and for an exported Table
+/// II dataset the report stays byte-identical to the synthesized run.
+#[test]
+fn data_dir_backs_run_dataset_and_datasets_listing() {
+    let dir = tmpdir("data-dir");
+    let (scale, seed) = (0.05, 42u64);
+    let ds = GraphDataset::generate(Dataset::Cora, scale, seed);
+    export_edge_list(
+        &dir.join("cora.edges"),
+        &ds.graph,
+        EdgeListFormat::Whitespace,
+        Some(&RecordedSpec { spec: ds.spec, seed }),
+    )
+    .unwrap();
+
+    let synthetic = run_args(&[
+        "run",
+        "--model",
+        "gcn",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--seed",
+        "42",
+    ]);
+    assert!(synthetic.status.success());
+    let backed = Command::new(BIN)
+        .args(["run", "--model", "gcn", "--dataset", "cora", "--seed", "42"])
+        .env("GNNIE_DATA_DIR", &dir)
+        .output()
+        .expect("spawn gnnie");
+    assert!(backed.status.success(), "{}", String::from_utf8_lossy(&backed.stderr));
+    let stderr = String::from_utf8_lossy(&backed.stderr);
+    assert!(stderr.contains("cora.edges"), "provenance on stderr:\n{stderr}");
+    assert_eq!(
+        String::from_utf8_lossy(&synthetic.stdout),
+        String::from_utf8_lossy(&backed.stdout),
+        "file-backed --dataset run must match the synthesized report byte for byte"
+    );
+
+    let listing = Command::new(BIN)
+        .arg("datasets")
+        .env("GNNIE_DATA_DIR", &dir)
+        .output()
+        .expect("spawn gnnie");
+    let stdout = String::from_utf8_lossy(&listing.stdout);
+    assert!(stdout.contains("cora.edges"), "listing shows the file:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Foreign graphs (no recorded spec) are titled by their file, not by a
+/// dataset they are not.
+#[test]
+fn foreign_graph_reports_are_labeled_honestly() {
+    let dir = tmpdir("foreign-label");
+    let path = dir.join("web.edges");
+    std::fs::write(&path, "0 1\n1 2\n2 3\n3 0\n").unwrap();
+    let out = run_args(&["run", "--model", "gcn", "--graph", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("web.edges"), "titled by file:\n{stdout}");
+    assert!(!stdout.contains("on Cora"), "must not claim to be Cora:\n{stdout}");
+    assert!(stdout.contains("feature profile"), "profile named:\n{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
 }
