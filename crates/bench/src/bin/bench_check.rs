@@ -1,0 +1,132 @@
+//! `bench_check` — the CI perf-regression gate over the `BENCH_*.json`
+//! trajectory (see `gnnie_bench::gate`).
+//!
+//! ```text
+//! bench_check [--baseline-dir bench/baselines] [--tolerance 0.10]
+//!             [--write-baselines] <BENCH_artifact.json>...
+//! ```
+//!
+//! For each artifact: reduce it to its headline metrics, compare them
+//! against the checked-in baseline, and print the per-metric delta
+//! table. Any metric more than the tolerance below its baseline fails
+//! the run (exit 1). `--write-baselines` instead rewrites the baseline
+//! files from the fresh artifacts — the README's workflow for
+//! intentional trajectory changes.
+
+use gnnie_bench::gate;
+use gnnie_bench::json::Json;
+
+fn main() {
+    let mut baseline_dir = String::from("bench/baselines");
+    let mut tolerance = gate::DEFAULT_TOLERANCE;
+    let mut write_baselines = false;
+    let mut artifacts: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline-dir" => match args.next() {
+                Some(dir) => baseline_dir = dir,
+                None => usage_exit("--baseline-dir needs a value"),
+            },
+            "--tolerance" => match args.next().and_then(|t| t.parse::<f64>().ok()) {
+                Some(t) if t > 0.0 && t < 1.0 => tolerance = t,
+                _ => usage_exit("--tolerance needs a fraction in (0, 1)"),
+            },
+            "--write-baselines" => write_baselines = true,
+            other if other.starts_with("--") => usage_exit(&format!("unknown flag `{other}`")),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        usage_exit("at least one BENCH_*.json artifact is required");
+    }
+
+    let mut failed = false;
+    for artifact in &artifacts {
+        match check_one(artifact, &baseline_dir, tolerance, write_baselines) {
+            Ok(regressed) => failed |= regressed,
+            Err(e) => {
+                eprintln!("error: {artifact}: {e}");
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if failed {
+        eprintln!(
+            "bench gate FAILED: a headline metric regressed more than {:.0}% \
+             (rerun the benches and, if the change is intentional, refresh \
+             bench/baselines with --write-baselines)",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench gate OK: every headline metric within {:.0}%", tolerance * 100.0);
+}
+
+/// Gates one artifact; returns whether it regressed.
+fn check_one(
+    artifact: &str,
+    baseline_dir: &str,
+    tolerance: f64,
+    write_baselines: bool,
+) -> Result<bool, String> {
+    let text = std::fs::read_to_string(artifact).map_err(|e| format!("read: {e}"))?;
+    let json = Json::parse(&text).map_err(|e| format!("parse: {e}"))?;
+    let current = gate::headline_metrics(artifact, &json)?;
+    let baseline_path = format!("{baseline_dir}/{}", gate::baseline_file_for(artifact)?);
+
+    if write_baselines {
+        // Wall-clock baselines are deliberately conservative: never raise
+        // one above its committed value (a fast dev box would bake in a
+        // number shared CI runners can never meet). Deterministic metrics
+        // are refreshed verbatim.
+        let mut to_write = current.clone();
+        if let Ok(prev_text) = std::fs::read_to_string(&baseline_path) {
+            if let Ok(prev) = gate::parse_baseline(&prev_text) {
+                for m in &mut to_write {
+                    if !gate::is_wall_clock(&m.name) {
+                        continue;
+                    }
+                    if let Some(p) = prev.iter().find(|b| b.name == m.name) {
+                        if p.value < m.value {
+                            println!(
+                                "  {}: keeping conservative baseline {:.4} \
+                                 (measured {:.4}; raise it by editing {})",
+                                m.name, p.value, m.value, baseline_path
+                            );
+                            m.value = p.value;
+                        }
+                    }
+                }
+            }
+        }
+        std::fs::write(&baseline_path, gate::render_baseline(artifact, &to_write))
+            .map_err(|e| format!("write {baseline_path}: {e}"))?;
+        println!("{artifact}: wrote {baseline_path}");
+        for m in &to_write {
+            println!("  {:<34} {:.4}", m.name, m.value);
+        }
+        return Ok(false);
+    }
+
+    let baseline_text = std::fs::read_to_string(&baseline_path).map_err(|e| {
+        format!("read baseline {baseline_path}: {e} (commit one with --write-baselines)")
+    })?;
+    let baseline =
+        gate::parse_baseline(&baseline_text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let deltas = gate::compare(&baseline, &current, tolerance);
+    for line in gate::render_deltas(artifact, &deltas, tolerance) {
+        println!("{line}");
+    }
+    Ok(deltas.iter().any(|d| d.regressed))
+}
+
+fn usage_exit(msg: &str) -> ! {
+    eprintln!(
+        "error: {msg}\nusage: bench_check [--baseline-dir DIR] [--tolerance F] \
+         [--write-baselines] <BENCH_artifact.json>..."
+    );
+    std::process::exit(2);
+}

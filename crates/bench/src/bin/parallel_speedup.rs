@@ -1,0 +1,65 @@
+//! Regenerates the parallel-simulation speedup sweep; see
+//! `gnnie_bench::experiments::parallel_speedup`.
+//!
+//! With `--json <path>`, additionally writes the sweep as a JSON array —
+//! CI uploads it as the `BENCH_parallel_speedup.json` artifact and the
+//! `bench_check` gate compares its headline metrics (bit-identity across
+//! thread counts, best wall-clock speedup) against
+//! `bench/baselines/parallel_speedup.json`.
+
+use gnnie_bench::experiments::parallel_speedup;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: parallel_speedup [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let rows = parallel_speedup::sweep(&ctx);
+    parallel_speedup::render(&rows).print();
+
+    if rows.iter().any(|r| !r.identical) {
+        eprintln!("error: a sharded run diverged from the serial report (see table)");
+        std::process::exit(1);
+    }
+
+    if let Some(path) = json_path {
+        let json = render_json(&rows);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[parallel_speedup: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(rows: &[parallel_speedup::SpeedupRow]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"dataset\": \"{}\", \"threads\": {}, \"run_ms\": {:.4}, \
+             \"serial_ms\": {:.4}, \"speedup_vs_serial\": {:.4}, \"identical\": {}, \
+             \"total_cycles\": {}}}{}\n",
+            r.dataset.abbrev(),
+            r.threads,
+            r.run_ms,
+            r.serial_ms,
+            r.speedup,
+            r.identical,
+            r.total_cycles,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("]\n");
+    out
+}

@@ -88,7 +88,8 @@ pub fn run_config(
     policy: SchedulerPolicy,
     max_batch: usize,
 ) -> ServeReport {
-    Server::new(ServeConfig { policy, max_batch, workers: 4 }).run(queue)
+    Server::new(ServeConfig { policy, max_batch, workers: 4, ..ServeConfig::default() })
+        .run(queue)
 }
 
 /// The full sweep: batch sizes × policies on both mixes.

@@ -16,6 +16,8 @@
 
 pub mod ctx;
 pub mod experiments;
+pub mod gate;
+pub mod json;
 pub mod table;
 
 pub use ctx::Ctx;
@@ -79,6 +81,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ablation_quant", experiments::ablation_quant::run),
         ("dse", experiments::dse::run),
         ("ingest_throughput", experiments::ingest_throughput::run),
+        ("parallel_speedup", experiments::parallel_speedup::run),
         ("serving_throughput", experiments::serving_throughput::run),
     ]
 }

@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 
 use gnnie_graph::CsrGraph;
 use gnnie_mem::cache::IterationStats;
-use gnnie_mem::{CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel};
+use gnnie_mem::{CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel, SimThreads};
 
 use crate::config::AcceleratorConfig;
 use crate::cpe::{div_ceil, CpeArray};
@@ -124,6 +124,20 @@ pub fn simulate_aggregation(
     params: AggregationParams,
     dram: &mut HbmModel,
 ) -> AggregationReport {
+    simulate_aggregation_with(cfg, arr, graph, params, dram, cfg.sim_threads)
+}
+
+/// [`simulate_aggregation`] with an explicit worker-thread policy for the
+/// cache walk's sharded vertex scans (the engine passes its per-run
+/// effective setting; results are bit-identical at any value).
+pub fn simulate_aggregation_with(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    graph: &CsrGraph,
+    params: AggregationParams,
+    dram: &mut HbmModel,
+    sim_threads: SimThreads,
+) -> AggregationReport {
     let f = params.f_out.max(1);
     // Per-vertex payload: the weighted feature vector, for GATs the
     // appended {e_i1, e_i2} pair (§VI), the α word, and the connectivity
@@ -145,6 +159,7 @@ pub fn simulate_aggregation(
     let (iteration_stats, cache, cache_dram_cycles) = if cfg.enable_cache_policy {
         let mut cache_cfg = CacheConfig::with_capacity(capacity, payload);
         cache_cfg.gamma = cfg.gamma;
+        cache_cfg.sim_threads = sim_threads;
         // The replacement decision is pluggable (`AcceleratorConfig::
         // cache_policy`); the walk and its traffic accounting are shared.
         let mut policy = cfg.cache_policy.instantiate();

@@ -10,6 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use gnnie_graph::Dataset;
 use gnnie_mem::cache::CachePolicyKind;
+use gnnie_mem::SimThreads;
 
 /// A group of CPE rows sharing a MAC count (the FM architecture, §IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -110,6 +111,13 @@ pub struct AcceleratorConfig {
     /// `enable_cache_policy` is on (the paper's α/γ policy, or one of the
     /// LRU/LFU/Belady ablation comparators).
     pub cache_policy: CachePolicyKind,
+    /// Worker threads for the sharded simulation loops (the per-vertex
+    /// Weighting profile and the cache walk's vertex scans). Purely a
+    /// host-side knob: reports are bit-identical at any setting. The
+    /// constructors default it from `GNNIE_SIM_THREADS` (unset = the
+    /// machine's available parallelism); `RunOptions::sim_threads` and
+    /// `gnnie run/serve --sim-threads` override per run.
+    pub sim_threads: SimThreads,
 }
 
 impl AcceleratorConfig {
@@ -142,6 +150,7 @@ impl AcceleratorConfig {
             enable_agg_lb: true,
             enable_cache_policy: true,
             cache_policy: CachePolicyKind::Paper,
+            sim_threads: SimThreads::from_env(),
         }
     }
 
@@ -179,6 +188,9 @@ impl AcceleratorConfig {
         );
         assert!(self.mpe_psum_slots > 0, "MPEs need psum slots");
         assert!(self.sfu_units > 0, "need at least one SFU");
+        if let SimThreads::Fixed(n) = self.sim_threads {
+            assert!(n > 0, "sim_threads must be at least 1");
+        }
     }
 
     /// MACs per CPE in array row `r` (0-based).
@@ -319,6 +331,28 @@ mod tests {
     #[test]
     fn design_display() {
         assert_eq!(Design::E.to_string(), "Design E");
+    }
+
+    #[test]
+    #[should_panic(expected = "sim_threads must be at least 1")]
+    fn validate_rejects_zero_sim_threads() {
+        let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
+        cfg.sim_threads = SimThreads::Fixed(0);
+        cfg.validate();
+    }
+
+    #[test]
+    fn sim_threads_is_a_pure_host_knob() {
+        // Any fixed worker count validates; equality of configs ignores
+        // nothing — two configs differing only in sim_threads are unequal
+        // as values but produce identical reports (asserted end to end in
+        // the engine and CLI suites).
+        for threads in [SimThreads::Auto, SimThreads::Fixed(1), SimThreads::Fixed(8)] {
+            let mut cfg = AcceleratorConfig::paper(Dataset::Cora);
+            cfg.sim_threads = threads;
+            cfg.validate();
+            assert!(cfg.sim_threads.resolve() >= 1);
+        }
     }
 
     #[test]

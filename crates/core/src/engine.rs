@@ -20,15 +20,17 @@
 use gnnie_gnn::model::{GnnModel, ModelConfig};
 use gnnie_graph::reorder::Permutation;
 use gnnie_graph::{CsrGraph, EdgeList, GraphDataset};
-use gnnie_mem::{DramCounters, EnergyLedger, HbmModel};
+use gnnie_mem::{DramCounters, EnergyLedger, HbmModel, SimPool, SimThreads};
 use gnnie_tensor::rlc;
 
-use crate::aggregation::{simulate_aggregation, AggregationParams, AggregationReport};
+use crate::aggregation::{simulate_aggregation_with, AggregationParams, AggregationReport};
 use crate::config::AcceleratorConfig;
 use crate::cpe::{div_ceil, CpeArray};
 use crate::energy::{static_energy_pj, ActivityCounts, OpEnergy};
 use crate::report::{InferenceReport, LayerReport};
-use crate::weighting::{simulate_weighting, BlockProfile, WeightingParams, WeightingReport};
+use crate::weighting::{
+    simulate_weighting_pooled, BlockProfile, WeightingParams, WeightingReport,
+};
 
 /// Seed stream for the engine's GraphSAGE neighborhood sampling. The
 /// cycle model only needs the sampled *counts*, so it keeps its own seed;
@@ -140,11 +142,20 @@ impl Engine {
             preprocessing_cycles += sampled;
         }
 
+        // The worker policy is resolved once per run and every phase
+        // dispatches through this handle (a `SimPool` is a resolved-width
+        // dispatcher — workers are scoped per parallel region, and the
+        // aggregation path forwards the width into the cache walk's own
+        // handle via `CacheConfig::sim_threads`). `RunOptions::sim_threads`
+        // overrides the configuration's knob for this run only.
+        let pool = SimPool::new(opts.sim_threads.unwrap_or(self.config.sim_threads));
+
         RunSession {
             engine: self,
             model,
             ds,
             opts,
+            pool,
             agg_graph,
             dram,
             counts: ActivityCounts::default(),
@@ -169,10 +180,11 @@ impl Engine {
         weights_resident: bool,
         dram: &mut HbmModel,
         counts: &mut ActivityCounts,
+        pool: &SimPool,
     ) -> WeightingReport {
         let v = ds.graph.num_vertices();
         let profile = if sparse_input {
-            BlockProfile::from_sparse(&ds.features, self.array.rows())
+            BlockProfile::from_sparse_pooled(&ds.features, self.array.rows(), pool)
         } else {
             BlockProfile::dense(v, f_in, self.array.rows())
         };
@@ -182,7 +194,8 @@ impl Engine {
             weight_bytes_per_elem: 1,
             weights_resident,
         };
-        let report = simulate_weighting(&self.config, &self.array, &profile, params, dram);
+        let report =
+            simulate_weighting_pooled(&self.config, &self.array, &profile, params, dram, pool);
         self.charge_weighting(&report, v as u64, f_out as u64, counts);
         report
     }
@@ -215,13 +228,15 @@ impl Engine {
         is_gat: bool,
         dram: &mut HbmModel,
         counts: &mut ActivityCounts,
+        pool: &SimPool,
     ) -> AggregationReport {
-        let report = simulate_aggregation(
+        let report = simulate_aggregation_with(
             &self.config,
             &self.array,
             graph,
             AggregationParams { f_out, is_gat },
             dram,
+            SimThreads::Fixed(pool.width()),
         );
         counts.macs += report.macs_issued;
         counts.sfu_ops +=
@@ -253,6 +268,7 @@ impl Engine {
         counts: &mut ActivityCounts,
         layers: &mut Vec<LayerReport>,
         coarsening_cycles: &mut u64,
+        pool: &SimPool,
     ) {
         let v = ds.graph.num_vertices() as u64;
         let e = ds.graph.num_edges() as u64;
@@ -264,14 +280,16 @@ impl Engine {
 
         // Embedding GCN: F⁰ → hidden.
         let w_embed =
-            self.weighting_phase(ds, 0, f_in, model.hidden, true, resident, dram, counts);
-        let a_embed = self.aggregation_phase(agg_graph, model.hidden, false, dram, counts);
+            self.weighting_phase(ds, 0, f_in, model.hidden, true, resident, dram, counts, pool);
+        let a_embed =
+            self.aggregation_phase(agg_graph, model.hidden, false, dram, counts, pool);
         layers.push(LayerReport { layer: 0, weighting: w_embed, aggregation: a_embed });
 
         // Pooling GCN: F⁰ → C, plus the row softmax through the SFUs.
         let w_pool =
-            self.weighting_phase(ds, 0, f_in, c as usize, true, resident, dram, counts);
-        let mut a_pool = self.aggregation_phase(agg_graph, c as usize, false, dram, counts);
+            self.weighting_phase(ds, 0, f_in, c as usize, true, resident, dram, counts, pool);
+        let mut a_pool =
+            self.aggregation_phase(agg_graph, c as usize, false, dram, counts, pool);
         let softmax_cycles = div_ceil(v * c, self.config.sfu_units as u64);
         a_pool.total_cycles += softmax_cycles;
         counts.sfu_ops += v * c;
@@ -299,7 +317,14 @@ impl Engine {
                 weight_bytes_per_elem: 1,
                 weights_resident: resident,
             };
-            let report = simulate_weighting(&self.config, &self.array, &profile, params, dram);
+            let report = simulate_weighting_pooled(
+                &self.config,
+                &self.array,
+                &profile,
+                params,
+                dram,
+                pool,
+            );
             self.charge_weighting(&report, c, spec.f_out as u64, counts);
             let dense_agg = div_ceil(c * c * spec.f_out as u64, total_macs);
             counts.macs += c * c * spec.f_out as u64;
@@ -320,6 +345,10 @@ pub struct RunOptions {
     /// earlier request of a model-homogeneous serving batch streamed
     /// them — so no Weighting phase pays the weight DRAM load.
     pub weights_resident: bool,
+    /// Worker threads for this run's sharded simulation loops, overriding
+    /// `AcceleratorConfig::sim_threads` (`None` = use the config's knob).
+    /// Host-side only: the report is bit-identical at any setting.
+    pub sim_threads: Option<SimThreads>,
 }
 
 /// A phased inference run: the per-run mutable state of one
@@ -340,6 +369,8 @@ pub struct RunSession<'a> {
     model: &'a ModelConfig,
     ds: &'a GraphDataset,
     opts: RunOptions,
+    /// The run's worker pool, shared across every phase.
+    pool: SimPool,
     agg_graph: CsrGraph,
     dram: HbmModel,
     counts: ActivityCounts,
@@ -411,6 +442,7 @@ impl<'a> RunSession<'a> {
             resident,
             &mut self.dram,
             &mut self.counts,
+            &self.pool,
         );
         if self.model.model == GnnModel::GinConv {
             // Second MLP linear: dense F_out → F_out pass.
@@ -423,6 +455,7 @@ impl<'a> RunSession<'a> {
                 resident,
                 &mut self.dram,
                 &mut self.counts,
+                &self.pool,
             );
             weighting.absorb(&extra);
         }
@@ -439,6 +472,7 @@ impl<'a> RunSession<'a> {
                 resident,
                 &mut self.dram,
                 &mut self.counts,
+                &self.pool,
             );
             weighting.absorb(&w);
         }
@@ -473,6 +507,7 @@ impl<'a> RunSession<'a> {
             is_gat,
             &mut self.dram,
             &mut self.counts,
+            &self.pool,
         );
         for _ in 1..self.heads() {
             let a = self.engine.aggregation_phase(
@@ -481,6 +516,7 @@ impl<'a> RunSession<'a> {
                 true,
                 &mut self.dram,
                 &mut self.counts,
+                &self.pool,
             );
             aggregation.absorb(&a);
         }
@@ -509,6 +545,7 @@ impl<'a> RunSession<'a> {
             &mut self.counts,
             &mut self.layers,
             &mut self.coarsening_cycles,
+            &self.pool,
         );
         self.diffpool_done = true;
     }
@@ -810,8 +847,11 @@ mod tests {
             let mc = ModelConfig::paper(model, &ds.spec);
             let engine = Engine::new(cfg);
             let cold = engine.run(&mc, &ds);
-            let mut session =
-                engine.begin_with(&mc, &ds, RunOptions { weights_resident: true });
+            let mut session = engine.begin_with(
+                &mc,
+                &ds,
+                RunOptions { weights_resident: true, sim_threads: None },
+            );
             session.run_to_completion();
             let hot = session.finish();
             assert!(hot.weights_resident);
@@ -821,6 +861,39 @@ mod tests {
                 hot.dram.total_bytes() < cold.dram.total_bytes(),
                 "{model}: resident weights must remove DRAM traffic"
             );
+        }
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_sim_threads() {
+        // The tentpole invariant: sharded merge in shard order keeps the
+        // full report byte-identical to the serial path, via both the
+        // config knob and the per-run RunOptions override.
+        let ds = small(Dataset::Cora, 0.15);
+        for model in [GnnModel::Gcn, GnnModel::Gat] {
+            let mc = ModelConfig::paper(model, &ds.spec);
+            let mut cfg = AcceleratorConfig::paper(Dataset::Cora);
+            cfg.sim_threads = SimThreads::Fixed(1);
+            let serial = format!("{:?}", Engine::new(cfg.clone()).run(&mc, &ds));
+            for threads in [2usize, 4, 8] {
+                cfg.sim_threads = SimThreads::Fixed(threads);
+                let via_config = format!("{:?}", Engine::new(cfg.clone()).run(&mc, &ds));
+                assert_eq!(via_config, serial, "{model} via config @ {threads}");
+                let mut base = AcceleratorConfig::paper(Dataset::Cora);
+                base.sim_threads = SimThreads::Fixed(1);
+                let engine = Engine::new(base);
+                let mut session = engine.begin_with(
+                    &mc,
+                    &ds,
+                    RunOptions {
+                        weights_resident: false,
+                        sim_threads: Some(SimThreads::Fixed(threads)),
+                    },
+                );
+                session.run_to_completion();
+                let via_opts = format!("{:?}", session.finish());
+                assert_eq!(via_opts, serial, "{model} via RunOptions @ {threads}");
+            }
         }
     }
 

@@ -57,5 +57,6 @@ pub mod weighting;
 pub use config::{AcceleratorConfig, Design};
 pub use cpe::CpeArray;
 pub use engine::Engine;
+pub use gnnie_mem::{SimPool, SimThreads};
 pub use report::{InferenceReport, PhaseReport};
 pub use weighting::{WeightingMode, WeightingReport};

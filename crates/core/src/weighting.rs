@@ -41,7 +41,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use gnnie_mem::HbmModel;
+use gnnie_mem::{HbmModel, SimPool};
 use gnnie_tensor::CsrMatrix;
 
 use crate::config::AcceleratorConfig;
@@ -102,21 +102,38 @@ impl BlockProfile {
     ///
     /// Panics if `array_rows` is zero.
     pub fn from_sparse(features: &CsrMatrix, array_rows: usize) -> Self {
+        Self::from_sparse_pooled(features, array_rows, &SimPool::serial())
+    }
+
+    /// [`BlockProfile::from_sparse`] with the per-vertex scan sharded
+    /// over `pool`. Shards cover contiguous vertex ranges and each fills
+    /// its own slice of the row-major count array, so the profile is
+    /// bit-identical to the serial build at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `array_rows` is zero.
+    pub fn from_sparse_pooled(features: &CsrMatrix, array_rows: usize, pool: &SimPool) -> Self {
         assert!(array_rows > 0, "need at least one CPE row");
         let vertices = features.rows();
         let f_in = features.cols();
         let k = div_ceil(f_in.max(1) as u64, array_rows as u64) as usize;
-        let mut nnz = vec![0u32; vertices * array_rows];
-        for v in 0..vertices {
-            for b in 0..array_rows {
-                let lo = b * k;
-                if lo >= f_in {
-                    break;
+        let nnz: Vec<u32> = pool
+            .map_ranges(vertices, |range| {
+                let mut part = vec![0u32; range.len() * array_rows];
+                for (i, v) in range.enumerate() {
+                    for b in 0..array_rows {
+                        let lo = b * k;
+                        if lo >= f_in {
+                            break;
+                        }
+                        let hi = ((b + 1) * k).min(f_in);
+                        part[i * array_rows + b] = features.row_nnz_in_range(v, lo, hi) as u32;
+                    }
                 }
-                let hi = ((b + 1) * k).min(f_in);
-                nnz[v * array_rows + b] = features.row_nnz_in_range(v, lo, hi) as u32;
-            }
-        }
+                part
+            })
+            .concat();
         BlockProfile { vertices, f_in, k, blocks_per_vertex: array_rows, nnz }
     }
 
@@ -129,15 +146,18 @@ impl BlockProfile {
     pub fn dense(vertices: usize, f_in: usize, array_rows: usize) -> Self {
         assert!(array_rows > 0, "need at least one CPE row");
         let k = div_ceil(f_in.max(1) as u64, array_rows as u64) as usize;
-        let mut nnz = vec![0u32; vertices * array_rows];
-        for v in 0..vertices {
-            for b in 0..array_rows {
-                let lo = b * k;
-                if lo >= f_in {
-                    break;
-                }
-                nnz[v * array_rows + b] = (((b + 1) * k).min(f_in) - lo) as u32;
+        // Every vertex carries the same block row; build it once and tile.
+        let mut row = vec![0u32; array_rows];
+        for (b, slot) in row.iter_mut().enumerate() {
+            let lo = b * k;
+            if lo >= f_in {
+                break;
             }
+            *slot = (((b + 1) * k).min(f_in) - lo) as u32;
+        }
+        let mut nnz = Vec::with_capacity(vertices * array_rows);
+        for _ in 0..vertices {
+            nnz.extend_from_slice(&row);
         }
         BlockProfile { vertices, f_in, k, blocks_per_vertex: array_rows, nnz }
     }
@@ -170,6 +190,19 @@ impl BlockProfile {
     /// Count of all-zero blocks (skipped for free, §IV-A).
     pub fn zero_blocks(&self) -> u64 {
         self.nnz.iter().filter(|&&z| z == 0).count() as u64
+    }
+
+    /// [`BlockProfile::total_nnz`] sharded over `pool` (per-shard sums
+    /// added in shard order; exact for any worker count).
+    pub fn total_nnz_pooled(&self, pool: &SimPool) -> u64 {
+        pool.sum_ranges(self.nnz.len(), |r| self.nnz[r].iter().map(|&z| z as u64).sum())
+    }
+
+    /// [`BlockProfile::zero_blocks`] sharded over `pool`.
+    pub fn zero_blocks_pooled(&self, pool: &SimPool) -> u64 {
+        pool.sum_ranges(self.nnz.len(), |r| {
+            self.nnz[r].iter().filter(|&&z| z == 0).count() as u64
+        })
     }
 }
 
@@ -216,6 +249,19 @@ impl RowSchedule {
 
 /// Builds the per-row schedule for `mode`.
 pub fn schedule(profile: &BlockProfile, arr: &CpeArray, mode: WeightingMode) -> RowSchedule {
+    schedule_pooled(profile, arr, mode, &SimPool::serial())
+}
+
+/// [`schedule`] with the FM counting sort sharded over `pool` (per-shard
+/// bucket histograms merged in shard order; the block → row assignment
+/// itself stays serial because it threads per-row load state). The
+/// schedule is bit-identical to the serial build at any worker count.
+pub fn schedule_pooled(
+    profile: &BlockProfile,
+    arr: &CpeArray,
+    mode: WeightingMode,
+    pool: &SimPool,
+) -> RowSchedule {
     let mut rows: Vec<Vec<u32>> = vec![Vec::new(); arr.rows()];
     match mode {
         WeightingMode::Baseline => {
@@ -231,7 +277,7 @@ pub fn schedule(profile: &BlockProfile, arr: &CpeArray, mode: WeightingMode) -> 
             RowSchedule { rows, lr_moved_blocks: 0, lr_moves: Vec::new() }
         }
         WeightingMode::Fm | WeightingMode::FmLr => {
-            fm_schedule(profile, arr, &mut rows);
+            fm_schedule(profile, arr, &mut rows, pool);
             // FM bins ascending-nnz values onto ascending-MAC row groups;
             // on degenerate profiles (tiny workloads, single dominant nnz
             // value) that grouping constraint can lose to the pinned
@@ -266,13 +312,25 @@ pub fn schedule(profile: &BlockProfile, arr: &CpeArray, mode: WeightingMode) -> 
 /// MAC slots and would overload the small-MAC groups under a plain work
 /// split. A value's population may straddle a boundary (the dense-layer
 /// case where most blocks share one nnz).
-fn fm_schedule(profile: &BlockProfile, arr: &CpeArray, rows: &mut [Vec<u32>]) {
+fn fm_schedule(profile: &BlockProfile, arr: &CpeArray, rows: &mut [Vec<u32>], pool: &SimPool) {
     let k = profile.k.max(1);
-    // Counting sort by nnz value (1..=k; zeros are skipped outright).
+    // Counting sort by nnz value (1..=k; zeros are skipped outright),
+    // sharded: per-shard bucket histograms are accumulated independently
+    // and summed value-by-value in shard order — integer addition, so
+    // the buckets match the serial scan at any worker count.
+    let bucket_parts = pool.map_ranges(profile.nnz.len(), |r| {
+        let mut part: Vec<u64> = vec![0; k + 1];
+        for &z in &profile.nnz[r] {
+            if z > 0 {
+                part[z as usize] += 1;
+            }
+        }
+        part
+    });
     let mut buckets: Vec<u64> = vec![0; k + 1];
-    for &z in &profile.nnz {
-        if z > 0 {
-            buckets[z as usize] += 1;
+    for part in &bucket_parts {
+        for (b, p) in buckets.iter_mut().zip(part) {
+            *b += p;
         }
     }
     let groups = arr.num_groups();
@@ -508,7 +566,8 @@ impl Default for WeightingParams {
     }
 }
 
-/// Runs the Weighting cycle model for one layer.
+/// Runs the Weighting cycle model for one layer, with the sharded loops
+/// sized by `cfg.sim_threads`.
 pub fn simulate_weighting(
     cfg: &AcceleratorConfig,
     arr: &CpeArray,
@@ -516,8 +575,23 @@ pub fn simulate_weighting(
     params: WeightingParams,
     dram: &mut HbmModel,
 ) -> WeightingReport {
+    let pool = SimPool::new(cfg.sim_threads);
+    simulate_weighting_pooled(cfg, arr, profile, params, dram, &pool)
+}
+
+/// [`simulate_weighting`] on an existing worker pool — the engine builds
+/// one pool per [`RunSession`](crate::engine::RunSession) and reuses it
+/// across every phase.
+pub fn simulate_weighting_pooled(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    profile: &BlockProfile,
+    params: WeightingParams,
+    dram: &mut HbmModel,
+    pool: &SimPool,
+) -> WeightingReport {
     let mode = WeightingMode::from_config(cfg);
-    simulate_weighting_mode(cfg, arr, profile, params, mode, dram)
+    simulate_weighting_mode_pooled(cfg, arr, profile, params, mode, dram, pool)
 }
 
 /// Like [`simulate_weighting`] with an explicit mode (for the Fig. 16/17
@@ -530,7 +604,24 @@ pub fn simulate_weighting_mode(
     mode: WeightingMode,
     dram: &mut HbmModel,
 ) -> WeightingReport {
-    let sched = schedule(profile, arr, mode);
+    let pool = SimPool::new(cfg.sim_threads);
+    simulate_weighting_mode_pooled(cfg, arr, profile, params, mode, dram, &pool)
+}
+
+/// The pooled core of the Weighting cycle model. Every sharded loop
+/// merges per-shard results in shard order, so the report is
+/// bit-identical to a serial run at any worker count.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_weighting_mode_pooled(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    profile: &BlockProfile,
+    params: WeightingParams,
+    mode: WeightingMode,
+    dram: &mut HbmModel,
+    pool: &SimPool,
+) -> WeightingReport {
+    let sched = schedule_pooled(profile, arr, mode, pool);
     let per_row_cycles = sched.per_row_cycles(arr);
     let max_row = per_row_cycles.iter().copied().max().unwrap_or(0);
 
@@ -549,7 +640,7 @@ pub fn simulate_weighting_mode(
     // DRAM traffic: features stream once per pass (weight-stationary);
     // weights stream once per layer — or not at all when a serving batch
     // already made them resident.
-    let nnz = profile.total_nnz();
+    let nnz = profile.total_nnz_pooled(pool);
     let feature_bytes = passes * nnz * params.feature_bytes_per_nnz;
     let weight_bytes = if params.weights_resident {
         0
@@ -582,7 +673,7 @@ pub fn simulate_weighting_mode(
         total_cycles,
         macs_issued,
         macs_dense,
-        zero_blocks_skipped: profile.zero_blocks(),
+        zero_blocks_skipped: profile.zero_blocks_pooled(pool),
         lr_moved_blocks: sched.lr_moved_blocks,
         feature_bytes,
         weight_bytes,
@@ -690,6 +781,37 @@ mod tests {
         let lr_sched = schedule(&p, &arr, WeightingMode::FmLr);
         let lr = lr_sched.per_row_cycles(&arr);
         assert!(lr.iter().max() <= fm.iter().max(), "LR must not increase the makespan");
+    }
+
+    #[test]
+    fn pooled_paths_match_serial_at_any_width() {
+        use gnnie_mem::SimThreads;
+        let ds = SyntheticDataset::generate(Dataset::Cora, 0.3, 5);
+        let (mut cfg, arr) = paper_cfg();
+        let serial = BlockProfile::from_sparse(&ds.features, 16);
+        cfg.sim_threads = SimThreads::Fixed(1);
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let serial_report =
+            simulate_weighting(&cfg, &arr, &serial, WeightingParams::default(), &mut dram);
+        for width in [2usize, 4, 8] {
+            let pool = SimPool::new(SimThreads::Fixed(width));
+            let pooled = BlockProfile::from_sparse_pooled(&ds.features, 16, &pool);
+            assert_eq!(pooled, serial, "profile diverged at width {width}");
+            assert_eq!(serial.total_nnz(), serial.total_nnz_pooled(&pool));
+            assert_eq!(serial.zero_blocks(), serial.zero_blocks_pooled(&pool));
+            for mode in [WeightingMode::Baseline, WeightingMode::Fm, WeightingMode::FmLr] {
+                assert_eq!(
+                    schedule_pooled(&serial, &arr, mode, &pool),
+                    schedule(&serial, &arr, mode),
+                    "{mode} schedule diverged at width {width}"
+                );
+            }
+            cfg.sim_threads = SimThreads::Fixed(width);
+            let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+            let report =
+                simulate_weighting(&cfg, &arr, &pooled, WeightingParams::default(), &mut dram);
+            assert_eq!(report, serial_report, "report diverged at width {width}");
+        }
     }
 
     #[test]

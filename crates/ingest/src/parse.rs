@@ -44,6 +44,12 @@ pub struct ParsedEdgeList {
     /// The raw `(u, v)` pairs in file order (self-loops and duplicates
     /// included — the CSR builder accounts for them).
     pub pairs: Vec<(VertexId, VertexId)>,
+    /// Lines that carried a third (edge weight) column. GNNIE graphs are
+    /// unweighted, so the column is dropped — callers surface a warning
+    /// so users know (see `gnnie ingest`).
+    pub weighted_lines: usize,
+    /// 1-based line number of the first dropped weight column.
+    pub first_weight_line: Option<usize>,
     /// Largest id seen and the 1-based line it first appeared on.
     max_seen: Option<(VertexId, usize)>,
 }
@@ -103,6 +109,8 @@ pub fn parse_edge_list_reader<R: BufRead>(
         declared_vertices: None,
         recorded: None,
         pairs: Vec::new(),
+        weighted_lines: 0,
+        first_weight_line: None,
         max_seen: None,
     };
     let mut line = String::new();
@@ -130,15 +138,24 @@ pub fn parse_edge_list_reader<R: BufRead>(
                 ))
             }
         };
-        // A third column (edge weight) is tolerated and ignored; more is
-        // a malformed line.
+        // A third column (edge weight) is tolerated but dropped — the
+        // count and first line are recorded so callers can warn; more
+        // fields are a malformed line. An *empty* third field (a
+        // trailing delimiter, common in exported CSV/TSV) is not a
+        // weight and stays warning-free.
         let extra = fields.next();
-        if extra.is_some() && fields.next().is_some() {
-            return Err(IngestError::parse(
-                path,
-                lineno,
-                format!("too many fields in `{text}` (expected 2, or 3 with a weight)"),
-            ));
+        if let Some(extra) = extra {
+            if fields.next().is_some() {
+                return Err(IngestError::parse(
+                    path,
+                    lineno,
+                    format!("too many fields in `{text}` (expected 2, or 3 with a weight)"),
+                ));
+            }
+            if !extra.is_empty() {
+                out.weighted_lines += 1;
+                out.first_weight_line.get_or_insert(lineno);
+            }
         }
         let parse_id = |tok: &str| -> Result<VertexId, IngestError> {
             tok.parse::<VertexId>().map_err(|_| {
@@ -383,6 +400,21 @@ mod tests {
         assert_eq!(p.pairs, vec![(0, 1)]);
         let err = parse_str("0 1 0.5 x\n", EdgeListFormat::Whitespace).unwrap_err();
         assert!(err.to_string().contains(":1:"), "{err}");
+    }
+
+    #[test]
+    fn dropped_weight_columns_are_counted_with_the_first_line() {
+        let p = parse_str("0 1\n1 2 0.5\n2 3\n3 4 1.5\n", EdgeListFormat::Whitespace).unwrap();
+        assert_eq!(p.weighted_lines, 2);
+        assert_eq!(p.first_weight_line, Some(2));
+        let clean = parse_str("0 1\n1 2\n", EdgeListFormat::Whitespace).unwrap();
+        assert_eq!(clean.weighted_lines, 0);
+        assert_eq!(clean.first_weight_line, None);
+        // Trailing delimiters produce an empty third field, not a weight.
+        let trailing = parse_str("0,1,\n1,2,\n", EdgeListFormat::Csv).unwrap();
+        assert_eq!(trailing.pairs, vec![(0, 1), (1, 2)]);
+        assert_eq!(trailing.weighted_lines, 0);
+        assert_eq!(trailing.first_weight_line, None);
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub struct LoadOutcome {
     /// Parse/build accounting — present for edge-list loads, `None` for
     /// snapshots and binary CSR (nothing is dropped on those paths).
     pub stats: Option<CsrBuildStats>,
+    /// `(count, first 1-based line)` of edge-list lines whose third
+    /// (weight) column was dropped — GNNIE graphs are unweighted. The
+    /// CLI turns this into a one-line warning; `None` when no weights
+    /// appeared (or the source was not a text edge list).
+    pub dropped_weights: Option<(usize, usize)>,
     /// `true` when `dataset.spec` is authoritative (synthesis, snapshot,
     /// or a recorded `gnnie spec` header); `false` when it was sized
     /// from the fallback dataset's statistics (foreign edge list,
@@ -167,6 +172,7 @@ impl DatasetRegistry {
                 dataset: GraphDataset::generate(dataset, scale, seed),
                 source: SourceKind::Synthetic,
                 stats: None,
+                dropped_weights: None,
                 recorded_spec: true,
             }),
             source => {
@@ -222,6 +228,7 @@ impl DatasetRegistry {
                 dataset: read_snapshot(path)?,
                 source: SourceKind::Snapshot(path.to_path_buf()),
                 stats: None,
+                dropped_weights: None,
                 recorded_spec: true,
             }),
             FileFormat::BinaryCsr => {
@@ -232,6 +239,7 @@ impl DatasetRegistry {
                     dataset: GraphDataset::from_parts(spec, graph, features),
                     source: SourceKind::BinaryCsr(path.to_path_buf()),
                     stats: None,
+                    dropped_weights: None,
                     recorded_spec: false,
                 })
             }
@@ -261,6 +269,9 @@ impl DatasetRegistry {
                     dataset: GraphDataset::from_parts(spec, graph, features),
                     source: SourceKind::EdgeList(path.to_path_buf()),
                     stats: Some(stats),
+                    dropped_weights: parsed
+                        .first_weight_line
+                        .map(|line| (parsed.weighted_lines, line)),
                     recorded_spec,
                 })
             }

@@ -42,6 +42,7 @@ use gnnie_graph::CsrGraph;
 use gnnie_tensor::stats::Histogram;
 
 use crate::dram::{DramCounters, HbmModel};
+use crate::par::{SimPool, SimThreads};
 
 /// Configuration for the cache simulation (shared by every policy).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -65,6 +66,11 @@ pub struct CacheConfig {
     pub psum_bytes_per_vertex: u64,
     /// Record α histograms for at most this many Rounds (Fig. 10).
     pub max_alpha_hist_rounds: usize,
+    /// Worker threads for the sharded per-vertex scans of the walk
+    /// (edge-index construction, α initialization, the per-Round α
+    /// histograms). Results are bit-identical at any setting; the
+    /// engine threads its own knob through here.
+    pub sim_threads: SimThreads,
 }
 
 impl CacheConfig {
@@ -81,6 +87,7 @@ impl CacheConfig {
             feature_bytes_per_vertex,
             psum_bytes_per_vertex: feature_bytes_per_vertex,
             max_alpha_hist_rounds: 8,
+            sim_threads: SimThreads::Auto,
         }
     }
 
@@ -180,6 +187,63 @@ pub fn build_edge_index(g: &CsrGraph) -> Vec<u32> {
     }
     debug_assert_eq!(next as usize, g.num_edges());
     ids
+}
+
+/// [`build_edge_index`] sharded over `pool`, bit-identical to the serial
+/// pass for any worker count.
+///
+/// The serial scan hands out ids in storage order to every *forward*
+/// entry (`u < v`), then copies them to the reverse entries. Because
+/// adjacency lists are sorted, a vertex's forward entries are the suffix
+/// of its list, so the id of the forward entry at position `i` of vertex
+/// `u` is a closed form — `base[u] + (i - split[u])`, with `base` the
+/// prefix sum of per-vertex forward counts — and both directions can be
+/// filled independently per contiguous vertex range.
+pub fn build_edge_index_pooled(g: &CsrGraph, pool: &SimPool) -> Vec<u32> {
+    if pool.width() == 1 {
+        return build_edge_index(g);
+    }
+    let n = g.num_vertices();
+    let offsets = g.offsets();
+    // Phase 1 (sharded): where each vertex's forward suffix starts.
+    let split: Vec<usize> = pool
+        .map_ranges(n, |r| {
+            r.map(|u| g.neighbors(u).partition_point(|&v| v <= u as u32)).collect::<Vec<_>>()
+        })
+        .concat();
+    // Phase 2 (serial O(V) prefix sum): first forward id per vertex.
+    let mut base = Vec::with_capacity(n + 1);
+    let mut next = 0u32;
+    for (u, &s) in split.iter().enumerate() {
+        base.push(next);
+        next += (g.degree(u) - s) as u32;
+    }
+    base.push(next);
+    debug_assert_eq!(next as usize, g.num_edges());
+    // Phase 3 (sharded): fill each vertex range's contiguous slice of the
+    // id array; shard order concatenation restores storage order.
+    pool.map_ranges(n, |range| {
+        let mut slab = Vec::with_capacity(offsets[range.end] - offsets[range.start]);
+        for u in range {
+            let nbrs = g.neighbors(u);
+            for (i, &v) in nbrs.iter().enumerate() {
+                slab.push(if i >= split[u] {
+                    base[u] + (i - split[u]) as u32
+                } else if v < u as u32 {
+                    let vi = v as usize;
+                    let j = g
+                        .neighbors(vi)
+                        .binary_search(&(u as u32))
+                        .expect("symmetric adjacency guarantees the reverse entry");
+                    base[vi] + (j - split[vi]) as u32
+                } else {
+                    u32::MAX // self-loop entry; unreachable on valid CSR input
+                });
+            }
+        }
+        slab
+    })
+    .concat()
 }
 
 /// The paper's §VI cache simulator: a [`CacheSim`] walk driven by the
@@ -314,6 +378,20 @@ mod tests {
                 let j = g.neighbors(v as usize).binary_search(&(u as u32)).unwrap();
                 let bwd = ids[offsets[v as usize] + j];
                 assert_eq!(fwd, bwd);
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_edge_index_matches_serial_at_any_width() {
+        for seed in [3u64, 11, 29] {
+            let g = reordered(&generate::powerlaw_chung_lu(300, 1500, 2.0, seed));
+            let serial = build_edge_index(&g);
+            assert_eq!(build_edge_index_pooled(&g, &SimPool::serial()), serial);
+            for width in [2usize, 3, 8] {
+                let pooled =
+                    build_edge_index_pooled(&g, &SimPool::new(SimThreads::Fixed(width)));
+                assert_eq!(pooled, serial, "width {width}, seed {seed}");
             }
         }
     }

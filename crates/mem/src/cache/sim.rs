@@ -32,9 +32,10 @@ use gnnie_graph::CsrGraph;
 use gnnie_tensor::stats::Histogram;
 
 use crate::dram::HbmModel;
+use crate::par::SimPool;
 
 use super::policy::{CachePolicy, PolicyCtx};
-use super::{build_edge_index, CacheConfig, CacheSimResult, IterationStats};
+use super::{build_edge_index_pooled, CacheConfig, CacheSimResult, IterationStats};
 
 /// Locality class of a vertex's spilled partial sum, set at eviction time
 /// and consumed (as the reload's traffic class) at refetch time.
@@ -100,6 +101,9 @@ pub struct CacheSim<'a> {
     graph: &'a CsrGraph,
     config: CacheConfig,
     edge_ids: Vec<u32>,
+    /// Worker pool for the sharded per-vertex scans (sized by
+    /// `config.sim_threads`); the walk itself is a serial state machine.
+    pool: SimPool,
 }
 
 impl<'a> CacheSim<'a> {
@@ -111,8 +115,9 @@ impl<'a> CacheSim<'a> {
     /// Panics if the configuration is invalid.
     pub fn new(graph: &'a CsrGraph, config: CacheConfig) -> Self {
         config.validate();
-        let edge_ids = build_edge_index(graph);
-        Self { graph, config, edge_ids }
+        let pool = SimPool::new(config.sim_threads);
+        let edge_ids = build_edge_index_pooled(graph, &pool);
+        Self { graph, config, edge_ids, pool }
     }
 
     /// The configuration in use.
@@ -147,7 +152,12 @@ impl<'a> CacheSim<'a> {
         let offsets = g.offsets();
         policy.reset(g, cfg);
 
-        let mut alpha: Vec<u32> = (0..n).map(|v| g.degree(v) as u32).collect();
+        // Sharded degree scan; concatenation in shard order keeps the
+        // layout identical to the serial `(0..n)` pass.
+        let mut alpha: Vec<u32> = self
+            .pool
+            .map_ranges(n, |r| r.map(|v| g.degree(v) as u32).collect::<Vec<_>>())
+            .concat();
         let mut in_cache = vec![false; n];
         let mut pinned = vec![false; n];
         let mut cached: Vec<u32> = Vec::with_capacity(cfg.capacity_vertices);
@@ -300,12 +310,9 @@ impl<'a> CacheSim<'a> {
                     result.rounds += 1;
                     policy.on_round(result.rounds);
                     if (result.alpha_histograms.len()) < cfg.max_alpha_hist_rounds {
-                        result.alpha_histograms.push(Histogram::from_values(
-                            0.0,
-                            (max_alpha0 + 1) as f64,
-                            128.min(max_alpha0 as usize + 1),
-                            alpha.iter().filter(|&&a| a > 0).map(|&a| a as f64),
-                        ));
+                        result
+                            .alpha_histograms
+                            .push(alpha_histogram(&alpha, max_alpha0, &self.pool));
                     }
                     if recovery_active {
                         // The pinned round is complete; release the pins at
@@ -520,6 +527,28 @@ impl<'a> CacheSim<'a> {
     }
 }
 
+/// The per-Round α histogram over every still-unfinished vertex, sharded:
+/// per-range histograms are accumulated independently and merged in shard
+/// order, reproducing the single-pass histogram bin for bin (binning is a
+/// pure function of the sample value).
+fn alpha_histogram(alpha: &[u32], max_alpha0: u32, pool: &SimPool) -> Histogram {
+    let hi = (max_alpha0 + 1) as f64;
+    let bins = 128.min(max_alpha0 as usize + 1);
+    let parts = pool.map_ranges(alpha.len(), |r| {
+        Histogram::from_values(
+            0.0,
+            hi,
+            bins,
+            alpha[r].iter().filter(|&&a| a > 0).map(|&a| a as f64),
+        )
+    });
+    let mut merged = Histogram::new(0.0, hi, bins);
+    for part in &parts {
+        merged.merge(part);
+    }
+    merged
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::policy::{BeladyOracle, CachePolicyKind, PaperAlphaGamma};
@@ -603,6 +632,27 @@ mod tests {
         assert_eq!(via_sim.iterations, direct.iterations);
         assert_eq!(via_sim.evictions, direct.evictions);
         assert_eq!(via_sim.counters, direct.counters);
+    }
+
+    #[test]
+    fn walk_results_are_identical_at_any_thread_count() {
+        use crate::par::SimThreads;
+        let g = reordered(&generate::powerlaw_chung_lu(400, 2400, 2.0, 31));
+        let mut base_cfg = CacheConfig::with_capacity(40, 64);
+        base_cfg.sim_threads = SimThreads::Fixed(1);
+        for kind in CachePolicyKind::ALL {
+            let serial = run_kind(&g, base_cfg, kind);
+            for threads in [2usize, 4, 8] {
+                let mut cfg = base_cfg;
+                cfg.sim_threads = SimThreads::Fixed(threads);
+                let sharded = run_kind(&g, cfg, kind);
+                assert_eq!(
+                    format!("{serial:?}"),
+                    format!("{sharded:?}"),
+                    "{kind} diverged at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 pub mod cache;
 pub mod dram;
 pub mod energy;
+pub mod par;
 pub mod psum;
 pub mod scheduler;
 pub mod sram;
@@ -31,6 +32,7 @@ pub use cache::{
 };
 pub use dram::{DramCounters, HbmModel};
 pub use energy::{Component, EnergyLedger};
+pub use par::{shard_ranges, SimPool, SimThreads};
 pub use psum::{PsumBuffer, PsumStats, RetentionPolicy};
 pub use scheduler::MemoryScheduler;
 pub use sram::{DoubleBuffer, SramBuffer};

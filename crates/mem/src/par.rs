@@ -1,0 +1,257 @@
+//! Simulation-thread policy and the sharded worker pool the hot loops
+//! run on.
+//!
+//! The engine's two dominant loops — the per-vertex Weighting profile
+//! (`gnnie-core::weighting`) and the aggregation cache walk
+//! (`crate::cache::CacheSim`) — shard their per-vertex scans across a
+//! [`SimPool`] of `std::thread::scope` workers (no dependencies, like the
+//! ingest builder). The contract that makes this safe to enable by
+//! default is **determinism**: every sharded computation partitions the
+//! vertices into contiguous ranges, accumulates per-shard results
+//! (histograms, byte counters, cycle profiles), and reduces them in shard
+//! order, so the merged result is *bit-identical* to the serial path at
+//! any thread count.
+//!
+//! [`SimThreads`] is the knob: it lives in
+//! `AcceleratorConfig::sim_threads`, can be overridden per run through
+//! `RunOptions`, and reaches the CLI as `gnnie run/serve --sim-threads N`
+//! with the `GNNIE_SIM_THREADS` environment variable as the default.
+//! `Auto` resolves to the machine's available parallelism; a `Fixed`
+//! count is honored verbatim — even on a single-core host, where the
+//! workers are still spawned (the sharded code path must stay exercised
+//! everywhere, which is exactly what CI's `GNNIE_SIM_THREADS` matrix
+//! relies on).
+
+use std::ops::Range;
+
+use serde::{Deserialize, Serialize};
+
+/// Hard cap on simulation worker threads (beyond this the per-shard
+/// bookkeeping dominates any conceivable core count).
+pub const MAX_SIM_THREADS: usize = 64;
+
+/// How many worker threads the sharded simulation loops use.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SimThreads {
+    /// The machine's available parallelism (1 when it cannot be probed).
+    #[default]
+    Auto,
+    /// Exactly this many workers, spawned even on a single-core host.
+    Fixed(usize),
+}
+
+impl SimThreads {
+    /// The policy from `GNNIE_SIM_THREADS`: unset or empty means `Auto`;
+    /// anything else must parse (`auto` or a positive count). An invalid
+    /// value falls back to `Auto` with a stderr warning rather than
+    /// poisoning every configuration constructor — the CLI's
+    /// `--sim-threads` flag is the strict front door (it rejects `0` and
+    /// garbage outright). The variable is read and parsed once per
+    /// process; later calls return the cached policy.
+    pub fn from_env() -> Self {
+        static PARSED: std::sync::OnceLock<SimThreads> = std::sync::OnceLock::new();
+        *PARSED.get_or_init(|| match std::env::var("GNNIE_SIM_THREADS") {
+            Ok(s) if !s.trim().is_empty() => s.parse().unwrap_or_else(|e: String| {
+                eprintln!("warning: GNNIE_SIM_THREADS=`{s}` ignored ({e}); using auto");
+                SimThreads::Auto
+            }),
+            _ => SimThreads::Auto,
+        })
+    }
+
+    /// The concrete worker count: `Auto` probes the host, `Fixed` is
+    /// taken verbatim; both clamp into `1..=`[`MAX_SIM_THREADS`].
+    pub fn resolve(self) -> usize {
+        match self {
+            SimThreads::Auto => {
+                std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_SIM_THREADS)
+            }
+            SimThreads::Fixed(n) => n.clamp(1, MAX_SIM_THREADS),
+        }
+    }
+}
+
+impl std::str::FromStr for SimThreads {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if t.eq_ignore_ascii_case("auto") {
+            return Ok(SimThreads::Auto);
+        }
+        match t.parse::<usize>() {
+            Ok(0) => Err("thread count must be at least 1 (or `auto`)".into()),
+            Ok(n) => Ok(SimThreads::Fixed(n)),
+            Err(_) => Err(format!("`{s}` is not a thread count (expected `auto` or N >= 1)")),
+        }
+    }
+}
+
+impl std::fmt::Display for SimThreads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimThreads::Auto => f.write_str("auto"),
+            SimThreads::Fixed(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-even, nonempty
+/// ranges (fewer when `n < shards`; empty when `n == 0`). The split
+/// depends only on `n` and `shards`, never on timing, so per-shard
+/// results merged in shard order are reproducible.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.max(1).min(n);
+    let mut ranges = Vec::with_capacity(shards);
+    if n == 0 {
+        return ranges;
+    }
+    let base = n / shards;
+    let extra = n % shards;
+    let mut lo = 0usize;
+    for s in 0..shards {
+        let hi = lo + base + usize::from(s < extra);
+        ranges.push(lo..hi);
+        lo = hi;
+    }
+    debug_assert_eq!(lo, n);
+    ranges
+}
+
+/// Minimum items per worker before [`SimPool::map_ranges`] actually
+/// spawns OS threads: below this the *same* sharded computation (same
+/// ranges, same shard-order merge) runs inline, because scope/spawn
+/// overhead would dwarf the work being split. This keeps tiny scans
+/// (a few hundred vertices) at serial speed while real workloads still
+/// fan out; it never affects results — the merge is partition-invariant
+/// by contract.
+pub const MIN_ITEMS_PER_WORKER: usize = 256;
+
+/// The sharded worker dispatcher of one simulation run.
+///
+/// A `SimPool` is a resolved-width handle, not a set of long-lived
+/// threads: it is created once per run (`Engine::begin_with` resolves
+/// one per `RunSession`; the Weighting phases dispatch through it
+/// directly and the Aggregation path forwards its width into the cache
+/// walk, so `gnnie serve`'s pipelined batches share the decision too)
+/// and handed to each sharded loop. Workers are scoped per parallel
+/// region: `width == 1` runs inline with zero spawn cost; `width > 1`
+/// spawns whenever the input clears [`MIN_ITEMS_PER_WORKER`] per worker
+/// — a forced `Fixed(4)` therefore spawns real threads on large inputs
+/// even on a one-core box, and on small inputs still executes the
+/// identical sharded ranges and merges, just without the spawn toll.
+#[derive(Debug, Clone)]
+pub struct SimPool {
+    width: usize,
+}
+
+impl SimPool {
+    /// A pool resolving `threads` against the host (see
+    /// [`SimThreads::resolve`]).
+    pub fn new(threads: SimThreads) -> Self {
+        SimPool { width: threads.resolve() }
+    }
+
+    /// The single-threaded pool: every `map_ranges` call runs inline.
+    pub fn serial() -> Self {
+        SimPool { width: 1 }
+    }
+
+    /// The resolved worker count.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Runs `f` over the contiguous shards of `0..n` and returns the
+    /// per-shard results **in shard order**. `f` must depend only on the
+    /// range it is given (not on shard timing); under that contract the
+    /// caller's shard-order reduction is bit-identical to a serial pass.
+    pub fn map_ranges<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let ranges = shard_ranges(n, self.width);
+        if self.width == 1 || ranges.len() <= 1 || n < self.width * MIN_ITEMS_PER_WORKER {
+            return ranges.into_iter().map(f).collect();
+        }
+        std::thread::scope(|scope| {
+            let f = &f;
+            let handles: Vec<_> =
+                ranges.into_iter().map(|r| scope.spawn(move || f(r))).collect();
+            handles.into_iter().map(|h| h.join().expect("simulation shard panicked")).collect()
+        })
+    }
+
+    /// Sharded `u64` reduction over `0..n`: the per-shard sums are added
+    /// in shard order (integer addition is associative, so the total
+    /// equals the serial scan's for any shard count).
+    pub fn sum_ranges<F>(&self, n: usize, f: F) -> u64
+    where
+        F: Fn(Range<usize>) -> u64 + Sync,
+    {
+        self.map_ranges(n, f).into_iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_contiguously() {
+        for n in [0usize, 1, 2, 7, 64, 1000] {
+            for shards in [1usize, 2, 3, 8, 64] {
+                let ranges = shard_ranges(n, shards);
+                if n == 0 {
+                    assert!(ranges.is_empty());
+                    continue;
+                }
+                assert!(ranges.len() <= shards);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start, "contiguous");
+                }
+                assert!(ranges.iter().all(|r| !r.is_empty()), "no empty shards");
+                let sizes: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "near-even: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_ranges_is_identical_at_any_width() {
+        // Straddles the spawn threshold: widths 2–3 spawn real threads
+        // for n = 997, width 8 runs the sharded ranges inline — both
+        // sides of MIN_ITEMS_PER_WORKER must merge to the same bytes.
+        let n = 997usize;
+        let serial: Vec<u64> = SimPool::serial()
+            .map_ranges(n, |r| r.map(|i| (i as u64).wrapping_mul(31)).collect::<Vec<_>>())
+            .concat();
+        for width in [2usize, 3, 8] {
+            let pool = SimPool::new(SimThreads::Fixed(width));
+            assert_eq!(pool.width(), width, "Fixed is honored even on one core");
+            let sharded: Vec<u64> = pool
+                .map_ranges(n, |r| r.map(|i| (i as u64).wrapping_mul(31)).collect::<Vec<_>>())
+                .concat();
+            assert_eq!(sharded, serial, "width {width}");
+            let total = pool.sum_ranges(n, |r| r.map(|i| i as u64).sum());
+            assert_eq!(total, (n as u64) * (n as u64 - 1) / 2);
+        }
+    }
+
+    #[test]
+    fn sim_threads_parse_and_resolve() {
+        assert_eq!("auto".parse::<SimThreads>().unwrap(), SimThreads::Auto);
+        assert_eq!("4".parse::<SimThreads>().unwrap(), SimThreads::Fixed(4));
+        assert!("0".parse::<SimThreads>().is_err());
+        assert!("many".parse::<SimThreads>().is_err());
+        assert!(SimThreads::Auto.resolve() >= 1);
+        assert_eq!(SimThreads::Fixed(3).resolve(), 3);
+        assert_eq!(SimThreads::Fixed(10_000).resolve(), MAX_SIM_THREADS);
+        assert_eq!(SimThreads::Fixed(2).to_string(), "2");
+        assert_eq!(SimThreads::Auto.to_string(), "auto");
+    }
+}

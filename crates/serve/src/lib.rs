@@ -39,6 +39,7 @@
 //!     policy: SchedulerPolicy::ModelAffinity,
 //!     max_batch: 4,
 //!     workers: 2,
+//!     ..ServeConfig::default()
 //! });
 //! let report = server.run(&queue);
 //! // One model-homogeneous batch: three followers reuse the leader's

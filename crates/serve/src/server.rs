@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use gnnie_core::config::AcceleratorConfig;
 use gnnie_core::engine::{Engine, RunOptions};
 use gnnie_core::report::InferenceReport;
+use gnnie_core::SimThreads;
 use gnnie_gnn::model::GnnModel;
 use gnnie_graph::Dataset;
 
@@ -35,12 +36,22 @@ pub struct ServeConfig {
     /// Simulation worker threads (the host-side parallelism; simulated
     /// cycles are unaffected).
     pub workers: usize,
+    /// Worker threads for each request's sharded simulation loops,
+    /// threaded through `RunOptions::sim_threads` so every session of a
+    /// pipelined batch shares the knob. Host-side only: reports are
+    /// bit-identical at any setting. Defaults from `GNNIE_SIM_THREADS`.
+    pub sim_threads: SimThreads,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        ServeConfig { policy: SchedulerPolicy::ModelAffinity, max_batch: 8, workers }
+        ServeConfig {
+            policy: SchedulerPolicy::ModelAffinity,
+            max_batch: 8,
+            workers,
+            sim_threads: SimThreads::from_env(),
+        }
     }
 }
 
@@ -325,7 +336,10 @@ impl Server {
                     let mut session = engine.begin_with(
                         &model,
                         &ds,
-                        RunOptions { weights_resident: job.resident },
+                        RunOptions {
+                            weights_resident: job.resident,
+                            sim_threads: Some(self.config.sim_threads),
+                        },
                     );
                     session.run_to_completion();
                     let report = session.finish();
@@ -353,6 +367,7 @@ mod tests {
             policy: SchedulerPolicy::ModelAffinity,
             max_batch: 8,
             workers: 4,
+            ..ServeConfig::default()
         });
         let report = server.run(&queue);
         assert_eq!(report.requests.len(), 8);
@@ -381,6 +396,7 @@ mod tests {
             policy: SchedulerPolicy::ModelAffinity,
             max_batch: 4,
             workers: 4,
+            ..ServeConfig::default()
         });
         let report = server.run(&queue);
         assert_eq!(report.batches.len(), 2);

@@ -175,6 +175,7 @@ proptest! {
             policy: SchedulerPolicy::ALL[policy_idx],
             max_batch,
             workers: 4,
+            ..ServeConfig::default()
         });
         let report = server.run(&queue);
         prop_assert_eq!(report.requests.len(), queue.len());

@@ -64,6 +64,26 @@ impl Histogram {
         self.counts[idx] += 1;
     }
 
+    /// Adds `other`'s counts bin for bin. Because binning depends only on
+    /// the sample value, merging per-shard histograms built over a
+    /// partition of the samples reproduces the single-pass histogram
+    /// exactly — the parallel cache walk relies on this.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both histograms share the same range and bin count.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo.to_bits() == other.lo.to_bits()
+                && self.hi.to_bits() == other.hi.to_bits()
+                && self.counts.len() == other.counts.len(),
+            "cannot merge histograms of different shapes"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+
     /// Per-bin counts.
     pub fn counts(&self) -> &[u64] {
         &self.counts

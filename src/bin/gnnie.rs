@@ -3,10 +3,12 @@
 //! ```text
 //! gnnie run      --model gat (--dataset cora | --graph path) [--scale 1.0] [--design e]
 //!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady]
+//!                [--sim-threads auto|N]
 //! gnnie ingest   <path> [--out snapshot.gnniecsr] [--shards N] [--dataset cora]
 //!                [--seed 42] [--force]
 //! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
 //!                [--batch 8] [--policy fifo|affinity] [--workers 4] [--seed 42]
+//!                [--sim-threads auto|N]
 //! gnnie compare  --dataset pubmed [--scale 1.0]
 //! gnnie verify   --model gcn [--vertices 300] [--edges 1500] [--seed 42]
 //! gnnie comm     --dataset pubmed [--scale 1.0]
@@ -27,7 +29,7 @@ use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
 use gnnie::graph::{generate, GraphDataset, SyntheticDataset};
 use gnnie::ingest::{write_snapshot, DatasetRegistry, SourceKind};
-use gnnie::mem::CachePolicyKind;
+use gnnie::mem::{CachePolicyKind, SimThreads};
 use gnnie::serve::{InferenceRequest, SchedulerPolicy, ServeConfig, Server};
 use gnnie::tensor::DenseMatrix;
 use gnnie::{AcceleratorConfig, Dataset, Engine, GnnModel};
@@ -59,13 +61,29 @@ const COMMANDS: [&str; 8] =
 /// silently ignored.
 fn allowed_flags(command: &str) -> &'static [&'static str] {
     match command {
-        "run" => {
-            &["model", "dataset", "graph", "scale", "design", "seed", "heads", "cache-policy"]
-        }
+        "run" => &[
+            "model",
+            "dataset",
+            "graph",
+            "scale",
+            "design",
+            "seed",
+            "heads",
+            "cache-policy",
+            "sim-threads",
+        ],
         "ingest" => &["out", "shards", "dataset", "seed", "force"],
-        "serve" => {
-            &["requests", "models", "datasets", "scale", "seed", "batch", "policy", "workers"]
-        }
+        "serve" => &[
+            "requests",
+            "models",
+            "datasets",
+            "scale",
+            "seed",
+            "batch",
+            "policy",
+            "workers",
+            "sim-threads",
+        ],
         "compare" | "comm" => &["dataset", "scale", "seed"],
         "verify" => &["model", "vertices", "edges", "seed"],
         _ => &[],
@@ -147,13 +165,16 @@ fn usage() {
          \x20 run      --model <gcn|sage|gat|gin|diffpool>\n\
          \x20          (--dataset <cr|cs|pb|ppi|rd> [--scale 0.0-1.0] | --graph <path>)\n\
          \x20          [--design a|b|c|d|e] [--seed N] [--heads K]\n\
-         \x20          [--cache-policy paper|lru|lfu|belady]\n\
+         \x20          [--cache-policy paper|lru|lfu|belady] [--sim-threads auto|N]\n\
          \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
          \x20          [--seed N] [--force]\n\
          \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
          \x20 serve    [--requests N] [--models gcn,gat] [--datasets cr,pb] [--scale ...]\n\
          \x20          [--batch N] [--policy fifo|affinity] [--workers N] [--seed N]\n\
+         \x20          [--sim-threads auto|N]\n\
          \x20          batched + pipelined serving of a request mix\n\
+         \x20          (--sim-threads shards the hot simulation loops; reports are\n\
+         \x20          bit-identical at any setting; GNNIE_SIM_THREADS is the default)\n\
          \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
          \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
          \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
@@ -273,6 +294,18 @@ fn parse_cache_policy(
     flags.get("cache-policy").map(|s| s.parse::<CachePolicyKind>()).transpose()
 }
 
+/// Parses `--sim-threads` (`auto` or a positive worker count; 0 is
+/// rejected). `None` means the flag was absent, in which case the
+/// configuration's own default — `GNNIE_SIM_THREADS`, else the machine's
+/// available parallelism — applies. Reports are bit-identical at any
+/// setting; this is purely a host-side knob.
+fn parse_sim_threads(flags: &HashMap<String, String>) -> Result<Option<SimThreads>, String> {
+    match flags.get("sim-threads") {
+        None => Ok(None),
+        Some(s) => s.parse::<SimThreads>().map(Some).map_err(|e| format!("--sim-threads: {e}")),
+    }
+}
+
 fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, String> {
     match flags.get("design").map(|s| s.to_lowercase()).as_deref() {
         None => Ok(None),
@@ -306,6 +339,19 @@ fn note_loaded(out: &gnnie::ingest::LoadOutcome) {
         out.dataset.graph.num_edges(),
         out.source
     );
+    warn_dropped_weights(out);
+}
+
+/// One-line stderr warning when an edge list carried a third (weight)
+/// column: GNNIE graphs are unweighted, so the column was dropped — say
+/// so, with the first affected line, instead of ignoring it silently.
+fn warn_dropped_weights(out: &gnnie::ingest::LoadOutcome) {
+    if let Some((count, first_line)) = out.dropped_weights {
+        eprintln!(
+            "warning: dropped the third (weight) column on {count} line(s) — gnnie graphs \
+             are unweighted (first at line {first_line})"
+        );
+    }
 }
 
 /// Scale implied by a loaded spec relative to the full-size dataset —
@@ -395,6 +441,9 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(kind) = parse_cache_policy(flags)? {
         config.cache_policy = kind;
     }
+    if let Some(threads) = parse_sim_threads(flags)? {
+        config.sim_threads = threads;
+    }
     let heads: usize = flags.get("heads").map_or(Ok(1), |s| {
         s.parse::<usize>()
             .ok()
@@ -481,6 +530,7 @@ fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String>
     write_snapshot(&out_path, &loaded.dataset, force).map_err(|e| e.to_string())?;
     let write_ms = t1.elapsed().as_secs_f64() * 1e3;
 
+    warn_dropped_weights(&loaded);
     let ds = &loaded.dataset;
     println!("ingested {} ({})", input.display(), loaded.source);
     println!(
@@ -535,6 +585,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let policy: SchedulerPolicy =
         flags.get("policy").map_or(Ok(SchedulerPolicy::ModelAffinity), |s| s.parse())?;
     let workers = parse_positive(flags, "workers", ServeConfig::default().workers)?;
+    let sim_threads =
+        parse_sim_threads(flags)?.unwrap_or_else(gnnie::mem::SimThreads::from_env);
 
     // The request mix: model varies fastest so a FIFO scheduler sees the
     // worst-case interleaving; every request gets its own seed.
@@ -546,7 +598,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         queue.push(InferenceRequest::new(i as u64, model, dataset, scale, seed + i as u64));
     }
 
-    let server = Server::new(ServeConfig { policy, max_batch, workers });
+    let server = Server::new(ServeConfig { policy, max_batch, workers, sim_threads });
     let report = server.run(&queue);
 
     println!(
@@ -886,6 +938,24 @@ mod tests {
             Some(CachePolicyKind::Lru)
         );
         assert!(parse_cache_policy(&flags(&[("cache-policy", "arc")])).is_err());
+    }
+
+    #[test]
+    fn parse_sim_threads_accepts_auto_and_positive_rejects_zero() {
+        assert_eq!(parse_sim_threads(&flags(&[])).unwrap(), None);
+        assert_eq!(
+            parse_sim_threads(&flags(&[("sim-threads", "auto")])).unwrap(),
+            Some(SimThreads::Auto)
+        );
+        assert_eq!(
+            parse_sim_threads(&flags(&[("sim-threads", "4")])).unwrap(),
+            Some(SimThreads::Fixed(4))
+        );
+        let err = parse_sim_threads(&flags(&[("sim-threads", "0")])).unwrap_err();
+        assert!(err.contains("sim-threads") && err.contains("at least 1"), "{err}");
+        assert!(parse_sim_threads(&flags(&[("sim-threads", "lots")])).is_err());
+        assert!(allowed_flags("run").contains(&"sim-threads"));
+        assert!(allowed_flags("serve").contains(&"sim-threads"));
     }
 
     #[test]

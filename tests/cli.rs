@@ -66,6 +66,84 @@ fn run_rejects_unknown_cache_policy() {
 }
 
 #[test]
+fn sim_threads_keeps_reports_byte_identical_and_rejects_zero() {
+    let base = ["run", "--model", "gcn", "--dataset", "cora", "--scale", "0.05"];
+    let with = |t: &str| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--sim-threads", t]);
+        run_args(&args)
+    };
+    let serial = with("1");
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    for threads in ["2", "4", "auto"] {
+        let sharded = with(threads);
+        assert!(
+            sharded.status.success(),
+            "--sim-threads {threads}: {}",
+            String::from_utf8_lossy(&sharded.stderr)
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&serial.stdout),
+            String::from_utf8_lossy(&sharded.stdout),
+            "--sim-threads {threads} must not change the report"
+        );
+    }
+    let zero = with("0");
+    assert!(!zero.status.success(), "--sim-threads 0 must be rejected");
+    let stderr = String::from_utf8_lossy(&zero.stderr);
+    assert!(stderr.contains("sim-threads") && stderr.contains("at least 1"), "{stderr}");
+
+    // serve takes the same knob.
+    let serve =
+        run_args(&["serve", "--requests", "2", "--scale", "0.05", "--sim-threads", "2"]);
+    assert!(serve.status.success(), "{}", String::from_utf8_lossy(&serve.stderr));
+}
+
+#[test]
+fn env_sim_threads_matches_the_flag_byte_for_byte() {
+    // The CI thread matrix exercises exactly this path: GNNIE_SIM_THREADS
+    // must behave like --sim-threads and keep reports byte-identical.
+    let args = ["run", "--model", "gcn", "--dataset", "cora", "--scale", "0.05"];
+    let via_env = Command::new(BIN)
+        .args(args)
+        .env("GNNIE_SIM_THREADS", "4")
+        .output()
+        .expect("spawn gnnie");
+    assert!(via_env.status.success(), "{}", String::from_utf8_lossy(&via_env.stderr));
+    let mut flag_args: Vec<&str> = args.to_vec();
+    flag_args.extend(["--sim-threads", "1"]);
+    let via_flag = run_args(&flag_args);
+    assert!(via_flag.status.success());
+    assert_eq!(
+        String::from_utf8_lossy(&via_env.stdout),
+        String::from_utf8_lossy(&via_flag.stdout),
+        "env-sharded run must match the serial report byte for byte"
+    );
+}
+
+#[test]
+fn ingest_warns_when_a_weight_column_is_dropped() {
+    let dir = tmpdir("weight-warning");
+    let edges = dir.join("weighted.edges");
+    std::fs::write(&edges, "0 1\n1 2 0.5\n2 0 1.5\n").unwrap();
+    let out = run_args(&["ingest", edges.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warning") && stderr.contains("weight"),
+        "dropped weights must be warned about:\n{stderr}"
+    );
+    assert!(stderr.contains("line 2"), "first affected line named:\n{stderr}");
+    // Unweighted input stays warning-free.
+    let clean = dir.join("clean.edges");
+    std::fs::write(&clean, "0 1\n1 2\n").unwrap();
+    let out = run_args(&["ingest", clean.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("warning"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn piped_output_is_sigpipe_safe() {
     // `head -n 1` closes the read end after one line. gnnie restores the
     // default SIGPIPE disposition at startup, so any writes past that
