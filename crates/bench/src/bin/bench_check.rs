@@ -78,10 +78,11 @@ fn check_one(
     let baseline_path = format!("{baseline_dir}/{}", gate::baseline_file_for(artifact)?);
 
     if write_baselines {
-        // Wall-clock baselines are deliberately conservative: never raise
-        // one above its committed value (a fast dev box would bake in a
-        // number shared CI runners can never meet). Deterministic metrics
-        // are refreshed verbatim.
+        // Wall-clock baselines are frozen once committed: never raised (a
+        // fast dev box would bake in a number shared CI runners can never
+        // meet) and never lowered (one slow CI box would silently erode
+        // the gate). Changing them is a manual edit of the baseline file.
+        // Deterministic metrics are refreshed verbatim.
         let mut to_write = current.clone();
         if let Ok(prev_text) = std::fs::read_to_string(&baseline_path) {
             if let Ok(prev) = gate::parse_baseline(&prev_text) {
@@ -90,14 +91,14 @@ fn check_one(
                         continue;
                     }
                     if let Some(p) = prev.iter().find(|b| b.name == m.name) {
-                        if p.value < m.value {
+                        if p.value != m.value {
                             println!(
-                                "  {}: keeping conservative baseline {:.4} \
-                                 (measured {:.4}; raise it by editing {})",
+                                "  {}: keeping frozen wall-clock baseline {:.4} \
+                                 (measured {:.4}; change it by editing {})",
                                 m.name, p.value, m.value, baseline_path
                             );
-                            m.value = p.value;
                         }
+                        m.value = p.value;
                     }
                 }
             }

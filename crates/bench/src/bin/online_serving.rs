@@ -1,0 +1,77 @@
+//! Regenerates the online-serving sweep; see
+//! `gnnie_bench::experiments::online_serving`.
+//!
+//! With `--json <path>`, additionally writes the sweep as a JSON
+//! document — CI uploads it as the `BENCH_online_serving.json` artifact
+//! and gates it with `bench_check` (every metric here is simulated
+//! cycles, so the committed baselines are tight).
+
+use gnnie_bench::experiments::online_serving;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: online_serving [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let result = online_serving::sweep(&ctx);
+    online_serving::render(&result).print();
+
+    if let Some(path) = json_path {
+        let json = render_json(&result);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[online_serving: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(result: &online_serving::OnlineServingResult) -> String {
+    let mut out = String::from("{\n  \"sweep\": [\n");
+    for (i, row) in result.rows.iter().enumerate() {
+        let r = &row.report;
+        out.push_str(&format!(
+            "    {{\"rate_factor\": {:.4}, \"rate_rps\": {:.1}, \"served\": {}, \
+             \"rejected\": {}, \"batches\": {}, \"p50_latency_us\": {:.3}, \
+             \"p95_latency_us\": {:.3}, \"p99_latency_us\": {:.3}, \
+             \"deadline_hit_rate\": {:.4}, \"throughput_rps\": {:.1}, \
+             \"sustained\": {}}}{}\n",
+            row.factor,
+            row.rate_rps,
+            r.outcomes.len(),
+            r.rejected.len(),
+            r.batches.len(),
+            r.p50_latency_s() * 1e6,
+            r.p95_latency_s() * 1e6,
+            r.p99_latency_s() * 1e6,
+            r.deadline_hit_rate(),
+            r.throughput_rps(),
+            row.sustained,
+            if i + 1 == result.rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"service_rate_rps\": {:.1},\n  \"p99_bound_us\": {:.3},\n  \
+         \"sustained_rps_at_p99\": {:.1},\n  \"static_pipelined_cycles\": {},\n  \
+         \"online_makespan_cycles\": {},\n  \"daemon_vs_static_cycle_ratio\": {:.4}\n}}\n",
+        result.service_rate_rps,
+        result.p99_bound_s * 1e6,
+        result.sustained_rps_at_p99,
+        result.static_pipelined_cycles,
+        result.online_makespan_cycles,
+        result.daemon_vs_static_cycle_ratio,
+    ));
+    out
+}

@@ -25,6 +25,7 @@ pub mod fig16_weighting_balance;
 pub mod fig17_beta_designs;
 pub mod fig18_optimizations;
 pub mod ingest_throughput;
+pub mod online_serving;
 pub mod parallel_speedup;
 pub mod serving_throughput;
 pub mod table2_datasets;

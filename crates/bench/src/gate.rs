@@ -69,9 +69,14 @@ impl Delta {
 /// reduce, or `None` for an unknown file.
 fn artifact_stem(artifact: &str) -> Option<&str> {
     let stem = artifact.rsplit('/').next()?.strip_suffix(".json")?;
-    ["BENCH_serving_throughput", "BENCH_ingest_throughput", "BENCH_parallel_speedup"]
-        .into_iter()
-        .find(|&known| known == stem)
+    [
+        "BENCH_serving_throughput",
+        "BENCH_ingest_throughput",
+        "BENCH_parallel_speedup",
+        "BENCH_online_serving",
+    ]
+    .into_iter()
+    .find(|&known| known == stem)
 }
 
 /// The baseline file name for an artifact (`BENCH_foo.json` →
@@ -97,6 +102,7 @@ pub fn headline_metrics(artifact: &str, json: &Json) -> Result<Vec<Metric>, Stri
         Some("BENCH_serving_throughput") => serving_metrics(json),
         Some("BENCH_ingest_throughput") => ingest_metrics(json),
         Some("BENCH_parallel_speedup") => parallel_metrics(json),
+        Some("BENCH_online_serving") => online_metrics(json),
         _ => Err(format!("`{artifact}` is not a gated BENCH_* artifact")),
     }
 }
@@ -190,12 +196,39 @@ fn parallel_metrics(json: &Json) -> Result<Vec<Metric>, String> {
     ])
 }
 
+/// Online serving: sustained request rate under the p99 bound and the
+/// online-vs-static-planner cycle ratio. Both are simulated-cycle
+/// numbers — deterministic run to run — so the baselines stay tight.
+fn online_metrics(json: &Json) -> Result<Vec<Metric>, String> {
+    let rows = json
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or("online artifact: expected a `sweep` array")?;
+    if rows.is_empty() {
+        return Err("online artifact: empty sweep".into());
+    }
+    let sustained = json
+        .get("sustained_rps_at_p99")
+        .and_then(Json::as_f64)
+        .ok_or("online artifact: missing numeric `sustained_rps_at_p99`")?;
+    let ratio = json
+        .get("daemon_vs_static_cycle_ratio")
+        .and_then(Json::as_f64)
+        .ok_or("online artifact: missing numeric `daemon_vs_static_cycle_ratio`")?;
+    Ok(vec![
+        Metric::new("sustained_rps_at_p99", sustained),
+        Metric::new("daemon_vs_static_cycle_ratio", ratio),
+    ])
+}
+
 /// Metrics measured in host wall clock — noisy on shared CI runners, so
 /// their committed baselines stay deliberately conservative. The
-/// `--write-baselines` refresh never *raises* one of these above its
-/// committed value (a fast dev laptop would otherwise bake in a baseline
-/// CI can never meet); raising them is a manual edit of the baseline
-/// file. Everything else is deterministic and refreshed verbatim.
+/// `--write-baselines` refresh *freezes* these: a committed value is
+/// kept verbatim, never raised (a fast dev laptop would bake in a
+/// baseline CI can never meet) and never lowered (one slow CI box would
+/// silently erode the gate). Changing them is a manual edit of the
+/// baseline file. Everything else is deterministic and refreshed
+/// verbatim.
 pub fn is_wall_clock(name: &str) -> bool {
     matches!(name, "max_build_speedup_vs_serial" | "max_speedup_vs_serial")
 }
@@ -358,6 +391,36 @@ mod tests {
             Json::parse(r#"[{"identical": true, "threads": 1, "speedup_vs_serial": 1.0}]"#)
                 .unwrap();
         assert!(headline_metrics("BENCH_parallel_speedup.json", &only_serial).is_err());
+    }
+
+    #[test]
+    fn online_metrics_read_the_headline_fields() {
+        let doc = Json::parse(
+            r#"{"sweep": [{"rate_factor": 0.25, "sustained": true}],
+                "sustained_rps_at_p99": 1234.5,
+                "daemon_vs_static_cycle_ratio": 1.07}"#,
+        )
+        .unwrap();
+        let m = headline_metrics("BENCH_online_serving.json", &doc).unwrap();
+        assert_eq!(
+            m,
+            metrics(&[
+                ("sustained_rps_at_p99", 1234.5),
+                ("daemon_vs_static_cycle_ratio", 1.07),
+            ])
+        );
+        assert_eq!(
+            baseline_file_for("artifacts/BENCH_online_serving.json").unwrap(),
+            "online_serving.json"
+        );
+        // Both metrics are simulated-cycle numbers, not wall clock.
+        assert!(!is_wall_clock("sustained_rps_at_p99"));
+        assert!(!is_wall_clock("daemon_vs_static_cycle_ratio"));
+        // Shape drift fails loudly.
+        let empty = Json::parse(r#"{"sweep": [], "sustained_rps_at_p99": 1.0}"#).unwrap();
+        assert!(headline_metrics("BENCH_online_serving.json", &empty).is_err());
+        let missing = Json::parse(r#"{"sweep": [{"rate_factor": 1.0}]}"#).unwrap();
+        assert!(headline_metrics("BENCH_online_serving.json", &missing).is_err());
     }
 
     #[test]

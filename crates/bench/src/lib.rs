@@ -81,6 +81,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ablation_quant", experiments::ablation_quant::run),
         ("dse", experiments::dse::run),
         ("ingest_throughput", experiments::ingest_throughput::run),
+        ("online_serving", experiments::online_serving::run),
         ("parallel_speedup", experiments::parallel_speedup::run),
         ("serving_throughput", experiments::serving_throughput::run),
     ]

@@ -114,6 +114,32 @@ impl Engine {
         ds: &'a GraphDataset,
         opts: RunOptions,
     ) -> RunSession<'a> {
+        // The worker policy is resolved once per run (see the pool note
+        // below); `RunOptions::sim_threads` overrides the configuration's
+        // knob for this run only.
+        let pool = SimPool::new(opts.sim_threads.unwrap_or(self.config.sim_threads));
+        self.begin_pooled(model, ds, opts, &pool)
+    }
+
+    /// Starts a phased run like [`Engine::begin_with`], but dispatching
+    /// the sharded simulation loops through a caller-provided [`SimPool`]
+    /// instead of resolving a fresh one per session.
+    ///
+    /// This is the serving daemon's amortization hook: a long-lived
+    /// server creates one [`SimPool::persistent`] and shares it across
+    /// every request's `RunSession`, so the per-region worker spawns the
+    /// scoped pool pays are replaced by channel dispatch to threads that
+    /// already exist. `opts.sim_threads` is ignored here — the pool *is*
+    /// the thread policy. Cloning a pool handle is cheap (persistent
+    /// clones share the same workers), and reports stay bit-identical to
+    /// any other pool width by the sharding contract.
+    pub fn begin_pooled<'a>(
+        &'a self,
+        model: &'a ModelConfig,
+        ds: &'a GraphDataset,
+        opts: RunOptions,
+        pool: &SimPool,
+    ) -> RunSession<'a> {
         let mut dram = HbmModel::hbm2_256gbps(self.config.clock_hz);
         let v = ds.graph.num_vertices();
         let e = ds.graph.num_edges();
@@ -142,13 +168,12 @@ impl Engine {
             preprocessing_cycles += sampled;
         }
 
-        // The worker policy is resolved once per run and every phase
-        // dispatches through this handle (a `SimPool` is a resolved-width
-        // dispatcher — workers are scoped per parallel region, and the
-        // aggregation path forwards the width into the cache walk's own
-        // handle via `CacheConfig::sim_threads`). `RunOptions::sim_threads`
-        // overrides the configuration's knob for this run only.
-        let pool = SimPool::new(opts.sim_threads.unwrap_or(self.config.sim_threads));
+        // Every phase dispatches through the session's pool handle (a
+        // `SimPool` is a width dispatcher — scoped pools spawn workers
+        // per parallel region, persistent pools feed long-lived ones —
+        // and the aggregation path forwards the width into the cache
+        // walk's own handle via `CacheConfig::sim_threads`).
+        let pool = pool.clone();
 
         RunSession {
             engine: self,
@@ -893,6 +918,34 @@ mod tests {
                 session.run_to_completion();
                 let via_opts = format!("{:?}", session.finish());
                 assert_eq!(via_opts, serial, "{model} via RunOptions @ {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_persistent_pool_reproduces_the_scoped_reports_exactly() {
+        // The daemon's amortization hook: one persistent pool shared
+        // across consecutive sessions must change nothing in the reports.
+        let ds = small(Dataset::Cora, 0.15);
+        let engine = Engine::new(AcceleratorConfig::paper(Dataset::Cora));
+        let pool = SimPool::persistent(SimThreads::Fixed(4));
+        for model in [GnnModel::Gcn, GnnModel::Gat] {
+            let mc = ModelConfig::paper(model, &ds.spec);
+            for resident in [false, true] {
+                let opts = RunOptions { weights_resident: resident, sim_threads: None };
+                let mut scoped = engine.begin_with(
+                    &mc,
+                    &ds,
+                    RunOptions { sim_threads: Some(SimThreads::Fixed(1)), ..opts },
+                );
+                scoped.run_to_completion();
+                let scoped = format!("{:?}", scoped.finish());
+                // Reuse the same pool for both residency variants and
+                // both models — the daemon does exactly this.
+                let mut pooled = engine.begin_pooled(&mc, &ds, opts, &pool);
+                pooled.run_to_completion();
+                let pooled = format!("{:?}", pooled.finish());
+                assert_eq!(pooled, scoped, "{model} resident={resident}");
             }
         }
     }

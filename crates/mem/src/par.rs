@@ -23,6 +23,7 @@
 //! relies on).
 
 use std::ops::Range;
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 
 use serde::{Deserialize, Serialize};
 
@@ -127,39 +128,159 @@ pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
 /// by contract.
 pub const MIN_ITEMS_PER_WORKER: usize = 256;
 
+/// A lifetime-erased shard task queued to a persistent worker.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// The long-lived worker threads behind a persistent [`SimPool`]: a
+/// channel-fed task queue shared by `width` threads. Dropping the last
+/// pool handle closes the channel and joins every worker (graceful
+/// drain — queued shards still run).
+struct WorkerSet {
+    sender: Mutex<Option<mpsc::Sender<Task>>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for WorkerSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let workers = self.handles.lock().map(|h| h.len()).unwrap_or(0);
+        f.debug_struct("WorkerSet").field("workers", &workers).finish()
+    }
+}
+
+impl WorkerSet {
+    fn spawn(width: usize) -> Arc<WorkerSet> {
+        let (tx, rx) = mpsc::channel::<Task>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..width)
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || loop {
+                    // Take the next task *outside* the lock so workers
+                    // drain the queue concurrently.
+                    let task = {
+                        let queue = rx.lock().expect("worker queue lock poisoned");
+                        queue.recv()
+                    };
+                    match task {
+                        Ok(task) => task(),
+                        Err(_) => break, // channel closed: drain complete
+                    }
+                })
+            })
+            .collect();
+        Arc::new(WorkerSet { sender: Mutex::new(Some(tx)), handles: Mutex::new(handles) })
+    }
+
+    /// Queues a task; hands it back if the channel is already closed so
+    /// the caller can run it inline instead of losing it.
+    fn submit(&self, task: Task) -> Result<(), Task> {
+        match &*self.sender.lock().expect("worker sender lock poisoned") {
+            Some(tx) => tx.send(task).map_err(|e| e.0),
+            None => Err(task),
+        }
+    }
+}
+
+impl Drop for WorkerSet {
+    fn drop(&mut self) {
+        // Close the queue, then join: workers finish whatever is queued
+        // and exit on the disconnect.
+        drop(self.sender.lock().expect("worker sender lock poisoned").take());
+        for handle in self.handles.lock().expect("worker handles lock poisoned").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Countdown latch: the submitting thread blocks until every queued
+/// shard of its parallel region has completed (or panicked).
+struct Latch {
+    state: Mutex<(usize, bool)>, // (shards remaining, any shard panicked)
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch { state: Mutex::new((count, false)), done: Condvar::new() }
+    }
+
+    fn complete(&self, panicked: bool) {
+        let mut state = self.state.lock().expect("latch lock poisoned");
+        state.0 -= 1;
+        state.1 |= panicked;
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until all shards complete; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock().expect("latch lock poisoned");
+        while state.0 > 0 {
+            state = self.done.wait(state).expect("latch lock poisoned");
+        }
+        state.1
+    }
+}
+
 /// The sharded worker dispatcher of one simulation run.
 ///
-/// A `SimPool` is a resolved-width handle, not a set of long-lived
-/// threads: it is created once per run (`Engine::begin_with` resolves
-/// one per `RunSession`; the Weighting phases dispatch through it
-/// directly and the Aggregation path forwards its width into the cache
-/// walk, so `gnnie serve`'s pipelined batches share the decision too)
-/// and handed to each sharded loop. Workers are scoped per parallel
-/// region: `width == 1` runs inline with zero spawn cost; `width > 1`
-/// spawns whenever the input clears [`MIN_ITEMS_PER_WORKER`] per worker
-/// — a forced `Fixed(4)` therefore spawns real threads on large inputs
-/// even on a one-core box, and on small inputs still executes the
-/// identical sharded ranges and merges, just without the spawn toll.
+/// A `SimPool` is a resolved-width handle in one of two modes:
+///
+/// * **Scoped** ([`SimPool::new`]) — not a set of long-lived threads:
+///   workers are `std::thread::scope`d per parallel region. This is what
+///   `Engine::begin_with` resolves per `RunSession`; the Weighting
+///   phases dispatch through it directly and the Aggregation path
+///   forwards its width into the cache walk, so `gnnie serve`'s
+///   pipelined batches share the decision too.
+/// * **Persistent** ([`SimPool::persistent`]) — `width` channel-fed
+///   worker threads that live as long as any clone of the handle, so a
+///   long-lived server (`gnnie serve --daemon`) amortizes the per-region
+///   spawns across every request. Clones share the same workers;
+///   dropping the last clone drains the queue and joins them.
+///
+/// Both modes run the *identical* sharded ranges and shard-order merges:
+/// `width == 1` runs inline with zero dispatch cost, and inputs below
+/// [`MIN_ITEMS_PER_WORKER`] per worker run inline too — a forced
+/// `Fixed(4)` therefore engages real threads on large inputs even on a
+/// one-core box, and results are bit-identical everywhere by contract.
 #[derive(Debug, Clone)]
 pub struct SimPool {
     width: usize,
+    workers: Option<Arc<WorkerSet>>,
 }
 
 impl SimPool {
-    /// A pool resolving `threads` against the host (see
-    /// [`SimThreads::resolve`]).
+    /// A scoped pool resolving `threads` against the host (see
+    /// [`SimThreads::resolve`]); workers are spawned per parallel region.
     pub fn new(threads: SimThreads) -> Self {
-        SimPool { width: threads.resolve() }
+        SimPool { width: threads.resolve(), workers: None }
+    }
+
+    /// A persistent pool: `threads` resolves as in [`SimPool::new`], but
+    /// the workers are spawned once, fed over a channel, and kept alive
+    /// until the last clone of the handle is dropped (which drains the
+    /// queue and joins them). A width of 1 spawns nothing and runs
+    /// inline, exactly like the scoped pool.
+    pub fn persistent(threads: SimThreads) -> Self {
+        let width = threads.resolve();
+        let workers = (width > 1).then(|| WorkerSet::spawn(width));
+        SimPool { width, workers }
     }
 
     /// The single-threaded pool: every `map_ranges` call runs inline.
     pub fn serial() -> Self {
-        SimPool { width: 1 }
+        SimPool { width: 1, workers: None }
     }
 
     /// The resolved worker count.
     pub fn width(&self) -> usize {
         self.width
+    }
+
+    /// Whether this handle dispatches to long-lived workers.
+    pub fn is_persistent(&self) -> bool {
+        self.workers.is_some()
     }
 
     /// Runs `f` over the contiguous shards of `0..n` and returns the
@@ -175,12 +296,56 @@ impl SimPool {
         if self.width == 1 || ranges.len() <= 1 || n < self.width * MIN_ITEMS_PER_WORKER {
             return ranges.into_iter().map(f).collect();
         }
+        if let Some(workers) = &self.workers {
+            return Self::map_on_workers(workers, ranges, &f);
+        }
         std::thread::scope(|scope| {
             let f = &f;
             let handles: Vec<_> =
                 ranges.into_iter().map(|r| scope.spawn(move || f(r))).collect();
             handles.into_iter().map(|h| h.join().expect("simulation shard panicked")).collect()
         })
+    }
+
+    /// Dispatches the shards to the persistent workers and blocks until
+    /// all complete; results come back in shard order, same as the
+    /// scoped path.
+    fn map_on_workers<R, F>(workers: &WorkerSet, ranges: Vec<Range<usize>>, f: &F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        let count = ranges.len();
+        let latch = Latch::new(count);
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(count).collect();
+        for (slot, range) in slots.iter_mut().zip(ranges) {
+            let latch = &latch;
+            let task: Box<dyn FnOnce() + Send + '_> =
+                Box::new(move || match catch_unwind(AssertUnwindSafe(|| f(range))) {
+                    Ok(value) => {
+                        *slot = Some(value);
+                        latch.complete(false);
+                    }
+                    Err(_) => latch.complete(true),
+                });
+            // SAFETY: the tasks borrow `f`, `slots`, and `latch` from this
+            // frame; `latch.wait()` below blocks until every task has run
+            // (each task counts down exactly once, panics included), so
+            // the borrows outlive all task execution. The latch's mutex
+            // provides the release/acquire edge that makes the workers'
+            // slot writes visible here.
+            let task: Task =
+                unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Task>(task) };
+            if let Err(task) = workers.submit(task) {
+                task(); // queue closed (shutdown race): run inline
+            }
+        }
+        if latch.wait() {
+            panic!("simulation shard panicked");
+        }
+        slots.into_iter().map(|s| s.expect("completed shard has a result")).collect()
     }
 
     /// Sharded `u64` reduction over `0..n`: the per-shard sums are added
@@ -240,6 +405,77 @@ mod tests {
             let total = pool.sum_ranges(n, |r| r.map(|i| i as u64).sum());
             assert_eq!(total, (n as u64) * (n as u64 - 1) / 2);
         }
+    }
+
+    #[test]
+    fn persistent_pool_matches_scoped_results_across_reuse() {
+        // One persistent pool serves many parallel regions (the daemon's
+        // amortization case) and every merge stays bit-identical to the
+        // serial pass.
+        let n = 4096usize;
+        let serial: Vec<u64> = SimPool::serial()
+            .map_ranges(n, |r| r.map(|i| (i as u64).wrapping_mul(97)).collect::<Vec<_>>())
+            .concat();
+        let pool = SimPool::persistent(SimThreads::Fixed(3));
+        assert!(pool.is_persistent());
+        assert_eq!(pool.width(), 3);
+        for _ in 0..5 {
+            let got: Vec<u64> = pool
+                .map_ranges(n, |r| r.map(|i| (i as u64).wrapping_mul(97)).collect::<Vec<_>>())
+                .concat();
+            assert_eq!(got, serial);
+        }
+        // Clones share the same workers and drop cleanly afterwards.
+        let clone = pool.clone();
+        assert_eq!(clone.sum_ranges(n, |r| r.map(|i| i as u64).sum()), {
+            (n as u64) * (n as u64 - 1) / 2
+        });
+        drop(pool);
+        // The surviving clone still dispatches after the original drops.
+        assert_eq!(
+            clone.sum_ranges(n, |r| r.map(|i| i as u64).sum()),
+            (n as u64) * (n as u64 - 1) / 2
+        );
+    }
+
+    #[test]
+    fn persistent_width_one_is_inline() {
+        let pool = SimPool::persistent(SimThreads::Fixed(1));
+        assert!(!pool.is_persistent(), "width 1 spawns no workers");
+        assert_eq!(pool.sum_ranges(1000, |r| r.len() as u64), 1000);
+    }
+
+    #[test]
+    fn persistent_pool_survives_concurrent_submitters() {
+        // Several request-level threads sharing one persistent pool (the
+        // daemon topology): every submitter's merge must stay correct.
+        let pool = SimPool::persistent(SimThreads::Fixed(2));
+        let n = 2048usize;
+        let expect = (n as u64) * (n as u64 - 1) / 2;
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let pool = pool.clone();
+                scope.spawn(move || {
+                    for _ in 0..3 {
+                        assert_eq!(pool.sum_ranges(n, |r| r.map(|i| i as u64).sum()), expect);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn persistent_pool_propagates_shard_panics() {
+        let pool = SimPool::persistent(SimThreads::Fixed(2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.map_ranges(4096, |r| {
+                assert!(r.start != 0, "shard 0 blows up");
+                r.len()
+            })
+        }));
+        assert!(result.is_err(), "the panic must reach the submitter");
+        // The pool stays usable: the panicked task still counted down.
+        assert_eq!(pool.sum_ranges(4096, |r| r.len() as u64), 4096);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! The simulated serving clock: cycle ↔ second conversion for online
+//! arrival schedules.
+//!
+//! Online serving timestamps everything — arrivals, dispatches,
+//! deadlines, completions — in **accelerator cycles**, the same unit the
+//! engine's reports use, so the whole serving schedule stays exact
+//! integer arithmetic (bit-identical replays need no float timeline).
+//! [`SimClock`] converts at the edges only: load generators draw
+//! inter-arrival gaps in seconds and round once into cycles; reports
+//! convert completed latencies back for humans.
+
+use serde::{Deserialize, Serialize};
+
+use gnnie_core::config::AcceleratorConfig;
+use gnnie_graph::Dataset;
+
+/// A point (or span) on the simulated timeline, in accelerator cycles.
+pub type Cycle = u64;
+
+/// Converts between simulated cycles and seconds at a fixed clock rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    /// Accelerator clock in Hz.
+    pub clock_hz: f64,
+}
+
+impl SimClock {
+    /// A clock at `clock_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `clock_hz` is finite and positive.
+    pub fn new(clock_hz: f64) -> Self {
+        assert!(
+            clock_hz.is_finite() && clock_hz > 0.0,
+            "clock rate must be finite and positive, got {clock_hz}"
+        );
+        SimClock { clock_hz }
+    }
+
+    /// The paper configuration's clock for `dataset`.
+    pub fn paper(dataset: Dataset) -> Self {
+        SimClock::new(AcceleratorConfig::paper(dataset).clock_hz)
+    }
+
+    /// Seconds spanned by `cycles`.
+    pub fn to_seconds(&self, cycles: Cycle) -> f64 {
+        cycles as f64 / self.clock_hz
+    }
+
+    /// Nearest whole cycle to `seconds` (which must be nonnegative and
+    /// finite).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a negative, NaN, or infinite input.
+    pub fn to_cycles(&self, seconds: f64) -> Cycle {
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "timestamps are nonnegative seconds, got {seconds}"
+        );
+        (seconds * self.clock_hz).round() as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_round_trips_whole_cycles() {
+        let clock = SimClock::new(1.3e9);
+        for cycles in [0u64, 1, 7, 1_000_000, 123_456_789] {
+            assert_eq!(clock.to_cycles(clock.to_seconds(cycles)), cycles);
+        }
+    }
+
+    #[test]
+    fn paper_clock_matches_the_accelerator_config() {
+        let clock = SimClock::paper(Dataset::Cora);
+        assert_eq!(clock.clock_hz, AcceleratorConfig::paper(Dataset::Cora).clock_hz);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_seconds_are_rejected() {
+        SimClock::new(1e9).to_cycles(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_rate_is_rejected() {
+        SimClock::new(0.0);
+    }
+}

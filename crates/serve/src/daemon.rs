@@ -1,0 +1,232 @@
+//! The long-lived serving daemon: a channel-fed worker pool that keeps
+//! one persistent [`SimPool`] alive across requests.
+//!
+//! [`Server`](crate::Server) spawns a fresh scoped pool (and each
+//! `RunSession` its own shard threads) per call — fine for one-shot
+//! evaluation, waste for a service that answers requests all day. The
+//! [`Daemon`] instead spawns its request workers once; each worker
+//! drives sessions through
+//! [`Engine::begin_pooled`](gnnie_core::engine::Engine::begin_pooled)
+//! against one shared persistent [`SimPool`], so the shard threads are
+//! spawned once per daemon, not once per request. Simulated cycle
+//! counts are unaffected (the pool is host-side parallelism only):
+//! [`Daemon::serve_online`] returns bit-identical reports to
+//! [`Server::run_online`](crate::Server::run_online), which the online
+//! test suite asserts.
+//!
+//! Shutdown is a graceful drain: dropping the job sender lets every
+//! worker finish its current request and exit; [`Daemon::shutdown`]
+//! (and `Drop`) then joins them.
+
+use std::collections::HashMap;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use gnnie_core::config::AcceleratorConfig;
+use gnnie_core::engine::{Engine, RunOptions};
+use gnnie_core::report::InferenceReport;
+use gnnie_core::{SimPool, SimThreads};
+
+use crate::clock::SimClock;
+use crate::online::{schedule_online, OnlineConfig, OnlineReport, RequestCost};
+use crate::request::{InferenceRequest, OnlineRequest};
+
+/// Daemon parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DaemonConfig {
+    /// Long-lived request workers (≥ 1). Host-side parallelism only.
+    pub workers: usize,
+    /// Width of the shared persistent simulation pool, resolved once at
+    /// spawn. Defaults from `GNNIE_SIM_THREADS`.
+    pub sim_threads: SimThreads,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        DaemonConfig { workers, sim_threads: SimThreads::from_env() }
+    }
+}
+
+/// One simulation job: a request run cold or resident, with a slot to
+/// file the report under.
+struct ProfileJob {
+    request: InferenceRequest,
+    resident: bool,
+    slot: usize,
+    reply: mpsc::Sender<(usize, InferenceReport)>,
+}
+
+/// The persistent serving daemon. See the module docs.
+#[derive(Debug)]
+pub struct Daemon {
+    config: DaemonConfig,
+    sender: Option<mpsc::Sender<ProfileJob>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Spawns the request workers and the shared simulation pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers` is 0.
+    pub fn new(config: DaemonConfig) -> Self {
+        assert!(config.workers >= 1, "the daemon needs at least one request worker");
+        let pool = SimPool::persistent(config.sim_threads);
+        let (sender, receiver) = mpsc::channel::<ProfileJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handles = (0..config.workers)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let pool = pool.clone();
+                std::thread::spawn(move || loop {
+                    // Take the next job outside the lock so workers run
+                    // requests concurrently; a closed channel is the
+                    // drain signal.
+                    let job = match receiver.lock().expect("daemon queue poisoned").recv() {
+                        Ok(job) => job,
+                        Err(mpsc::RecvError) => break,
+                    };
+                    let ds = job.request.synthesize();
+                    let model = job.request.model_config();
+                    let engine = Engine::new(AcceleratorConfig::paper(job.request.dataset));
+                    let mut session = engine.begin_pooled(
+                        &model,
+                        &ds,
+                        RunOptions { weights_resident: job.resident, sim_threads: None },
+                        &pool,
+                    );
+                    session.run_to_completion();
+                    // A dropped collector just means the caller gave up
+                    // on this batch of jobs; keep draining.
+                    let _ = job.reply.send((job.slot, session.finish()));
+                })
+            })
+            .collect();
+        Daemon { config, sender: Some(sender), handles }
+    }
+
+    /// The daemon's parameters.
+    pub fn config(&self) -> &DaemonConfig {
+        &self.config
+    }
+
+    /// Pre-simulates every request cold and resident on the resident
+    /// worker pool; returns the cost oracle keyed by request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate request ids, after [`shutdown`](Self::shutdown),
+    /// or if a worker died mid-batch.
+    pub fn profile_costs(&self, requests: &[InferenceRequest]) -> HashMap<u64, RequestCost> {
+        let sender = self.sender.as_ref().expect("daemon already shut down");
+        let (reply, collect) = mpsc::channel();
+        for (i, &request) in requests.iter().enumerate() {
+            for resident in [false, true] {
+                let job = ProfileJob {
+                    request,
+                    resident,
+                    slot: 2 * i + resident as usize,
+                    reply: reply.clone(),
+                };
+                sender.send(job).expect("daemon workers are gone");
+            }
+        }
+        drop(reply);
+        let mut reports: Vec<Option<InferenceReport>> = vec![None; 2 * requests.len()];
+        for _ in 0..2 * requests.len() {
+            let (slot, report) = collect.recv().expect("a daemon worker died mid-batch");
+            reports[slot] = Some(report);
+        }
+        let mut map = HashMap::new();
+        for (i, request) in requests.iter().enumerate() {
+            let cold = reports[2 * i].take().expect("cold report filed");
+            let resident = reports[2 * i + 1].take().expect("resident report filed");
+            let prior = map.insert(request.id, RequestCost::from_reports(&cold, &resident));
+            assert!(prior.is_none(), "duplicate request id {} in the trace", request.id);
+        }
+        map
+    }
+
+    /// Replays an online arrival trace on the resident workers: profiles
+    /// every request's costs, then runs the continuous-batching
+    /// scheduler. Bit-identical to
+    /// [`Server::run_online`](crate::Server::run_online) on the same
+    /// trace and config.
+    pub fn serve_online(&self, trace: &[OnlineRequest], cfg: &OnlineConfig) -> OnlineReport {
+        let requests: Vec<InferenceRequest> = trace.iter().map(|r| r.request).collect();
+        let costs = self.profile_costs(&requests);
+        let clock = trace
+            .first()
+            .map(|r| SimClock::paper(r.request.dataset))
+            .unwrap_or_else(|| SimClock::new(1.3e9));
+        schedule_online(trace, &costs, cfg, &clock)
+    }
+
+    /// Graceful drain: closes the job queue, lets every worker finish
+    /// its current request, and joins them.
+    pub fn shutdown(mut self) {
+        self.drain();
+    }
+
+    fn drain(&mut self) {
+        drop(self.sender.take());
+        for handle in self.handles.drain(..) {
+            if let Err(panic) = handle.join() {
+                std::panic::resume_unwind(panic);
+            }
+        }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dataset, GnnModel};
+
+    fn queue(n: u64) -> Vec<InferenceRequest> {
+        (0..n)
+            .map(|i| InferenceRequest::new(i, GnnModel::Gcn, Dataset::Cora, 0.08, 100 + i))
+            .collect()
+    }
+
+    #[test]
+    fn daemon_costs_match_the_scoped_server() {
+        let requests = queue(3);
+        let daemon =
+            Daemon::new(DaemonConfig { workers: 2, sim_threads: SimThreads::Fixed(2) });
+        let from_daemon = daemon.profile_costs(&requests);
+        daemon.shutdown();
+        let server = crate::Server::new(crate::ServeConfig {
+            workers: 1,
+            sim_threads: SimThreads::Fixed(1),
+            ..crate::ServeConfig::default()
+        });
+        let from_server = server.profile_costs(&requests);
+        assert_eq!(from_daemon, from_server, "resident pool must not change simulated cycles");
+    }
+
+    #[test]
+    fn workers_survive_many_request_rounds() {
+        let daemon =
+            Daemon::new(DaemonConfig { workers: 2, sim_threads: SimThreads::Fixed(1) });
+        let first = daemon.profile_costs(&queue(2));
+        let second = daemon.profile_costs(&queue(2));
+        assert_eq!(first, second, "the same queue reprofiled must reproduce exactly");
+    }
+
+    #[test]
+    fn shutdown_is_a_clean_drain() {
+        let daemon =
+            Daemon::new(DaemonConfig { workers: 4, sim_threads: SimThreads::Fixed(1) });
+        let _ = daemon.profile_costs(&queue(1));
+        daemon.shutdown(); // joins without hanging or panicking
+    }
+}

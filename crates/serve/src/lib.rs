@@ -21,9 +21,28 @@
 //!   *i+1* weights, and the makespan never loses to back-to-back
 //!   execution;
 //! * **[`server`]** — [`Server`] drives it end to end on a
-//!   `std::thread::scope` worker pool and reports throughput, p50/p95
-//!   simulated latency, and the weight-load cycles batching saved
-//!   versus a serial `Engine::run` loop.
+//!   `std::thread::scope` worker pool and reports throughput,
+//!   p50/p95/p99 simulated latency, and the weight-load cycles batching
+//!   saved versus a serial `Engine::run` loop.
+//!
+//! On top of the static path sits **online serving** — the queue is no
+//! longer known at t = 0:
+//!
+//! * **[`clock`](mod@clock)** — [`SimClock`]: everything is timestamped in
+//!   accelerator [`Cycle`]s; seconds only at the edges;
+//! * **[`loadgen`]** — [`LoadGen`] stamps a queue into an arrival trace
+//!   (static / Poisson / bursty, deterministic via the seeded shim RNG)
+//!   with an [`SlaClass`] + [`QualityTier`] mix;
+//! * **[`online`]** — [`schedule_online`] replays the trace through a
+//!   continuous-batching scheduler: SLA-aware admission control,
+//!   deadline-urgency batch fill, fill-vs-slack waiting, and weight
+//!   residency carried across consecutive same-model batches — all
+//!   exact integer cycle arithmetic over pre-simulated request costs,
+//!   so replays are bit-identical at any thread count;
+//! * **[`daemon`]** — [`Daemon`]: a long-lived channel-fed worker pool
+//!   sharing one persistent
+//!   [`SimPool`](gnnie_core::SimPool) across requests (the
+//!   `gnnie serve --daemon` backend), with graceful drain on shutdown.
 //!
 //! # Example
 //!
@@ -57,15 +76,29 @@
 //! );
 //! ```
 
+pub mod clock;
+pub mod daemon;
+pub mod loadgen;
+pub mod online;
 pub mod pipeline;
 pub mod request;
 pub mod scheduler;
 pub mod server;
 
-pub use pipeline::{pipeline, BatchProfile, PhasePair, PipelineSchedule};
-pub use request::{InferenceRequest, ModelKey};
+pub use clock::{Cycle, SimClock};
+pub use daemon::{Daemon, DaemonConfig};
+pub use loadgen::{ArrivalProcess, LoadGen, SlaMix};
+pub use online::{
+    schedule_online, OnlineBatchReport, OnlineConfig, OnlineOutcome, OnlineReport,
+    RejectedRequest, RequestCost,
+};
+pub use pipeline::{pipeline, BatchProfile, PhasePair, PipelineSchedule, PipelineState};
+pub use request::{InferenceRequest, ModelKey, OnlineRequest, QualityTier, SlaClass};
 pub use scheduler::{Batch, BatchPlan, BatchScheduler, SchedulerPolicy};
-pub use server::{BatchReport, RequestOutcome, ServeConfig, ServeReport, Server};
+pub use server::{
+    percentile_nearest_rank, report_profile, BatchReport, RequestOutcome, ServeConfig,
+    ServeReport, Server,
+};
 
 // Re-exported so downstream callers (CLI, bench) can build requests
 // without a direct gnn/graph dependency.

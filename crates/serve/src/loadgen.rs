@@ -1,0 +1,272 @@
+//! Open-loop load generation: deterministic arrival processes and SLA
+//! mixes over a fixed request queue.
+//!
+//! A [`LoadGen`] turns a plain request queue into an online trace by
+//! stamping each request with an arrival cycle and an SLA contract. The
+//! generators are **open-loop** (arrival times never depend on service
+//! times) and fully deterministic: the shim `rand` crate's xoshiro256++
+//! is seeded explicitly, so the same `(queue, process, sla, seed)`
+//! reproduces the same trace bit for bit on any host.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::clock::{Cycle, SimClock};
+use crate::request::{InferenceRequest, OnlineRequest, QualityTier, SlaClass};
+
+/// How arrival timestamps are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Everything arrives at cycle 0 — the legacy all-at-once queue,
+    /// expressed as a (degenerate) online trace.
+    Static,
+    /// Poisson arrivals: exponential inter-arrival gaps at `rate_rps`
+    /// requests per second.
+    Poisson {
+        /// Mean arrival rate, requests per second.
+        rate_rps: f64,
+    },
+    /// Bursty arrivals: groups of `burst` requests land together; the
+    /// groups themselves follow a Poisson process whose rate is chosen so
+    /// the *long-run* request rate is still `rate_rps`.
+    Bursty {
+        /// Long-run mean arrival rate, requests per second.
+        rate_rps: f64,
+        /// Requests per burst (≥ 1).
+        burst: usize,
+    },
+}
+
+impl ArrivalProcess {
+    /// Short CLI token (`static`, `poisson`, `bursty`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalProcess::Static => "static",
+            ArrivalProcess::Poisson { .. } => "poisson",
+            ArrivalProcess::Bursty { .. } => "bursty",
+        }
+    }
+}
+
+/// How SLA classes are assigned across the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlaMix {
+    /// Every request gets the same class at full quality.
+    Uniform(SlaClass),
+    /// A fixed four-request rotation: interactive/full, standard/full,
+    /// batch/full, standard/economy — one tight class, bulk traffic, and
+    /// a degradable tier, all in one trace.
+    Mixed,
+}
+
+impl SlaMix {
+    /// Short CLI token.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SlaMix::Uniform(sla) => sla.name(),
+            SlaMix::Mixed => "mixed",
+        }
+    }
+
+    /// The (class, tier) assigned to the `index`-th request of the queue.
+    pub fn assign(&self, index: usize) -> (SlaClass, QualityTier) {
+        match self {
+            SlaMix::Uniform(sla) => (*sla, QualityTier::Full),
+            SlaMix::Mixed => match index % 4 {
+                0 => (SlaClass::Interactive, QualityTier::Full),
+                1 => (SlaClass::Standard, QualityTier::Full),
+                2 => (SlaClass::Batch, QualityTier::Full),
+                _ => (SlaClass::Standard, QualityTier::Economy),
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for SlaMix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SlaMix {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mixed" => Ok(SlaMix::Mixed),
+            other => match other.parse::<SlaClass>() {
+                Ok(sla) => Ok(SlaMix::Uniform(sla)),
+                Err(_) => Err(format!(
+                    "unknown SLA mix `{other}` (use interactive|standard|batch|mixed)"
+                )),
+            },
+        }
+    }
+}
+
+/// A deterministic open-loop load generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadGen {
+    /// Arrival process.
+    pub process: ArrivalProcess,
+    /// SLA assignment.
+    pub sla: SlaMix,
+    /// Seed for the arrival RNG (independent of request payload seeds).
+    pub seed: u64,
+}
+
+impl LoadGen {
+    /// Stamps `queue` into an online trace (arrival-ordered; ties keep
+    /// queue order, which the stamping preserves by construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite rate, or a zero burst size.
+    pub fn generate(&self, queue: &[InferenceRequest], clock: &SimClock) -> Vec<OnlineRequest> {
+        let arrivals: Vec<Cycle> = match self.process {
+            ArrivalProcess::Static => vec![0; queue.len()],
+            ArrivalProcess::Poisson { rate_rps } => {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+                let mut t = 0.0f64;
+                queue
+                    .iter()
+                    .map(|_| {
+                        t += exponential_gap(&mut rng, rate_rps);
+                        clock.to_cycles(t)
+                    })
+                    .collect()
+            }
+            ArrivalProcess::Bursty { rate_rps, burst } => {
+                assert!(burst >= 1, "bursts must hold at least one request");
+                // Groups arrive Poisson at rate/burst so the long-run
+                // request rate matches the configured rate_rps.
+                let group_rate = {
+                    assert!(
+                        rate_rps.is_finite() && rate_rps > 0.0,
+                        "arrival rate must be finite and positive, got {rate_rps}"
+                    );
+                    rate_rps / burst as f64
+                };
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+                let mut t = 0.0f64;
+                let mut arrivals = Vec::with_capacity(queue.len());
+                while arrivals.len() < queue.len() {
+                    t += exponential_gap(&mut rng, group_rate);
+                    let at = clock.to_cycles(t);
+                    for _ in 0..burst.min(queue.len() - arrivals.len()) {
+                        arrivals.push(at);
+                    }
+                }
+                arrivals
+            }
+        };
+        queue
+            .iter()
+            .zip(arrivals)
+            .enumerate()
+            .map(|(i, (&request, arrival))| {
+                let (sla, tier) = self.sla.assign(i);
+                OnlineRequest::new(request, arrival, sla, tier)
+            })
+            .collect()
+    }
+}
+
+/// One exponential inter-arrival gap (seconds) at `rate` per second.
+fn exponential_gap(rng: &mut rand::rngs::StdRng, rate: f64) -> f64 {
+    assert!(
+        rate.is_finite() && rate > 0.0,
+        "arrival rate must be finite and positive, got {rate}"
+    );
+    // Inverse-CDF sampling; 1-u keeps the argument in (0, 1] so ln() is
+    // finite.
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_gnn::model::GnnModel;
+    use gnnie_graph::Dataset;
+
+    fn queue(n: u64) -> Vec<InferenceRequest> {
+        (0..n).map(|i| InferenceRequest::new(i, GnnModel::Gcn, Dataset::Cora, 0.1, i)).collect()
+    }
+
+    fn clock() -> SimClock {
+        SimClock::new(1.0e9)
+    }
+
+    #[test]
+    fn static_arrivals_all_land_at_zero() {
+        let gen = LoadGen { process: ArrivalProcess::Static, sla: SlaMix::Mixed, seed: 1 };
+        let trace = gen.generate(&queue(6), &clock());
+        assert!(trace.iter().all(|r| r.arrival == 0));
+        assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_deterministic_and_nondecreasing() {
+        let gen = LoadGen {
+            process: ArrivalProcess::Poisson { rate_rps: 1000.0 },
+            sla: SlaMix::Uniform(SlaClass::Standard),
+            seed: 42,
+        };
+        let a = gen.generate(&queue(32), &clock());
+        let b = gen.generate(&queue(32), &clock());
+        assert_eq!(a, b, "same seed must reproduce the trace bit for bit");
+        assert!(a.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert!(a.last().unwrap().arrival > 0, "arrivals must actually spread out");
+    }
+
+    #[test]
+    fn different_seeds_give_different_traces() {
+        let base = LoadGen {
+            process: ArrivalProcess::Poisson { rate_rps: 1000.0 },
+            sla: SlaMix::Uniform(SlaClass::Standard),
+            seed: 1,
+        };
+        let other = LoadGen { seed: 2, ..base };
+        assert_ne!(base.generate(&queue(16), &clock()), other.generate(&queue(16), &clock()));
+    }
+
+    #[test]
+    fn bursts_share_arrival_cycles() {
+        let gen = LoadGen {
+            process: ArrivalProcess::Bursty { rate_rps: 1000.0, burst: 4 },
+            sla: SlaMix::Uniform(SlaClass::Batch),
+            seed: 7,
+        };
+        let trace = gen.generate(&queue(12), &clock());
+        for group in trace.chunks(4) {
+            assert!(group.iter().all(|r| r.arrival == group[0].arrival));
+        }
+        assert!(trace[0].arrival != trace[4].arrival || trace[4].arrival != trace[8].arrival);
+    }
+
+    #[test]
+    fn mixed_sla_rotation_is_fixed() {
+        let gen = LoadGen { process: ArrivalProcess::Static, sla: SlaMix::Mixed, seed: 0 };
+        let trace = gen.generate(&queue(8), &clock());
+        let got: Vec<(SlaClass, QualityTier)> = trace.iter().map(|r| (r.sla, r.tier)).collect();
+        assert_eq!(
+            got[..4],
+            [
+                (SlaClass::Interactive, QualityTier::Full),
+                (SlaClass::Standard, QualityTier::Full),
+                (SlaClass::Batch, QualityTier::Full),
+                (SlaClass::Standard, QualityTier::Economy),
+            ]
+        );
+        assert_eq!(got[..4], got[4..]);
+    }
+
+    #[test]
+    fn sla_mix_tokens_round_trip() {
+        for token in ["interactive", "standard", "batch", "mixed"] {
+            assert_eq!(token.parse::<SlaMix>().unwrap().name(), token);
+        }
+        assert!("gold".parse::<SlaMix>().is_err());
+    }
+}

@@ -46,6 +46,78 @@ impl BatchProfile {
             + self.layers.iter().map(|l| l.weighting + l.aggregation).sum::<u64>()
             + self.post_cycles
     }
+
+    /// Folds another request's footprint into this batch: pre/post add up
+    /// and layer phases add element-wise (a batch runs its requests back
+    /// to back on each resource). Mismatched layer counts pad with zero
+    /// phases, though batches of one [`ModelKey`](crate::ModelKey) never
+    /// hit that.
+    pub fn merge(&mut self, other: &BatchProfile) {
+        self.pre_cycles += other.pre_cycles;
+        self.post_cycles += other.post_cycles;
+        if self.layers.len() < other.layers.len() {
+            self.layers.resize(other.layers.len(), PhasePair::default());
+        }
+        for (mine, theirs) in self.layers.iter_mut().zip(&other.layers) {
+            mine.weighting += theirs.weighting;
+            mine.aggregation += theirs.aggregation;
+        }
+    }
+}
+
+/// Incremental two-resource list scheduler: the online server feeds it
+/// batches one dispatch at a time (each released no earlier than its
+/// dispatch cycle), the offline [`pipeline`] feeds the whole plan with
+/// release 0.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineState {
+    /// Next free cycle on the Weighting resource.
+    pub w_free: u64,
+    /// Next free cycle on the Aggregation resource.
+    pub a_free: u64,
+}
+
+impl PipelineState {
+    /// A pipeline with both resources free at cycle 0.
+    pub fn new() -> Self {
+        PipelineState::default()
+    }
+
+    /// Schedules one batch whose first task may not start before
+    /// `release`; returns the batch's completion cycle.
+    pub fn push(&mut self, profile: &BatchProfile, release: u64) -> u64 {
+        if profile.layers.is_empty() {
+            // No phases: the pre/post work still serializes on the
+            // controller; charge it across both resources.
+            let done = self.w_free.max(self.a_free).max(release)
+                + profile.pre_cycles
+                + profile.post_cycles;
+            self.w_free = done;
+            self.a_free = done;
+            return done;
+        }
+        // `dep`: when this batch's previous phase finished (intra-batch
+        // dependency chain W₀ → A₀ → W₁ → …), seeded with the release.
+        let mut dep = release;
+        let mut done = release;
+        let last = profile.layers.len() - 1;
+        for (l, phases) in profile.layers.iter().enumerate() {
+            let w_len =
+                if l == 0 { profile.pre_cycles + phases.weighting } else { phases.weighting };
+            let w_done = self.w_free.max(dep) + w_len;
+            self.w_free = w_done;
+            let a_len = if l == last {
+                phases.aggregation + profile.post_cycles
+            } else {
+                phases.aggregation
+            };
+            let a_done = self.a_free.max(w_done) + a_len;
+            self.a_free = a_done;
+            dep = a_done;
+            done = a_done;
+        }
+        done
+    }
 }
 
 /// The pipelined schedule of a batch sequence.
@@ -72,38 +144,10 @@ impl PipelineSchedule {
 /// `total_cycles ≤ serial_cycles` holds for any input (the proptest
 /// suite sweeps this).
 pub fn pipeline(batches: &[BatchProfile]) -> PipelineSchedule {
-    let mut w_free = 0u64; // Weighting resource: next free cycle.
-    let mut a_free = 0u64; // Aggregation resource: next free cycle.
+    let mut state = PipelineState::new();
     let mut batch_completion = Vec::with_capacity(batches.len());
     for profile in batches {
-        // `dep`: when this batch's previous phase finished (intra-batch
-        // dependency chain W₀ → A₀ → W₁ → …).
-        let mut dep = 0u64;
-        let mut done = w_free.max(a_free); // degenerate zero-layer batch
-        let last = profile.layers.len().saturating_sub(1);
-        for (l, phases) in profile.layers.iter().enumerate() {
-            let w_len =
-                if l == 0 { profile.pre_cycles + phases.weighting } else { phases.weighting };
-            let w_done = w_free.max(dep) + w_len;
-            w_free = w_done;
-            let a_len = if l == last {
-                phases.aggregation + profile.post_cycles
-            } else {
-                phases.aggregation
-            };
-            let a_done = a_free.max(w_done) + a_len;
-            a_free = a_done;
-            dep = a_done;
-            done = a_done;
-        }
-        if profile.layers.is_empty() {
-            // No phases: the pre/post work still serializes on the
-            // controller; charge it across both resources.
-            done = w_free.max(a_free) + profile.pre_cycles + profile.post_cycles;
-            w_free = done;
-            a_free = done;
-        }
-        batch_completion.push(done);
+        batch_completion.push(state.push(profile, 0));
     }
     PipelineSchedule {
         total_cycles: batch_completion.last().copied().unwrap_or(0),
@@ -174,5 +218,44 @@ mod tests {
     fn zero_layer_batch_still_charges_pre_and_post() {
         let s = pipeline(&[profile(5, &[], 7), profile(0, &[(10, 10)], 0)]);
         assert_eq!(s.batch_completion, vec![12, 32]);
+    }
+
+    #[test]
+    fn a_release_delays_the_first_weighting_pass() {
+        // Same two-batch shape as the overlap test, but batch 1 is not
+        // released until cycle 25: its Weighting can no longer hide fully
+        // under batch 0's Aggregation ([10,30)).
+        let p = profile(0, &[(10, 20)], 0);
+        let mut state = PipelineState::new();
+        assert_eq!(state.push(&p, 0), 30);
+        // W1 [25,35) (release-bound), A1 [35,55).
+        assert_eq!(state.push(&p, 25), 55);
+    }
+
+    #[test]
+    fn an_idle_gap_lets_a_late_batch_run_in_isolation() {
+        let p = profile(5, &[(10, 20)], 7);
+        let mut state = PipelineState::new();
+        let first = state.push(&p, 0);
+        let second = state.push(&p, 1_000);
+        assert_eq!(second, 1_000 + p.serial_cycles());
+        assert!(first < 1_000);
+    }
+
+    #[test]
+    fn merge_sums_phases_elementwise() {
+        let mut a = profile(5, &[(10, 20), (30, 40)], 7);
+        let b = profile(1, &[(2, 3), (4, 5)], 6);
+        let serial_sum = a.serial_cycles() + b.serial_cycles();
+        a.merge(&b);
+        assert_eq!(a, profile(6, &[(12, 23), (34, 45)], 13));
+        assert_eq!(a.serial_cycles(), serial_sum);
+    }
+
+    #[test]
+    fn merge_pads_shorter_layer_stacks() {
+        let mut a = profile(0, &[(1, 1)], 0);
+        a.merge(&profile(0, &[(2, 2), (3, 3)], 0));
+        assert_eq!(a, profile(0, &[(3, 3), (3, 3)], 0));
     }
 }

@@ -1,9 +1,12 @@
-//! Inference requests and their weight-compatibility grouping key.
+//! Inference requests, their weight-compatibility grouping key, and the
+//! SLA annotations online requests carry.
 
 use serde::{Deserialize, Serialize};
 
 use gnnie_gnn::model::{GnnModel, ModelConfig};
 use gnnie_graph::{Dataset, SyntheticDataset};
+
+use crate::clock::Cycle;
 
 /// One queued inference question: run `model` over an instance of
 /// `dataset` synthesized at `scale` from `seed`.
@@ -65,6 +68,137 @@ pub struct ModelKey {
     pub scale_bits: u64,
 }
 
+/// The latency contract a request arrives under.
+///
+/// A class maps to a *slack factor*: the request's deadline is its
+/// arrival cycle plus `slack_factor × its own isolated service time`
+/// (the resident-weights cost the admission controller predicts for it).
+/// `Batch` has no deadline — it absorbs whatever capacity is left.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SlaClass {
+    /// Tight deadline: 4× the request's own service time.
+    Interactive,
+    /// Relaxed deadline: 16× the request's own service time.
+    Standard,
+    /// No deadline; never rejected by admission control.
+    Batch,
+}
+
+impl SlaClass {
+    /// All classes, tightest first.
+    pub const ALL: [SlaClass; 3] = [SlaClass::Interactive, SlaClass::Standard, SlaClass::Batch];
+
+    /// Deadline slack as a multiple of the request's isolated service
+    /// time; `None` means no deadline.
+    pub fn slack_factor(self) -> Option<u64> {
+        match self {
+            SlaClass::Interactive => Some(4),
+            SlaClass::Standard => Some(16),
+            SlaClass::Batch => None,
+        }
+    }
+
+    /// Short CLI/report token.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlaClass::Interactive => "interactive",
+            SlaClass::Standard => "standard",
+            SlaClass::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for SlaClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SlaClass {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "interactive" => Ok(SlaClass::Interactive),
+            "standard" => Ok(SlaClass::Standard),
+            "batch" => Ok(SlaClass::Batch),
+            other => {
+                Err(format!("unknown SLA class `{other}` (use interactive|standard|batch)"))
+            }
+        }
+    }
+}
+
+/// How much quality the caller insists on when the server is saturated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QualityTier {
+    /// Full-quality answer or an admission rejection.
+    Full,
+    /// Degradable: instead of being rejected at admission, the request is
+    /// demoted to best-effort ([`SlaClass::Batch`] semantics) and kept.
+    Economy,
+}
+
+impl QualityTier {
+    /// Short report token.
+    pub fn name(self) -> &'static str {
+        match self {
+            QualityTier::Full => "full",
+            QualityTier::Economy => "economy",
+        }
+    }
+}
+
+impl std::fmt::Display for QualityTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A request stamped with its arrival cycle and SLA contract — the unit
+/// the online scheduler works in.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnlineRequest {
+    /// The underlying inference question.
+    pub request: InferenceRequest,
+    /// Simulated arrival cycle.
+    pub arrival: Cycle,
+    /// Latency contract.
+    pub sla: SlaClass,
+    /// Degradation policy under overload.
+    pub tier: QualityTier,
+}
+
+impl OnlineRequest {
+    /// Stamps `request` with an arrival time and contract.
+    pub fn new(
+        request: InferenceRequest,
+        arrival: Cycle,
+        sla: SlaClass,
+        tier: QualityTier,
+    ) -> Self {
+        OnlineRequest { request, arrival, sla, tier }
+    }
+
+    /// The request id (unique per trace).
+    pub fn id(&self) -> u64 {
+        self.request.id
+    }
+
+    /// The weight-compatibility key.
+    pub fn model_key(&self) -> ModelKey {
+        self.request.model_key()
+    }
+
+    /// Absolute deadline cycle given the request's isolated resident
+    /// service time, or `None` for deadline-free classes.
+    pub fn deadline(&self, service_cycles: Cycle) -> Option<Cycle> {
+        self.sla
+            .slack_factor()
+            .map(|slack| self.arrival.saturating_add(slack.saturating_mul(service_cycles)))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +228,26 @@ mod tests {
         let other_dataset = InferenceRequest { dataset: Dataset::Citeseer, ..base };
         assert_ne!(base.model_key(), other_model.model_key());
         assert_ne!(base.model_key(), other_dataset.model_key());
+    }
+
+    #[test]
+    fn sla_tokens_round_trip() {
+        for sla in SlaClass::ALL {
+            assert_eq!(sla.name().parse::<SlaClass>().unwrap(), sla);
+        }
+        assert!("gold".parse::<SlaClass>().is_err());
+    }
+
+    #[test]
+    fn deadlines_scale_with_the_slack_factor() {
+        let base = InferenceRequest::new(0, GnnModel::Gcn, Dataset::Cora, 0.1, 7);
+        let service = 1_000u64;
+        let interactive =
+            OnlineRequest::new(base, 500, SlaClass::Interactive, QualityTier::Full);
+        assert_eq!(interactive.deadline(service), Some(500 + 4 * service));
+        let standard = OnlineRequest::new(base, 500, SlaClass::Standard, QualityTier::Full);
+        assert_eq!(standard.deadline(service), Some(500 + 16 * service));
+        let batch = OnlineRequest::new(base, 500, SlaClass::Batch, QualityTier::Full);
+        assert_eq!(batch.deadline(service), None);
     }
 }

@@ -22,9 +22,49 @@ use gnnie_core::SimThreads;
 use gnnie_gnn::model::GnnModel;
 use gnnie_graph::Dataset;
 
+use crate::clock::SimClock;
+use crate::online::{schedule_online, OnlineConfig, OnlineReport, RequestCost};
 use crate::pipeline::{pipeline, BatchProfile, PhasePair};
-use crate::request::InferenceRequest;
+use crate::request::{InferenceRequest, OnlineRequest};
 use crate::scheduler::{BatchPlan, BatchScheduler, SchedulerPolicy};
+
+/// Nearest-rank percentile of `values` (`q` in [0, 1]; 0.0 on an empty
+/// set).
+///
+/// The rank is `⌈q·n⌉`, computed tolerantly: `q·n` values within an ulp
+/// of an integer round to it instead of ceiling up (0.95 × 20 is
+/// 19.000000000000004 in f64 — the naive ceil would report the max as
+/// p95).
+pub fn percentile_nearest_rank(values: &[f64], q: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let pos = q.clamp(0.0, 1.0) * sorted.len() as f64;
+    let nearest = pos.round();
+    let rank =
+        if (pos - nearest).abs() < 1e-9 { nearest as usize } else { pos.ceil() as usize };
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// A batch-profile view of one engine report: preprocessing before the
+/// first Weighting pass, per-layer phase pairs, coarsening + writeback
+/// after the last Aggregation.
+pub fn report_profile(report: &InferenceReport) -> BatchProfile {
+    BatchProfile {
+        pre_cycles: report.preprocessing_cycles,
+        layers: report
+            .layers
+            .iter()
+            .map(|layer| PhasePair {
+                weighting: layer.weighting.total_cycles,
+                aggregation: layer.aggregation.total_cycles,
+            })
+            .collect(),
+        post_cycles: report.coarsening_cycles + report.writeback_cycles,
+    }
+}
 
 /// Serving parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -155,17 +195,16 @@ impl ServeReport {
         self.latency_percentile(0.95)
     }
 
+    /// p99 simulated request latency in seconds.
+    pub fn p99_latency_s(&self) -> f64 {
+        self.latency_percentile(0.99)
+    }
+
     /// Nearest-rank latency percentile over all requests (`q` in [0, 1];
     /// 0.0 on an empty run).
     pub fn latency_percentile(&self, q: f64) -> f64 {
-        if self.requests.is_empty() {
-            return 0.0;
-        }
-        let mut latencies: Vec<f64> = self.requests.iter().map(|r| r.latency_s).collect();
-        latencies.sort_by(f64::total_cmp);
-        let q = q.clamp(0.0, 1.0);
-        let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
-        latencies[rank - 1]
+        let latencies: Vec<f64> = self.requests.iter().map(|r| r.latency_s).collect();
+        percentile_nearest_rank(&latencies, q)
     }
 }
 
@@ -239,16 +278,7 @@ impl Server {
         for (b, batch) in plan.batches.iter().enumerate() {
             let mut profile = BatchProfile::default();
             for pos in 0..batch.len() {
-                let r = report_for(b, pos, pos > 0);
-                profile.pre_cycles += r.preprocessing_cycles;
-                profile.post_cycles += r.coarsening_cycles + r.writeback_cycles;
-                if profile.layers.len() < r.layers.len() {
-                    profile.layers.resize(r.layers.len(), PhasePair::default());
-                }
-                for (l, layer) in r.layers.iter().enumerate() {
-                    profile.layers[l].weighting += layer.weighting.total_cycles;
-                    profile.layers[l].aggregation += layer.aggregation.total_cycles;
-                }
+                profile.merge(&report_profile(report_for(b, pos, pos > 0)));
             }
             profiles.push(profile);
         }
@@ -316,6 +346,73 @@ impl Server {
             weight_load_cycles_saved,
             clock_hz,
         }
+    }
+
+    /// Replays an online arrival trace: pre-simulates every request's
+    /// cold and resident costs on a scoped worker pool, then runs the
+    /// continuous-batching scheduler over them. The schedule itself is
+    /// exact integer arithmetic, so the report is bit-identical at any
+    /// `workers`/`sim_threads` setting (the online test suite asserts
+    /// this).
+    ///
+    /// # Panics
+    ///
+    /// Panics if trace ids collide (each id needs its own cost entry).
+    pub fn run_online(&self, trace: &[OnlineRequest], cfg: &OnlineConfig) -> OnlineReport {
+        let requests: Vec<InferenceRequest> = trace.iter().map(|r| r.request).collect();
+        let costs = self.profile_costs(&requests);
+        let clock = trace
+            .first()
+            .map(|r| SimClock::paper(r.request.dataset))
+            .unwrap_or_else(|| SimClock::new(1.3e9));
+        schedule_online(trace, &costs, cfg, &clock)
+    }
+
+    /// Pre-simulates every request cold and resident on a scoped worker
+    /// pool; returns the cost oracle keyed by request id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate request ids.
+    pub fn profile_costs(
+        &self,
+        requests: &[InferenceRequest],
+    ) -> std::collections::HashMap<u64, RequestCost> {
+        let workers = self.config.workers.clamp(1, requests.len().max(1));
+        let cursor = AtomicUsize::new(0);
+        let results = Mutex::new(vec![None; requests.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(request) = requests.get(i) else { break };
+                    let ds = request.synthesize();
+                    let model = request.model_config();
+                    let engine = Engine::new(AcceleratorConfig::paper(request.dataset));
+                    let run = |resident: bool| {
+                        let mut session = engine.begin_with(
+                            &model,
+                            &ds,
+                            RunOptions {
+                                weights_resident: resident,
+                                sim_threads: Some(self.config.sim_threads),
+                            },
+                        );
+                        session.run_to_completion();
+                        session.finish()
+                    };
+                    let cost = RequestCost::from_reports(&run(false), &run(true));
+                    results.lock().expect("results lock poisoned")[i] = Some(cost);
+                });
+            }
+        });
+        let costs = results.into_inner().expect("results lock poisoned");
+        let mut map = std::collections::HashMap::new();
+        for (request, cost) in requests.iter().zip(costs) {
+            let prior = map.insert(request.id, cost.expect("every request profiled"));
+            assert!(prior.is_none(), "duplicate request id {} in the trace", request.id);
+        }
+        map
     }
 
     /// Runs every job on a scoped worker pool; returns reports in job
@@ -422,6 +519,52 @@ mod tests {
         assert_eq!(report.throughput_inferences_per_s(), 0.0);
         assert_eq!(report.p50_latency_s(), 0.0);
         assert_eq!(report.speedup_vs_serial(), 1.0);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_hand_computed_sets() {
+        // n = 20, values 1..=20: ⌈0.5·20⌉ = 10, ⌈0.95·20⌉ = 19 (the FP
+        // product 19.000000000000004 must not ceil to 20), ⌈0.99·20⌉ = 20.
+        let twenty: Vec<f64> = (1..=20).map(|v| v as f64).collect();
+        assert_eq!(percentile_nearest_rank(&twenty, 0.50), 10.0);
+        assert_eq!(percentile_nearest_rank(&twenty, 0.95), 19.0);
+        assert_eq!(percentile_nearest_rank(&twenty, 0.99), 20.0);
+        // n = 4: p50 is the 2nd value; n = 5: the 3rd (⌈2.5⌉).
+        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0], 0.50), 2.0);
+        assert_eq!(percentile_nearest_rank(&[1.0, 2.0, 3.0, 4.0, 5.0], 0.50), 3.0);
+        // Order must not matter, and the extremes clamp to min/max.
+        assert_eq!(percentile_nearest_rank(&[4.0, 1.0, 3.0, 2.0], 0.50), 2.0);
+        assert_eq!(percentile_nearest_rank(&twenty, 0.0), 1.0);
+        assert_eq!(percentile_nearest_rank(&twenty, 1.0), 20.0);
+        assert_eq!(percentile_nearest_rank(&[], 0.5), 0.0);
+        // Singleton: every percentile is the value itself.
+        assert_eq!(percentile_nearest_rank(&[7.5], 0.99), 7.5);
+    }
+
+    #[test]
+    fn report_percentiles_are_ordered() {
+        let mk = |latency_s: f64, id: u64| RequestOutcome {
+            request: InferenceRequest::new(id, GnnModel::Gcn, Dataset::Cora, 0.08, id),
+            batch: 0,
+            weights_resident: false,
+            batched_cycles: 1,
+            serial_cycles: 1,
+            latency_s,
+        };
+        let report = ServeReport {
+            policy: SchedulerPolicy::Fifo,
+            max_batch: 8,
+            requests: (1..=20).map(|i| mk(i as f64, i)).collect(),
+            batches: Vec::new(),
+            pipelined_total_cycles: 1,
+            batched_serial_cycles: 1,
+            serial_total_cycles: 1,
+            weight_load_cycles_saved: 0,
+            clock_hz: 1.0e9,
+        };
+        assert_eq!(report.p50_latency_s(), 10.0);
+        assert_eq!(report.p95_latency_s(), 19.0);
+        assert_eq!(report.p99_latency_s(), 20.0);
     }
 
     #[test]

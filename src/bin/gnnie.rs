@@ -83,6 +83,11 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "policy",
             "workers",
             "sim-threads",
+            "daemon",
+            "arrival",
+            "rate",
+            "burst",
+            "sla",
         ],
         "compare" | "comm" => &["dataset", "scale", "seed"],
         "verify" => &["model", "vertices", "edges", "seed"],
@@ -94,6 +99,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
 fn boolean_flags(command: &str) -> &'static [&'static str] {
     match command {
         "ingest" => &["force"],
+        "serve" => &["daemon"],
         _ => &[],
     }
 }
@@ -175,6 +181,10 @@ fn usage() {
          \x20          batched + pipelined serving of a request mix\n\
          \x20          (--sim-threads shards the hot simulation loops; reports are\n\
          \x20          bit-identical at any setting; GNNIE_SIM_THREADS is the default)\n\
+         \x20          online serving: [--daemon] [--arrival static|poisson|bursty]\n\
+         \x20          [--rate RPS] [--burst N] [--sla interactive|standard|batch|mixed]\n\
+         \x20          requests arrive on the simulated clock; --daemon serves them on a\n\
+         \x20          long-lived worker pool with one persistent SimPool (graceful drain)\n\
          \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
          \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
          \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
@@ -576,7 +586,65 @@ fn parse_positive(
     })
 }
 
+/// The `--arrival` token, validated. `static` is the legacy all-at-t=0
+/// queue; the rate/burst knobs apply only to the generated processes.
+fn parse_arrival(
+    flags: &HashMap<String, String>,
+) -> Result<gnnie::serve::ArrivalProcess, String> {
+    use gnnie::serve::ArrivalProcess;
+    let token = flags.get("arrival").map(String::as_str).unwrap_or("static");
+    let rate = flags
+        .get("rate")
+        .map(|s| {
+            s.parse::<f64>()
+                .ok()
+                .filter(|&r| r.is_finite() && r > 0.0)
+                .ok_or_else(|| format!("--rate must be a positive number, got `{s}`"))
+        })
+        .transpose()?;
+    let burst = flags
+        .get("burst")
+        .map(|s| {
+            s.parse::<usize>()
+                .ok()
+                .filter(|&b| b >= 1)
+                .ok_or_else(|| format!("--burst must be a positive integer, got `{s}`"))
+        })
+        .transpose()?;
+    let process = match token.to_ascii_lowercase().as_str() {
+        "static" => {
+            if rate.is_some() {
+                return Err("--rate requires --arrival poisson|bursty".into());
+            }
+            if burst.is_some() {
+                return Err("--burst requires --arrival bursty".into());
+            }
+            ArrivalProcess::Static
+        }
+        "poisson" => {
+            if burst.is_some() {
+                return Err("--burst requires --arrival bursty".into());
+            }
+            ArrivalProcess::Poisson { rate_rps: rate.unwrap_or(10_000.0) }
+        }
+        "bursty" => ArrivalProcess::Bursty {
+            rate_rps: rate.unwrap_or(10_000.0),
+            burst: burst.unwrap_or(4),
+        },
+        other => {
+            return Err(format!(
+                "unknown arrival process `{other}` (use static|poisson|bursty)"
+            ))
+        }
+    };
+    Ok(process)
+}
+
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use gnnie::serve::{
+        ArrivalProcess, Daemon, DaemonConfig, LoadGen, OnlineConfig, SimClock, SlaMix,
+    };
+
     let n = parse_positive(flags, "requests", 16)?;
     let models = parse_list(flags, "models", GnnModel::Gcn, model_token)?;
     let datasets = parse_list(flags, "datasets", Dataset::Cora, dataset_token)?;
@@ -588,6 +656,21 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let sim_threads =
         parse_sim_threads(flags)?.unwrap_or_else(gnnie::mem::SimThreads::from_env);
 
+    let daemon_mode = flags.contains_key("daemon");
+    let process = parse_arrival(flags)?;
+    // Online serving = a generated arrival process, or the daemon replay
+    // of a static trace. The plain static path stays the legacy batch
+    // planner.
+    let online = daemon_mode || process != ArrivalProcess::Static;
+    let sla: SlaMix = match flags.get("sla") {
+        Some(s) if !online => {
+            let _ = s;
+            return Err("--sla requires --daemon or --arrival poisson|bursty".into());
+        }
+        Some(s) => s.parse()?,
+        None => SlaMix::Mixed,
+    };
+
     // The request mix: model varies fastest so a FIFO scheduler sees the
     // worst-case interleaving; every request gets its own seed.
     let mut queue = Vec::with_capacity(n);
@@ -596,6 +679,74 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let dataset = datasets[(i / models.len()) % datasets.len()];
         let scale = parse_scale(flags, dataset)?;
         queue.push(InferenceRequest::new(i as u64, model, dataset, scale, seed + i as u64));
+    }
+
+    if online {
+        let clock = SimClock::paper(datasets[0]);
+        let trace = LoadGen { process, sla, seed }.generate(&queue, &clock);
+        let cfg = OnlineConfig { max_batch, admission_control: true };
+        let report = if daemon_mode {
+            // Provenance goes to stderr so stdout stays byte-identical
+            // between the daemon and scoped paths (and across
+            // --sim-threads settings).
+            eprintln!("[daemon: {workers} request workers, sim-threads {sim_threads}]");
+            let daemon = Daemon::new(DaemonConfig { workers, sim_threads });
+            let report = daemon.serve_online(&trace, &cfg);
+            daemon.shutdown();
+            eprintln!("[daemon: drained and joined]");
+            report
+        } else {
+            Server::new(ServeConfig { policy, max_batch, workers, sim_threads })
+                .run_online(&trace, &cfg)
+        };
+
+        println!(
+            "online serving {n} requests (arrival {}, sla {sla}, max batch {max_batch})",
+            process.name()
+        );
+        println!(
+            "  mix      {} over {}",
+            models.iter().map(|m| m.name()).collect::<Vec<_>>().join(","),
+            datasets.iter().map(|d| d.abbrev()).collect::<Vec<_>>().join(",")
+        );
+        println!(
+            "  served   {:>5} requests in {} batches   rejected {}   degraded {}",
+            report.outcomes.len(),
+            report.batches.len(),
+            report.rejected.len(),
+            report.outcomes.iter().filter(|o| o.degraded).count(),
+        );
+        println!(
+            "  throughput {:>12.1} req/s (simulated @ {:.1} GHz)",
+            report.throughput_rps(),
+            report.clock_hz / 1e9
+        );
+        println!(
+            "  latency  {:>12.2} us p50   {:>12.2} us p95   {:>12.2} us p99",
+            report.p50_latency_s() * 1e6,
+            report.p95_latency_s() * 1e6,
+            report.p99_latency_s() * 1e6
+        );
+        for class in gnnie::serve::SlaClass::ALL {
+            let served = report.class_served(class);
+            if served == 0 {
+                continue;
+            }
+            println!(
+                "    {:<11} x{:<4} {:>10.2} us p50   {:>12.2} us p95   {:>12.2} us p99",
+                class.name(),
+                served,
+                report.class_percentile(class, 0.50) * 1e6,
+                report.class_percentile(class, 0.95) * 1e6,
+                report.class_percentile(class, 0.99) * 1e6
+            );
+        }
+        println!(
+            "  deadlines {:>11.1} % met   ({} cycles makespan)",
+            report.deadline_hit_rate() * 100.0,
+            report.makespan_cycles
+        );
+        return Ok(());
     }
 
     let server = Server::new(ServeConfig { policy, max_batch, workers, sim_threads });
@@ -629,9 +780,10 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         report.clock_hz / 1e9
     );
     println!(
-        "  latency    {:>12.2} us p50   {:>12.2} us p95",
+        "  latency    {:>12.2} us p50   {:>12.2} us p95   {:>12.2} us p99",
         report.p50_latency_s() * 1e6,
-        report.p95_latency_s() * 1e6
+        report.p95_latency_s() * 1e6,
+        report.p99_latency_s() * 1e6
     );
     println!(
         "  cycles     {:>12} pipelined   {:>12} batched-serial   {:>12} serial loop",

@@ -212,6 +212,118 @@ fn serve_rejects_bad_policy_with_a_helpful_error() {
 }
 
 #[test]
+fn serve_daemon_under_poisson_load_exits_cleanly() {
+    let out = run_args(&[
+        "serve",
+        "--daemon",
+        "--arrival",
+        "poisson",
+        "--rate",
+        "50000",
+        "--requests",
+        "6",
+        "--scale",
+        "0.05",
+        "--sla",
+        "mixed",
+        "--workers",
+        "2",
+        "--sim-threads",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "daemon serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("[daemon: 2 request workers"), "{stderr}");
+    assert!(stderr.contains("drained and joined"), "clean shutdown line expected:\n{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("online serving 6 requests"), "{stdout}");
+    assert!(stdout.contains("arrival poisson"), "{stdout}");
+    assert!(
+        stdout.contains("p50") && stdout.contains("p95") && stdout.contains("p99"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("deadlines"), "{stdout}");
+}
+
+#[test]
+fn serve_online_flags_are_validated() {
+    // --rate and --burst only make sense for a generated arrival process,
+    // --sla only for the online path, and the arrival token is checked.
+    let cases: &[(&[&str], &str)] = &[
+        (&["serve", "--rate", "100"], "--rate requires"),
+        (&["serve", "--burst", "4"], "--burst requires"),
+        (&["serve", "--arrival", "poisson", "--burst", "4"], "--burst requires"),
+        (&["serve", "--sla", "batch"], "--sla requires"),
+        (&["serve", "--arrival", "sometimes"], "unknown arrival process"),
+        (&["serve", "--arrival", "poisson", "--rate", "-3"], "--rate must be"),
+        (&["serve", "--arrival", "bursty", "--burst", "0"], "--burst must be"),
+        (&["serve", "--arrival", "poisson", "--sla", "whenever"], "unknown SLA mix"),
+    ];
+    for (args, needle) in cases {
+        let out = run_args(args);
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: expected `{needle}` in:\n{stderr}");
+    }
+}
+
+#[test]
+fn serve_daemon_sim_threads_flag_beats_the_env() {
+    let out = Command::new(BIN)
+        .args(["serve", "--daemon", "--requests", "2", "--scale", "0.05", "--sim-threads", "2"])
+        .env("GNNIE_SIM_THREADS", "4")
+        .output()
+        .expect("spawn gnnie");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("sim-threads 2"),
+        "--sim-threads must win over GNNIE_SIM_THREADS:\n{stderr}"
+    );
+}
+
+#[test]
+fn serve_online_reports_are_byte_identical_across_backends() {
+    // Same seed + arrival config ⇒ the same serving report, whether the
+    // trace runs on the scoped server or the daemon, at any pool width.
+    let base = [
+        "serve",
+        "--arrival",
+        "bursty",
+        "--rate",
+        "40000",
+        "--burst",
+        "2",
+        "--requests",
+        "6",
+        "--scale",
+        "0.05",
+        "--seed",
+        "7",
+    ];
+    let with = |extra: &[&str]| {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend_from_slice(extra);
+        run_args(&args)
+    };
+    let reference = with(&["--sim-threads", "1"]);
+    assert!(reference.status.success(), "{}", String::from_utf8_lossy(&reference.stderr));
+    for extra in [&["--sim-threads", "4"][..], &["--daemon", "--sim-threads", "2"][..]] {
+        let other = with(extra);
+        assert!(other.status.success(), "{}", String::from_utf8_lossy(&other.stderr));
+        assert_eq!(
+            String::from_utf8_lossy(&reference.stdout),
+            String::from_utf8_lossy(&other.stdout),
+            "{extra:?} must not change the online serving report"
+        );
+    }
+}
+
+#[test]
 fn unknown_flag_is_named_in_the_error() {
     // `--modle` (typo) used to be silently ignored; it must now fail and
     // name both the offending flag and the valid alternatives.
