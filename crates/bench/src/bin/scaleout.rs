@@ -1,0 +1,73 @@
+//! Regenerates the multi-accelerator scale-out sweep; see
+//! `gnnie_bench::experiments::scaleout`.
+//!
+//! With `--json <path>`, additionally writes the sweep as JSON — CI
+//! uploads it as the `BENCH_scaleout.json` artifact and the `bench_check`
+//! gate compares its headline metrics (4-chip speedup, and how many
+//! datasets scale at 4 chips) against `bench/baselines/scaleout.json`.
+//! Every gated number is simulated cycles, deterministic run to run.
+
+use gnnie_bench::experiments::scaleout;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: scaleout [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let rows = scaleout::sweep(&ctx);
+    let cuts = scaleout::cut_quality(&ctx);
+    scaleout::render(&rows, &cuts).print();
+
+    if let Some(path) = json_path {
+        let json = render_json(&rows, &cuts);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[scaleout: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(rows: &[scaleout::ScaleoutRow], cuts: &[scaleout::CutRow]) -> String {
+    let mut out = String::from("{\n  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"chips\": {}, \"total_cycles\": {}, \
+             \"speedup_vs_single_chip\": {:.4}, \"inter_chip_bytes\": {}, \
+             \"inter_chip_cycles\": {}}}{}\n",
+            r.dataset.abbrev(),
+            r.chips,
+            r.total_cycles,
+            r.speedup,
+            r.inter_chip_bytes,
+            r.inter_chip_cycles,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n  \"cut_quality\": [\n");
+    for (i, c) in cuts.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"partitioner\": \"{}\", \"cut_edges\": {}, \
+             \"halo_vertices\": {}, \"total_edges\": {}}}{}\n",
+            c.dataset.abbrev(),
+            c.partitioner.name(),
+            c.cut_edges,
+            c.halo_vertices,
+            c.total_edges,
+            if i + 1 == cuts.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -27,6 +27,7 @@ pub mod fig18_optimizations;
 pub mod ingest_throughput;
 pub mod online_serving;
 pub mod parallel_speedup;
+pub mod scaleout;
 pub mod serving_throughput;
 pub mod table2_datasets;
 pub mod table3_configs;

@@ -74,6 +74,7 @@ fn artifact_stem(artifact: &str) -> Option<&str> {
         "BENCH_ingest_throughput",
         "BENCH_parallel_speedup",
         "BENCH_online_serving",
+        "BENCH_scaleout",
     ]
     .into_iter()
     .find(|&known| known == stem)
@@ -103,6 +104,7 @@ pub fn headline_metrics(artifact: &str, json: &Json) -> Result<Vec<Metric>, Stri
         Some("BENCH_ingest_throughput") => ingest_metrics(json),
         Some("BENCH_parallel_speedup") => parallel_metrics(json),
         Some("BENCH_online_serving") => online_metrics(json),
+        Some("BENCH_scaleout") => scaleout_metrics(json),
         _ => Err(format!("`{artifact}` is not a gated BENCH_* artifact")),
     }
 }
@@ -221,6 +223,39 @@ fn online_metrics(json: &Json) -> Result<Vec<Metric>, String> {
     ])
 }
 
+/// Multi-accelerator scale-out: the best 4-chip simulated-cycle speedup
+/// and how many datasets actually scale (speedup > 1x) at 4 chips — the
+/// acceptance bar is at least the two large datasets. Simulated cycles,
+/// deterministic run to run, so the baselines stay tight.
+fn scaleout_metrics(json: &Json) -> Result<Vec<Metric>, String> {
+    let rows = json
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or("scaleout artifact: expected a `sweep` array")?;
+    if rows.is_empty() {
+        return Err("scaleout artifact: empty sweep".into());
+    }
+    let mut max_speedup = f64::NEG_INFINITY;
+    let mut scaling_datasets = 0.0;
+    for row in rows {
+        if field(row, "chips", "scaleout")? != 4.0 {
+            continue;
+        }
+        let speedup = field(row, "speedup_vs_single_chip", "scaleout")?;
+        max_speedup = max_speedup.max(speedup);
+        if speedup > 1.0 {
+            scaling_datasets += 1.0;
+        }
+    }
+    if max_speedup == f64::NEG_INFINITY {
+        return Err("scaleout artifact: no 4-chip rows to gate".into());
+    }
+    Ok(vec![
+        Metric::new("max_speedup_at_4_chips", max_speedup),
+        Metric::new("datasets_scaling_at_4_chips", scaling_datasets),
+    ])
+}
+
 /// Metrics measured in host wall clock — noisy on shared CI runners, so
 /// their committed baselines stay deliberately conservative. The
 /// `--write-baselines` refresh *freezes* these: a committed value is
@@ -299,6 +334,23 @@ pub fn compare(baseline: &[Metric], current: &[Metric], tolerance: f64) -> Vec<D
         }
     }
     deltas
+}
+
+/// Downgrades regressed **wall-clock** deltas to informational, returning
+/// the names downgraded. `bench_check` applies this when the runner
+/// reports a single core: multi-thread / multi-shard wall-clock speedups
+/// are physically unreachable there (forced workers only add overhead),
+/// so those rows must not fail the gate — the deterministic
+/// simulated-cycle metrics still do.
+pub fn demote_wall_clock_regressions(deltas: &mut [Delta]) -> Vec<String> {
+    let mut demoted = Vec::new();
+    for d in deltas.iter_mut() {
+        if d.regressed && is_wall_clock(&d.name) {
+            d.regressed = false;
+            demoted.push(d.name.clone());
+        }
+    }
+    demoted
 }
 
 /// Renders the per-metric delta table for one artifact.
@@ -421,6 +473,61 @@ mod tests {
         assert!(headline_metrics("BENCH_online_serving.json", &empty).is_err());
         let missing = Json::parse(r#"{"sweep": [{"rate_factor": 1.0}]}"#).unwrap();
         assert!(headline_metrics("BENCH_online_serving.json", &missing).is_err());
+    }
+
+    #[test]
+    fn scaleout_metrics_reduce_the_4_chip_rows() {
+        let doc = Json::parse(
+            r#"{"sweep": [
+                  {"dataset": "cr", "chips": 1, "speedup_vs_single_chip": 1.0},
+                  {"dataset": "cr", "chips": 4, "speedup_vs_single_chip": 0.6},
+                  {"dataset": "ppi", "chips": 4, "speedup_vs_single_chip": 2.0},
+                  {"dataset": "rd", "chips": 4, "speedup_vs_single_chip": 4.5},
+                  {"dataset": "rd", "chips": 8, "speedup_vs_single_chip": 6.1}],
+                "cut_quality": []}"#,
+        )
+        .unwrap();
+        let m = headline_metrics("BENCH_scaleout.json", &doc).unwrap();
+        assert_eq!(
+            m,
+            metrics(&[("max_speedup_at_4_chips", 4.5), ("datasets_scaling_at_4_chips", 2.0)])
+        );
+        assert_eq!(baseline_file_for("BENCH_scaleout.json").unwrap(), "scaleout.json");
+        // Simulated-cycle numbers, not wall clock: gated tightly even on
+        // a single-core runner.
+        assert!(!is_wall_clock("max_speedup_at_4_chips"));
+        assert!(!is_wall_clock("datasets_scaling_at_4_chips"));
+        // A sweep with no 4-chip rows cannot be gated.
+        let trivial =
+            Json::parse(r#"{"sweep": [{"chips": 1, "speedup_vs_single_chip": 1.0}]}"#).unwrap();
+        assert!(headline_metrics("BENCH_scaleout.json", &trivial).is_err());
+    }
+
+    #[test]
+    fn single_core_demotion_spares_wall_clock_rows_only() {
+        let base = metrics(&[
+            ("max_speedup_vs_serial", 2.0),
+            ("bit_identical", 1.0),
+            ("max_build_speedup_vs_serial", 1.8),
+        ]);
+        let cur = metrics(&[
+            ("max_speedup_vs_serial", 0.9), // unreachable on one core
+            ("bit_identical", 0.0),         // real regression, must survive
+            ("max_build_speedup_vs_serial", 0.8),
+        ]);
+        let mut deltas = compare(&base, &cur, DEFAULT_TOLERANCE);
+        assert_eq!(deltas.iter().filter(|d| d.regressed).count(), 3);
+        let demoted = demote_wall_clock_regressions(&mut deltas);
+        assert_eq!(
+            demoted,
+            vec![
+                "max_speedup_vs_serial".to_string(),
+                "max_build_speedup_vs_serial".to_string()
+            ]
+        );
+        let still: Vec<&str> =
+            deltas.iter().filter(|d| d.regressed).map(|d| d.name.as_str()).collect();
+        assert_eq!(still, vec!["bit_identical"], "deterministic metrics still gate");
     }
 
     #[test]

@@ -83,6 +83,7 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("ingest_throughput", experiments::ingest_throughput::run),
         ("online_serving", experiments::online_serving::run),
         ("parallel_speedup", experiments::parallel_speedup::run),
+        ("scaleout", experiments::scaleout::run),
         ("serving_throughput", experiments::serving_throughput::run),
     ]
 }

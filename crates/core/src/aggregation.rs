@@ -21,7 +21,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use gnnie_graph::CsrGraph;
+use gnnie_graph::{CsrGraph, GraphPartition, Permutation};
 use gnnie_mem::cache::IterationStats;
 use gnnie_mem::{CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel, SimThreads};
 
@@ -72,6 +72,11 @@ pub struct AggregationReport {
     pub exp_evals: u64,
     /// Vertices the walk covered.
     pub vertices: u64,
+    /// Boundary feature bytes moved over the inter-chip link (0 on a
+    /// single chip).
+    pub inter_chip_bytes: u64,
+    /// Cycles spent on inter-chip transfers (0 on a single chip).
+    pub inter_chip_cycles: u64,
 }
 
 impl AggregationReport {
@@ -92,6 +97,8 @@ impl AggregationReport {
             macs_issued: 0,
             exp_evals: 0,
             vertices: 0,
+            inter_chip_bytes: 0,
+            inter_chip_cycles: 0,
         }
     }
 
@@ -110,6 +117,8 @@ impl AggregationReport {
         self.edge_updates += other.edge_updates;
         self.macs_issued += other.macs_issued;
         self.exp_evals += other.exp_evals;
+        self.inter_chip_bytes += other.inter_chip_bytes;
+        self.inter_chip_cycles += other.inter_chip_cycles;
     }
 }
 
@@ -130,7 +139,30 @@ pub fn simulate_aggregation(
 /// [`simulate_aggregation`] with an explicit worker-thread policy for the
 /// cache walk's sharded vertex scans (the engine passes its per-run
 /// effective setting; results are bit-identical at any value).
+///
+/// With `cfg.chips > 1` the graph is partitioned per
+/// [`AcceleratorConfig::partitioner`], every chip walks its own partition
+/// with a private cache and DRAM channel, boundary features are charged to
+/// the inter-chip link, and the phase total is the slowest chip's
+/// makespan. `chips == 1` takes the exact single-chip code path, so those
+/// reports are bit-identical to builds without scale-out.
 pub fn simulate_aggregation_with(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    graph: &CsrGraph,
+    params: AggregationParams,
+    dram: &mut HbmModel,
+    sim_threads: SimThreads,
+) -> AggregationReport {
+    if cfg.chips > 1 {
+        simulate_scaleout(cfg, arr, graph, params, dram, sim_threads)
+    } else {
+        simulate_single_chip(cfg, arr, graph, params, dram, sim_threads)
+    }
+}
+
+/// The single-chip cycle model (the only path when `chips <= 1`).
+fn simulate_single_chip(
     cfg: &AcceleratorConfig,
     arr: &CpeArray,
     graph: &CsrGraph,
@@ -222,7 +254,117 @@ pub fn simulate_aggregation_with(
         macs_issued,
         exp_evals,
         vertices: graph.num_vertices() as u64,
+        inter_chip_bytes: 0,
+        inter_chip_cycles: 0,
     }
+}
+
+/// Multi-chip Aggregation: one single-chip walk per graph partition, with
+/// boundary-vertex feature traffic charged to the inter-chip link.
+///
+/// Deterministic merge contract: partitions are processed in partition
+/// order on independent DRAM channel models, so the merged report is a
+/// pure function of the graph and config — replay-stable at any
+/// `sim_threads` width. Extensive quantities (updates, MACs, per-chip
+/// compute/DRAM cycles, link traffic) sum; `total_cycles` is the slowest
+/// chip's makespan (its walk, its share of cut-edge updates, and its link
+/// transfers), which is where the scale-out speedup comes from. Cut edges
+/// execute one directed update on each incident chip against the remote
+/// feature received over the link, so `edge_updates` still covers every
+/// directed edge exactly once. Chip 0's iteration trace and α histograms
+/// stand for the merged cache result; its byte counters are the sum over
+/// all chips.
+fn simulate_scaleout(
+    cfg: &AcceleratorConfig,
+    arr: &CpeArray,
+    graph: &CsrGraph,
+    params: AggregationParams,
+    dram: &mut HbmModel,
+    sim_threads: SimThreads,
+) -> AggregationReport {
+    let partition = GraphPartition::build(graph, cfg.chips, cfg.partitioner);
+    let f = params.f_out.max(1) as u64;
+    let payload = 4 * f + if params.is_gat { 8 } else { 0 };
+    let total_macs = (arr.total_macs() as u64).max(1);
+
+    let mut merged = AggregationReport::empty();
+    merged.cache_policy_used = cfg.enable_cache_policy;
+    merged.load_balanced = cfg.enable_agg_lb;
+    merged.vertices = graph.num_vertices() as u64;
+    let mut merged_cache: Option<CacheSimResult> = None;
+    let mut makespan = 0u64;
+    for part in partition.parts() {
+        if part.vertices.is_empty() {
+            continue;
+        }
+        // Each chip degree-sorts its own partition, mirroring the
+        // single-chip preprocessing contract the cache policy expects.
+        let chip_graph = if cfg.enable_cache_policy {
+            Permutation::descending_degree(&part.graph).apply(&part.graph)
+        } else {
+            part.graph.clone()
+        };
+        let mut chip_dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let r =
+            simulate_single_chip(cfg, arr, &chip_graph, params, &mut chip_dram, sim_threads);
+        dram.absorb_counters(chip_dram.counters());
+
+        // Every distinct external neighbor's feature crosses the link once.
+        let link_bytes = part.halo_vertices * payload;
+        let link_cycles = if link_bytes == 0 {
+            0
+        } else {
+            cfg.link_latency_cycles + div_ceil(link_bytes, cfg.link_bytes_per_cycle.max(1))
+        };
+        // This chip's side of each incident cut edge: one directed update
+        // against the received remote feature.
+        let cut_updates = part.cut_edges;
+        let cut_mac_ops = cut_updates * f + if params.is_gat { 2 * cut_updates } else { 0 };
+        let cut_compute = div_ceil(cut_mac_ops, total_macs);
+        let cut_sfu =
+            if params.is_gat { div_ceil(2 * cut_updates, cfg.sfu_units as u64) } else { 0 };
+
+        merged.compute_cycles += r.compute_cycles + cut_compute.max(cut_sfu);
+        merged.sfu_cycles += r.sfu_cycles + cut_sfu;
+        merged.attention_cycles += r.attention_cycles;
+        merged.dram_cycles += r.dram_cycles;
+        merged.stall_cycles += r.stall_cycles;
+        merged.edge_updates += r.edge_updates + cut_updates;
+        merged.macs_issued += r.macs_issued + cut_updates * f;
+        merged.exp_evals += r.exp_evals + if params.is_gat { cut_updates } else { 0 };
+        merged.inter_chip_bytes += link_bytes;
+        merged.inter_chip_cycles += link_cycles;
+        makespan = makespan.max(r.total_cycles + cut_compute.max(cut_sfu) + link_cycles);
+
+        match (&mut merged_cache, r.cache) {
+            (None, Some(chip)) => merged_cache = Some(chip),
+            (Some(acc), Some(chip)) => merge_cache_results(acc, &chip),
+            _ => {}
+        }
+    }
+    merged.total_cycles = makespan;
+    merged.cache = merged_cache;
+    merged
+}
+
+/// Folds one chip's cache outcome into the accumulated result: extensive
+/// quantities and byte counters sum, the first chip's per-iteration trace
+/// and α histograms stand for the walk.
+fn merge_cache_results(acc: &mut CacheSimResult, chip: &CacheSimResult) {
+    acc.completed &= chip.completed;
+    acc.iterations += chip.iterations;
+    acc.rounds = acc.rounds.max(chip.rounds);
+    acc.edges_processed += chip.edges_processed;
+    acc.evictions += chip.evictions;
+    acc.partial_spills += chip.partial_spills;
+    acc.refetches += chip.refetches;
+    acc.fetched_vertices += chip.fetched_vertices;
+    acc.skipped_blocks += chip.skipped_blocks;
+    acc.dram_cycles += chip.dram_cycles;
+    acc.final_gamma = acc.final_gamma.max(chip.final_gamma);
+    acc.gamma_raises += chip.gamma_raises;
+    acc.recovery_rounds += chip.recovery_rounds;
+    acc.counters.merge(&chip.counters);
 }
 
 /// Directed updates of one iteration: each undirected edge updates both
@@ -403,6 +545,108 @@ mod tests {
         let r = run(&cfg, &arr, &g, AggregationParams { f_out: 32, is_gat: false });
         assert_eq!(r.edge_updates, 0);
         assert_eq!(r.compute_cycles, 0);
+    }
+
+    #[test]
+    fn scaleout_covers_every_edge_and_charges_the_link() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(2000, 16000, 2.0, 17));
+        let params = AggregationParams { f_out: 128, is_gat: false };
+        let single = run(&cfg, &arr, &g, params);
+        for chips in [2, 4, 8] {
+            cfg.chips = chips;
+            let multi = run(&cfg, &arr, &g, params);
+            assert_eq!(multi.edge_updates, 2 * g.num_edges() as u64, "{chips} chips");
+            assert_eq!(multi.macs_issued, multi.edge_updates * 128, "{chips} chips");
+            assert!(multi.inter_chip_bytes > 0, "{chips} chips must move boundary features");
+            assert!(multi.inter_chip_cycles > 0, "{chips} chips");
+            // At high chip counts the halo traffic can dominate a small
+            // graph (the link becomes the bottleneck), so the speedup
+            // claim is only made where the partitions are still chunky.
+            if chips <= 4 {
+                assert!(
+                    multi.total_cycles < single.total_cycles,
+                    "{chips} chips: makespan {} must beat single-chip {}",
+                    multi.total_cycles,
+                    single.total_cycles
+                );
+            }
+            let cache = multi.cache.as_ref().expect("cache policy on");
+            assert!(cache.completed, "{chips} chips");
+            // The caches walk the induced subgraphs; cut edges execute
+            // against link-received features instead, one directed update
+            // per side. Together they cover the whole graph.
+            let induced = cache.edges_processed;
+            let cut = (multi.edge_updates - 2 * induced) / 2;
+            assert_eq!(induced + cut, g.num_edges() as u64, "{chips} chips");
+            assert!(cut > 0, "{chips} chips must cut something on a connected graph");
+        }
+    }
+
+    #[test]
+    fn scaleout_gat_accounting_matches_the_single_chip_formulas() {
+        let (mut cfg, arr) = paper_setup();
+        cfg.chips = 4;
+        cfg.partitioner = gnnie_graph::PartitionerKind::EdgeCut;
+        let g = degree_ordered(&generate::powerlaw_chung_lu(600, 4000, 2.0, 5));
+        let r = run(&cfg, &arr, &g, AggregationParams { f_out: 64, is_gat: true });
+        let (v, e) = (g.num_vertices() as u64, g.num_edges() as u64);
+        assert_eq!(r.edge_updates, 2 * e);
+        assert_eq!(r.exp_evals, 2 * e + v);
+        assert_eq!(r.macs_issued, 2 * e * 64 + 2 * v * 64);
+        assert_eq!(r.vertices, v);
+    }
+
+    #[test]
+    fn scaleout_is_deterministic_across_reruns_and_thread_counts() {
+        let (mut cfg, arr) = paper_setup();
+        cfg.chips = 4;
+        let g = degree_ordered(&generate::powerlaw_chung_lu(800, 6000, 2.0, 7));
+        let params = AggregationParams { f_out: 64, is_gat: false };
+        let mut reports = Vec::new();
+        for threads in [SimThreads::Fixed(1), SimThreads::Fixed(4), SimThreads::Fixed(1)] {
+            let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+            let r = simulate_aggregation_with(&cfg, &arr, &g, params, &mut dram, threads);
+            reports.push((format!("{r:?}"), *dram.counters()));
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+    }
+
+    #[test]
+    fn scaleout_folds_every_chips_dram_counters_into_the_session_model() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(500, 3500, 2.0, 3));
+        let params = AggregationParams { f_out: 64, is_gat: false };
+        cfg.chips = 4;
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let r = simulate_aggregation_with(&cfg, &arr, &g, params, &mut dram, cfg.sim_threads);
+        let cache = r.cache.as_ref().expect("cache policy on");
+        assert_eq!(
+            *dram.counters(),
+            cache.counters,
+            "session DRAM counters must equal the merged cache counters"
+        );
+        assert!(dram.counters().total_bytes() > 0);
+    }
+
+    #[test]
+    fn makespan_maxes_over_chips_instead_of_summing() {
+        // Guard against merge arithmetic that accidentally sums the chip
+        // totals: the makespan must stay below the summed per-chip work,
+        // which the extensive fields record.
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(2000, 16000, 2.0, 29));
+        let params = AggregationParams { f_out: 128, is_gat: false };
+        cfg.chips = 8;
+        let eight = run(&cfg, &arr, &g, params);
+        let summed_work = eight.compute_cycles + eight.dram_cycles + eight.inter_chip_cycles;
+        assert!(
+            eight.total_cycles < summed_work,
+            "makespan {} should be far below the summed per-chip work {}",
+            eight.total_cycles,
+            summed_work
+        );
     }
 
     #[test]

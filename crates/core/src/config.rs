@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use gnnie_graph::Dataset;
+use gnnie_graph::{Dataset, PartitionerKind};
 use gnnie_mem::cache::CachePolicyKind;
 use gnnie_mem::SimThreads;
 
@@ -118,6 +118,19 @@ pub struct AcceleratorConfig {
     /// machine's available parallelism); `RunOptions::sim_threads` and
     /// `gnnie run/serve --sim-threads` override per run.
     pub sim_threads: SimThreads,
+    /// Simulated accelerator chips. 1 reproduces the single-chip engine
+    /// exactly; above 1 the Aggregation graph is partitioned, each chip
+    /// walks its own partition with its own cache and DRAM channel, and
+    /// boundary features cross the inter-chip link.
+    pub chips: usize,
+    /// How the graph is split across chips when `chips > 1`.
+    pub partitioner: PartitionerKind,
+    /// Inter-chip link bandwidth in bytes per accelerator cycle
+    /// (default 32 ≈ 41.6 GB/s at 1.3 GHz, an NVLink-class serial link).
+    pub link_bytes_per_cycle: u64,
+    /// Fixed per-transfer link latency in cycles (serialization +
+    /// handshake before the first byte lands).
+    pub link_latency_cycles: u64,
 }
 
 impl AcceleratorConfig {
@@ -151,6 +164,10 @@ impl AcceleratorConfig {
             enable_cache_policy: true,
             cache_policy: CachePolicyKind::Paper,
             sim_threads: SimThreads::from_env(),
+            chips: 1,
+            partitioner: PartitionerKind::Range,
+            link_bytes_per_cycle: 32,
+            link_latency_cycles: 500,
         }
     }
 
@@ -190,6 +207,13 @@ impl AcceleratorConfig {
         assert!(self.sfu_units > 0, "need at least one SFU");
         if let SimThreads::Fixed(n) = self.sim_threads {
             assert!(n > 0, "sim_threads must be at least 1");
+        }
+        assert!(self.chips >= 1, "chips must be at least 1");
+        if self.chips > 1 {
+            assert!(
+                self.link_bytes_per_cycle > 0,
+                "inter-chip link bandwidth must be positive"
+            );
         }
     }
 
@@ -353,6 +377,39 @@ mod tests {
             cfg.validate();
             assert!(cfg.sim_threads.resolve() >= 1);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "chips must be at least 1")]
+    fn validate_rejects_zero_chips() {
+        let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
+        cfg.chips = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "link bandwidth must be positive")]
+    fn validate_rejects_a_zero_bandwidth_link_on_multi_chip() {
+        let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
+        cfg.chips = 4;
+        cfg.link_bytes_per_cycle = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn single_chip_defaults_and_multi_chip_knobs_validate() {
+        let cfg = AcceleratorConfig::paper(Dataset::Cora);
+        assert_eq!(cfg.chips, 1);
+        assert_eq!(cfg.partitioner, PartitionerKind::Range);
+        let mut multi = cfg.clone();
+        multi.chips = 8;
+        multi.partitioner = PartitionerKind::EdgeCut;
+        multi.validate();
+        // A single chip never touches the link, so its bandwidth may be
+        // anything, including zero.
+        let mut single = cfg;
+        single.link_bytes_per_cycle = 0;
+        single.validate();
     }
 
     #[test]

@@ -83,6 +83,17 @@ impl InferenceReport {
         self.layers.iter().map(|l| l.aggregation.total_cycles).sum()
     }
 
+    /// Boundary feature bytes moved over the inter-chip link across all
+    /// layers (0 on a single-chip run).
+    pub fn inter_chip_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.aggregation.inter_chip_bytes).sum()
+    }
+
+    /// Inter-chip link cycles across all layers (0 on a single-chip run).
+    pub fn inter_chip_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.aggregation.inter_chip_cycles).sum()
+    }
+
     /// Effective throughput in TOPS (executed ops over latency).
     ///
     /// A degenerate run (zero cycles, hence zero or non-finite latency)

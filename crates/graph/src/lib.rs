@@ -13,7 +13,8 @@
 //!   per-vertex sparsity profile of paper Fig. 2.
 //! * [`reorder`] — linear-time degree binning and descending-degree
 //!   relabeling (the preprocessing of §VI).
-//! * [`partition`] — induced-subgraph edge iteration used by the cache.
+//! * [`partition`] — induced-subgraph edge iteration used by the cache,
+//!   and the k-way partitioner behind multi-accelerator scale-out.
 //!
 //! # Example
 //!
@@ -38,6 +39,7 @@ pub mod traversal;
 pub use coo::EdgeList;
 pub use csr::{CsrBuildStats, CsrGraph, GraphBuildError};
 pub use datasets::{Dataset, DatasetSpec, GraphDataset, SyntheticDataset};
+pub use partition::{GraphPartition, PartitionAssignment, PartitionPart, PartitionerKind};
 pub use reorder::Permutation;
 
 /// Vertex identifier. Graphs in the paper reach 233 k vertices (Reddit);

@@ -58,4 +58,7 @@ pub use export::{export_edge_list, render_edge_list, write_binary_csr};
 pub use format::{detect_file_format, EdgeListFormat, FileFormat};
 pub use parse::{parse_edge_list, parse_edge_list_path, ParsedEdgeList, RecordedSpec};
 pub use registry::{DatasetRegistry, LoadOutcome, SourceKind};
-pub use snapshot::{read_snapshot, write_snapshot};
+pub use snapshot::{
+    default_partition_tables, read_snapshot, read_snapshot_with_partitions, write_snapshot,
+    write_snapshot_with_partitions,
+};

@@ -13,19 +13,30 @@
 //!
 //! Layout (all integers little-endian, values as IEEE-754 bit patterns):
 //! magic `GNNIECSR` · version `u32` · spec block · graph block · feature
-//! block · word-wise `checksum64` of everything before it.
+//! block · partition block (v2+) · word-wise `checksum64` of everything
+//! before it.
+//!
+//! Version 2 appends a **partition block** after the features: a table
+//! count, then per table the partitioner code, partition count, and one
+//! `u32` partition id per vertex — so the multi-chip scale-out path can
+//! reuse precomputed assignments instead of re-partitioning on every
+//! load. Version-1 snapshots (no partition block) still load; they just
+//! carry no tables.
 
 use std::path::Path;
 
-use gnnie_graph::{Dataset, DatasetSpec, GraphDataset};
+use gnnie_graph::{Dataset, DatasetSpec, GraphDataset, PartitionAssignment, PartitionerKind};
 use gnnie_tensor::CsrMatrix;
 
 use crate::bytes::{checksum64, put_f64, put_u32, put_u64, ByteReader};
 use crate::error::IngestError;
 use crate::format::SNAPSHOT_MAGIC;
 
-/// Version of the snapshot layout this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Version of the snapshot layout this build writes (it reads 1 and 2).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version this build still reads (no partition block).
+pub const SNAPSHOT_MIN_VERSION: u32 = 1;
 
 /// Serializes `ds` to `path`.
 ///
@@ -38,13 +49,28 @@ pub fn write_snapshot(
     ds: &GraphDataset,
     overwrite: bool,
 ) -> Result<(), IngestError> {
+    write_snapshot_with_partitions(path, ds, &[], overwrite)
+}
+
+/// Serializes `ds` plus precomputed partition tables to `path`.
+///
+/// # Errors
+///
+/// As [`write_snapshot`], plus [`IngestError::Snapshot`] when a table's
+/// assignment length does not match the graph's vertex count.
+pub fn write_snapshot_with_partitions(
+    path: &Path,
+    ds: &GraphDataset,
+    tables: &[PartitionAssignment],
+    overwrite: bool,
+) -> Result<(), IngestError> {
     if !overwrite && path.exists() {
         return Err(IngestError::io(
             path,
             "snapshot already exists (write-once; pass --force to replace)",
         ));
     }
-    let bytes = encode_snapshot(ds);
+    let bytes = encode_snapshot_with_partitions(ds, tables)?;
     std::fs::write(path, bytes).map_err(|e| IngestError::io(path, e))
 }
 
@@ -60,8 +86,33 @@ pub fn read_snapshot(path: &Path) -> Result<GraphDataset, IngestError> {
     decode_snapshot(&data, &path.display().to_string())
 }
 
-/// In-memory serialization; see the module docs for the layout.
+/// Reloads the dataset and any persisted partition tables from `path`.
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn read_snapshot_with_partitions(
+    path: &Path,
+) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
+    let data = std::fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    decode_snapshot_with_partitions(&data, &path.display().to_string())
+}
+
+/// In-memory serialization with no partition tables.
 pub fn encode_snapshot(ds: &GraphDataset) -> Vec<u8> {
+    encode_snapshot_with_partitions(ds, &[]).expect("no tables, nothing to mismatch")
+}
+
+/// In-memory serialization; see the module docs for the layout.
+///
+/// # Errors
+///
+/// [`IngestError::Snapshot`] when a table's assignment length does not
+/// match the graph's vertex count (a table for some other graph).
+pub fn encode_snapshot_with_partitions(
+    ds: &GraphDataset,
+    tables: &[PartitionAssignment],
+) -> Result<Vec<u8>, IngestError> {
     let graph_bytes = ds.graph.offsets().len() * 8 + ds.graph.neighbors_flat().len() * 4;
     let feat_bytes = ds.features.offsets().len() * 8 + ds.features.nnz() * 8;
     let mut buf = Vec::with_capacity(128 + graph_bytes + feat_bytes);
@@ -103,9 +154,27 @@ pub fn encode_snapshot(ds: &GraphDataset) -> Vec<u8> {
     for &v in f.values() {
         put_u32(&mut buf, v.to_bits());
     }
+    // Partition block (v2).
+    put_u32(&mut buf, tables.len() as u32);
+    for t in tables {
+        if t.assignment.len() != ds.graph.num_vertices() {
+            return Err(IngestError::Snapshot(format!(
+                "partition table ({}, {} parts) covers {} vertices but the graph has {}",
+                t.kind.name(),
+                t.num_parts,
+                t.assignment.len(),
+                ds.graph.num_vertices()
+            )));
+        }
+        put_u32(&mut buf, t.kind.code());
+        put_u32(&mut buf, t.num_parts);
+        for &p in &t.assignment {
+            put_u32(&mut buf, p);
+        }
+    }
     let checksum = checksum64(&buf);
     put_u64(&mut buf, checksum);
-    buf
+    Ok(buf)
 }
 
 /// In-memory deserialization; `what` names the source in errors.
@@ -114,6 +183,19 @@ pub fn encode_snapshot(ds: &GraphDataset) -> Vec<u8> {
 ///
 /// See [`read_snapshot`].
 pub fn decode_snapshot(data: &[u8], what: &str) -> Result<GraphDataset, IngestError> {
+    decode_snapshot_with_partitions(data, what).map(|(ds, _)| ds)
+}
+
+/// In-memory deserialization including the v2 partition block (empty for
+/// v1 snapshots); `what` names the source in errors.
+///
+/// # Errors
+///
+/// See [`read_snapshot`].
+pub fn decode_snapshot_with_partitions(
+    data: &[u8],
+    what: &str,
+) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
     let body = crate::parse::verify_checksummed(data, what)?;
     let mut r = ByteReader::new(body, what);
     let magic = r.bytes::<8>()?;
@@ -123,9 +205,10 @@ pub fn decode_snapshot(data: &[u8], what: &str) -> Result<GraphDataset, IngestEr
         )));
     }
     let version = r.u32()?;
-    if version != SNAPSHOT_VERSION {
+    if !(SNAPSHOT_MIN_VERSION..=SNAPSHOT_VERSION).contains(&version) {
         return Err(IngestError::Snapshot(format!(
-            "{what}: snapshot version {version}, this build reads {SNAPSHOT_VERSION}"
+            "{what}: snapshot version {version}, this build reads \
+             {SNAPSHOT_MIN_VERSION}-{SNAPSHOT_VERSION}"
         )));
     }
     // Spec block.
@@ -157,9 +240,39 @@ pub fn decode_snapshot(data: &[u8], what: &str) -> Result<GraphDataset, IngestEr
     let foffsets = r.usize_vec(rows + 1)?;
     let col_indices = r.u32_vec(nnz)?;
     let values: Vec<f32> = r.u32_vec(nnz)?.into_iter().map(f32::from_bits).collect();
+    // Partition block — absent before v2.
+    let tables = if version >= 2 {
+        let count = r.u32()? as usize;
+        let mut tables = Vec::with_capacity(count.min(r.remaining() / 8));
+        for i in 0..count {
+            let code = r.u32()?;
+            let kind = PartitionerKind::from_code(code).ok_or_else(|| {
+                IngestError::Snapshot(format!(
+                    "{what}: partition table {i}: unknown partitioner code {code}"
+                ))
+            })?;
+            let num_parts = r.u32()?;
+            if num_parts == 0 {
+                return Err(IngestError::Snapshot(format!(
+                    "{what}: partition table {i}: zero partitions"
+                )));
+            }
+            let assignment = r.u32_vec(n)?;
+            if let Some(&p) = assignment.iter().find(|&&p| p >= num_parts) {
+                return Err(IngestError::Snapshot(format!(
+                    "{what}: partition table {i}: partition id {p} out of range \
+                     (num_parts {num_parts})"
+                )));
+            }
+            tables.push(PartitionAssignment { kind, num_parts, assignment });
+        }
+        tables
+    } else {
+        Vec::new()
+    };
     if r.remaining() != 0 {
         return Err(IngestError::Snapshot(format!(
-            "{what}: {} trailing bytes after the feature block",
+            "{what}: {} trailing bytes after the last block",
             r.remaining()
         )));
     }
@@ -172,7 +285,21 @@ pub fn decode_snapshot(data: &[u8], what: &str) -> Result<GraphDataset, IngestEr
             graph.num_vertices()
         )));
     }
-    Ok(GraphDataset::from_parts(spec, graph, features))
+    Ok((GraphDataset::from_parts(spec, graph, features), tables))
+}
+
+/// The partition tables `gnnie ingest` freezes into a snapshot: both
+/// partitioner kinds at the chip counts the scale-out sweep exercises
+/// (2, 4, and 8), so a later `--chips` run can reuse them without
+/// re-partitioning.
+pub fn default_partition_tables(g: &gnnie_graph::CsrGraph) -> Vec<PartitionAssignment> {
+    let mut tables = Vec::new();
+    for kind in PartitionerKind::ALL {
+        for parts in [2usize, 4, 8] {
+            tables.push(gnnie_graph::GraphPartition::build(g, parts, kind).to_assignment());
+        }
+    }
+    tables
 }
 
 #[cfg(test)]
@@ -219,6 +346,82 @@ mod tests {
         bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
         let err = decode_snapshot(&bytes, "mem").unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
+    }
+
+    #[test]
+    fn partition_tables_roundtrip_and_validate() {
+        let ds = tiny();
+        let tables = default_partition_tables(&ds.graph);
+        assert_eq!(tables.len(), PartitionerKind::ALL.len() * 3);
+        let bytes = encode_snapshot_with_partitions(&ds, &tables).unwrap();
+        let (re, back) = decode_snapshot_with_partitions(&bytes, "mem").unwrap();
+        assert_eq!(re.graph, ds.graph);
+        assert_eq!(back, tables);
+        // Every table must be rebuildable into a valid partition.
+        for t in &back {
+            let p = gnnie_graph::GraphPartition::from_assignment(
+                &ds.graph,
+                t.assignment.clone(),
+                t.num_parts as usize,
+                t.kind,
+            );
+            assert!(p.cut_edges() <= ds.graph.num_edges() as u64);
+        }
+        // A table sized for some other graph is rejected at encode time.
+        let bogus = PartitionAssignment {
+            kind: PartitionerKind::Range,
+            num_parts: 2,
+            assignment: vec![0; ds.graph.num_vertices() + 1],
+        };
+        let err = encode_snapshot_with_partitions(&ds, &[bogus]).unwrap_err();
+        assert!(err.to_string().contains("covers"), "{err}");
+        // An out-of-range partition id is caught on decode (the encoder
+        // only checks the length).
+        let wild = PartitionAssignment {
+            kind: PartitionerKind::Range,
+            num_parts: 2,
+            assignment: vec![9; ds.graph.num_vertices()],
+        };
+        let bytes = encode_snapshot_with_partitions(&ds, &[wild]).unwrap();
+        let err = decode_snapshot_with_partitions(&bytes, "mem").unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn v1_snapshots_still_load_with_no_tables() {
+        let ds = tiny();
+        // A v1 snapshot is the v2 layout minus the partition block: strip
+        // the checksum (8 bytes) and the empty table count (4 bytes),
+        // rewrite the version field, and re-checksum.
+        let mut bytes = encode_snapshot(&ds);
+        bytes.truncate(bytes.len() - 12);
+        bytes[8] = 1;
+        let sum = checksum64(&bytes);
+        put_u64(&mut bytes, sum);
+        let (re, tables) = decode_snapshot_with_partitions(&bytes, "mem").unwrap();
+        assert_eq!(re.graph, ds.graph);
+        assert_eq!(re.features, ds.features);
+        assert!(tables.is_empty(), "v1 carries no partition block");
+        // The plain reader accepts it too.
+        assert_eq!(decode_snapshot(&bytes, "mem").unwrap().spec, ds.spec);
+    }
+
+    #[test]
+    fn corrupted_partition_blocks_are_detected() {
+        let ds = tiny();
+        let tables = default_partition_tables(&ds.graph);
+        let bytes = encode_snapshot_with_partitions(&ds, &tables).unwrap();
+        // Flip a bit inside the partition block (between the feature data
+        // and the checksum): the checksum must catch it.
+        let pos = bytes.len() - 20;
+        let mut bad = bytes.clone();
+        bad[pos] ^= 0x04;
+        assert!(decode_snapshot_with_partitions(&bad, "mem").is_err());
+        // Truncating the partition block mid-table fails too.
+        let mut short = bytes[..bytes.len() - 24].to_vec();
+        let sum = checksum64(&short);
+        put_u64(&mut short, sum);
+        assert!(decode_snapshot_with_partitions(&short, "mem").is_err());
     }
 
     #[test]

@@ -176,6 +176,13 @@ impl HbmModel {
         std::mem::take(&mut self.counters)
     }
 
+    /// Folds another model's counters into this one — the multi-chip
+    /// scale-out path simulates each chip on its own channel model and
+    /// accounts the combined traffic (bytes and energy) here.
+    pub fn absorb_counters(&mut self, other: &DramCounters) {
+        self.counters.merge(other);
+    }
+
     /// Total DRAM access energy so far, in picojoules.
     pub fn energy_pj(&self) -> f64 {
         self.counters.total_bytes() as f64 * 8.0 * self.energy_pj_per_bit

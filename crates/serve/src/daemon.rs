@@ -29,7 +29,7 @@ use gnnie_core::{SimPool, SimThreads};
 
 use crate::clock::SimClock;
 use crate::online::{schedule_online, OnlineConfig, OnlineReport, RequestCost};
-use crate::request::{InferenceRequest, OnlineRequest};
+use crate::request::{InferenceRequest, ModelKey, OnlineRequest};
 
 /// Daemon parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,13 +39,43 @@ pub struct DaemonConfig {
     /// Width of the shared persistent simulation pool, resolved once at
     /// spawn. Defaults from `GNNIE_SIM_THREADS`.
     pub sim_threads: SimThreads,
+    /// Simulated accelerator count each request runs on (1 = the
+    /// single-chip engine). Participates in the profile-cache key.
+    pub chips: usize,
 }
 
 impl Default for DaemonConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        DaemonConfig { workers, sim_threads: SimThreads::from_env() }
+        DaemonConfig { workers, sim_threads: SimThreads::from_env(), chips: 1 }
     }
+}
+
+/// What a [`RequestCost`] depends on: the model/dataset/scale key, the
+/// synthesis seed (requests of one trace usually differ only here — the
+/// seed changes the graph, hence the cost), and the chip count. Two
+/// requests agreeing on all three are guaranteed the same simulated
+/// costs, so the daemon memoizes on this.
+type ProfileKey = (ModelKey, u64, usize);
+
+/// Cost-oracle cache statistics (reported in daemon stats).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfileCacheStats {
+    /// Requests answered from the memoized oracle.
+    pub hits: u64,
+    /// Requests that had to be simulated.
+    pub misses: u64,
+    /// Distinct profiles currently memoized.
+    pub entries: usize,
+}
+
+/// The memoized cost oracle plus its hit/miss counters (one mutex so the
+/// counters can never drift from the map they describe).
+#[derive(Debug, Default)]
+struct ProfileCache {
+    map: HashMap<ProfileKey, RequestCost>,
+    hits: u64,
+    misses: u64,
 }
 
 /// One simulation job: a request run cold or resident, with a slot to
@@ -63,6 +93,7 @@ pub struct Daemon {
     config: DaemonConfig,
     sender: Option<mpsc::Sender<ProfileJob>>,
     handles: Vec<JoinHandle<()>>,
+    cache: Mutex<ProfileCache>,
 }
 
 impl Daemon {
@@ -73,6 +104,7 @@ impl Daemon {
     /// Panics if `config.workers` is 0.
     pub fn new(config: DaemonConfig) -> Self {
         assert!(config.workers >= 1, "the daemon needs at least one request worker");
+        assert!(config.chips >= 1, "the daemon needs at least one simulated chip");
         let pool = SimPool::persistent(config.sim_threads);
         let (sender, receiver) = mpsc::channel::<ProfileJob>();
         let receiver = Arc::new(Mutex::new(receiver));
@@ -90,7 +122,9 @@ impl Daemon {
                     };
                     let ds = job.request.synthesize();
                     let model = job.request.model_config();
-                    let engine = Engine::new(AcceleratorConfig::paper(job.request.dataset));
+                    let mut accel = AcceleratorConfig::paper(job.request.dataset);
+                    accel.chips = config.chips;
+                    let engine = Engine::new(accel);
                     let mut session = engine.begin_pooled(
                         &model,
                         &ds,
@@ -104,7 +138,12 @@ impl Daemon {
                 })
             })
             .collect();
-        Daemon { config, sender: Some(sender), handles }
+        Daemon {
+            config,
+            sender: Some(sender),
+            handles,
+            cache: Mutex::new(ProfileCache::default()),
+        }
     }
 
     /// The daemon's parameters.
@@ -115,38 +154,76 @@ impl Daemon {
     /// Pre-simulates every request cold and resident on the resident
     /// worker pool; returns the cost oracle keyed by request id.
     ///
+    /// Profiles are **memoized** across calls: a request whose
+    /// (model key, seed, chips) triple was simulated before is answered
+    /// from the cache without touching the workers (see
+    /// [`profile_cache_stats`](Self::profile_cache_stats)).
+    ///
     /// # Panics
     ///
     /// Panics on duplicate request ids, after [`shutdown`](Self::shutdown),
     /// or if a worker died mid-batch.
     pub fn profile_costs(&self, requests: &[InferenceRequest]) -> HashMap<u64, RequestCost> {
         let sender = self.sender.as_ref().expect("daemon already shut down");
-        let (reply, collect) = mpsc::channel();
-        for (i, &request) in requests.iter().enumerate() {
-            for resident in [false, true] {
-                let job = ProfileJob {
-                    request,
-                    resident,
-                    slot: 2 * i + resident as usize,
-                    reply: reply.clone(),
-                };
-                sender.send(job).expect("daemon workers are gone");
+        let key =
+            |r: &InferenceRequest| -> ProfileKey { (r.model_key(), r.seed, self.config.chips) };
+        // Decide hits/misses under the lock, then simulate the distinct
+        // missing profiles without holding it.
+        let to_profile: Vec<InferenceRequest> = {
+            let mut cache = self.cache.lock().expect("profile cache poisoned");
+            let mut missing: Vec<InferenceRequest> = Vec::new();
+            for r in requests {
+                if cache.map.contains_key(&key(r)) {
+                    cache.hits += 1;
+                } else {
+                    cache.misses += 1;
+                    if !missing.iter().any(|q| key(q) == key(r)) {
+                        missing.push(*r);
+                    }
+                }
+            }
+            missing
+        };
+        if !to_profile.is_empty() {
+            let (reply, collect) = mpsc::channel();
+            for (i, &request) in to_profile.iter().enumerate() {
+                for resident in [false, true] {
+                    let job = ProfileJob {
+                        request,
+                        resident,
+                        slot: 2 * i + resident as usize,
+                        reply: reply.clone(),
+                    };
+                    sender.send(job).expect("daemon workers are gone");
+                }
+            }
+            drop(reply);
+            let mut reports: Vec<Option<InferenceReport>> = vec![None; 2 * to_profile.len()];
+            for _ in 0..2 * to_profile.len() {
+                let (slot, report) = collect.recv().expect("a daemon worker died mid-batch");
+                reports[slot] = Some(report);
+            }
+            let mut cache = self.cache.lock().expect("profile cache poisoned");
+            for (i, request) in to_profile.iter().enumerate() {
+                let cold = reports[2 * i].take().expect("cold report filed");
+                let resident = reports[2 * i + 1].take().expect("resident report filed");
+                cache.map.insert(key(request), RequestCost::from_reports(&cold, &resident));
             }
         }
-        drop(reply);
-        let mut reports: Vec<Option<InferenceReport>> = vec![None; 2 * requests.len()];
-        for _ in 0..2 * requests.len() {
-            let (slot, report) = collect.recv().expect("a daemon worker died mid-batch");
-            reports[slot] = Some(report);
-        }
+        let cache = self.cache.lock().expect("profile cache poisoned");
         let mut map = HashMap::new();
-        for (i, request) in requests.iter().enumerate() {
-            let cold = reports[2 * i].take().expect("cold report filed");
-            let resident = reports[2 * i + 1].take().expect("resident report filed");
-            let prior = map.insert(request.id, RequestCost::from_reports(&cold, &resident));
+        for request in requests {
+            let cost = cache.map.get(&key(request)).expect("profiled above").clone();
+            let prior = map.insert(request.id, cost);
             assert!(prior.is_none(), "duplicate request id {} in the trace", request.id);
         }
         map
+    }
+
+    /// Hit/miss/entry counters of the memoized cost oracle.
+    pub fn profile_cache_stats(&self) -> ProfileCacheStats {
+        let cache = self.cache.lock().expect("profile cache poisoned");
+        ProfileCacheStats { hits: cache.hits, misses: cache.misses, entries: cache.map.len() }
     }
 
     /// Replays an online arrival trace on the resident workers: profiles
@@ -197,11 +274,14 @@ mod tests {
             .collect()
     }
 
+    fn config(workers: usize, threads: usize) -> DaemonConfig {
+        DaemonConfig { workers, sim_threads: SimThreads::Fixed(threads), chips: 1 }
+    }
+
     #[test]
     fn daemon_costs_match_the_scoped_server() {
         let requests = queue(3);
-        let daemon =
-            Daemon::new(DaemonConfig { workers: 2, sim_threads: SimThreads::Fixed(2) });
+        let daemon = Daemon::new(config(2, 2));
         let from_daemon = daemon.profile_costs(&requests);
         daemon.shutdown();
         let server = crate::Server::new(crate::ServeConfig {
@@ -215,8 +295,7 @@ mod tests {
 
     #[test]
     fn workers_survive_many_request_rounds() {
-        let daemon =
-            Daemon::new(DaemonConfig { workers: 2, sim_threads: SimThreads::Fixed(1) });
+        let daemon = Daemon::new(config(2, 1));
         let first = daemon.profile_costs(&queue(2));
         let second = daemon.profile_costs(&queue(2));
         assert_eq!(first, second, "the same queue reprofiled must reproduce exactly");
@@ -224,9 +303,48 @@ mod tests {
 
     #[test]
     fn shutdown_is_a_clean_drain() {
-        let daemon =
-            Daemon::new(DaemonConfig { workers: 4, sim_threads: SimThreads::Fixed(1) });
+        let daemon = Daemon::new(config(4, 1));
         let _ = daemon.profile_costs(&queue(1));
         daemon.shutdown(); // joins without hanging or panicking
+    }
+
+    #[test]
+    fn second_profile_round_is_all_cache_hits() {
+        let daemon = Daemon::new(config(2, 1));
+        let first = daemon.profile_costs(&queue(2));
+        let stats = daemon.profile_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2), "cold start");
+        let second = daemon.profile_costs(&queue(2));
+        assert_eq!(first, second, "memoized costs must equal the simulated ones");
+        let stats = daemon.profile_cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 2, 2), "round two is free");
+    }
+
+    #[test]
+    fn distinct_seeds_never_share_a_cache_entry() {
+        // Same model/dataset/scale, different seeds → different graphs,
+        // so the seed must participate in the key (the ISSUE's
+        // (model, dataset, scale, chips) key would be lossy here).
+        let daemon = Daemon::new(config(2, 1));
+        let a = InferenceRequest::new(0, GnnModel::Gcn, Dataset::Cora, 0.08, 7);
+        let b = InferenceRequest::new(1, GnnModel::Gcn, Dataset::Cora, 0.08, 8);
+        let costs = daemon.profile_costs(&[a, b]);
+        let stats = daemon.profile_cache_stats();
+        assert_eq!(stats.entries, 2, "one entry per seed");
+        assert_ne!(costs[&0], costs[&1], "different graphs cost differently");
+    }
+
+    #[test]
+    fn chips_participate_in_the_key_and_the_simulation() {
+        let single = Daemon::new(config(1, 1));
+        let multi = Daemon::new(DaemonConfig {
+            workers: 1,
+            sim_threads: SimThreads::Fixed(1),
+            chips: 4,
+        });
+        let req = queue(1);
+        let one = single.profile_costs(&req);
+        let four = multi.profile_costs(&req);
+        assert_ne!(one[&0], four[&0], "a 4-chip run must not reuse single-chip costs");
     }
 }

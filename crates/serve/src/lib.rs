@@ -86,7 +86,7 @@ pub mod scheduler;
 pub mod server;
 
 pub use clock::{Cycle, SimClock};
-pub use daemon::{Daemon, DaemonConfig};
+pub use daemon::{Daemon, DaemonConfig, ProfileCacheStats};
 pub use loadgen::{ArrivalProcess, LoadGen, SlaMix};
 pub use online::{
     schedule_online, OnlineBatchReport, OnlineConfig, OnlineOutcome, OnlineReport,

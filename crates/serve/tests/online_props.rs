@@ -279,7 +279,8 @@ fn daemon_reproduces_the_scoped_server() {
         sim_threads: SimThreads::Fixed(1),
     })
     .run_online(&trace, &cfg);
-    let daemon = Daemon::new(DaemonConfig { workers: 3, sim_threads: SimThreads::Fixed(2) });
+    let daemon =
+        Daemon::new(DaemonConfig { workers: 3, sim_threads: SimThreads::Fixed(2), chips: 1 });
     let resident = daemon.serve_online(&trace, &cfg);
     daemon.shutdown();
     assert_eq!(scoped, resident);
@@ -312,7 +313,8 @@ fn daemon_static_trace_never_loses_to_the_static_planner() {
     })
     .run(&queue);
 
-    let daemon = Daemon::new(DaemonConfig { workers: 4, sim_threads: SimThreads::Fixed(1) });
+    let daemon =
+        Daemon::new(DaemonConfig { workers: 4, sim_threads: SimThreads::Fixed(1), chips: 1 });
     let online =
         daemon.serve_online(&trace, &OnlineConfig { max_batch: 2, admission_control: true });
     daemon.shutdown();

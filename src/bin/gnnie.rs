@@ -3,7 +3,7 @@
 //! ```text
 //! gnnie run      --model gat (--dataset cora | --graph path) [--scale 1.0] [--design e]
 //!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady]
-//!                [--sim-threads auto|N]
+//!                [--sim-threads auto|N] [--chips 4] [--partitioner range|edgecut]
 //! gnnie ingest   <path> [--out snapshot.gnniecsr] [--shards N] [--dataset cora]
 //!                [--seed 42] [--force]
 //! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
@@ -27,8 +27,10 @@ use gnnie::core::verify::{verify_layers, ExpMode};
 use gnnie::gnn::flops::ModelWorkload;
 use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
-use gnnie::graph::{generate, GraphDataset, SyntheticDataset};
-use gnnie::ingest::{write_snapshot, DatasetRegistry, SourceKind};
+use gnnie::graph::{generate, GraphDataset, PartitionerKind, SyntheticDataset};
+use gnnie::ingest::{
+    default_partition_tables, write_snapshot_with_partitions, DatasetRegistry, SourceKind,
+};
 use gnnie::mem::{CachePolicyKind, SimThreads};
 use gnnie::serve::{InferenceRequest, SchedulerPolicy, ServeConfig, Server};
 use gnnie::tensor::DenseMatrix;
@@ -71,6 +73,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "heads",
             "cache-policy",
             "sim-threads",
+            "chips",
+            "partitioner",
         ],
         "ingest" => &["out", "shards", "dataset", "seed", "force"],
         "serve" => &[
@@ -172,6 +176,10 @@ fn usage() {
          \x20          (--dataset <cr|cs|pb|ppi|rd> [--scale 0.0-1.0] | --graph <path>)\n\
          \x20          [--design a|b|c|d|e] [--seed N] [--heads K]\n\
          \x20          [--cache-policy paper|lru|lfu|belady] [--sim-threads auto|N]\n\
+         \x20          [--chips N] [--partitioner range|edgecut]\n\
+         \x20          (--chips shards the cache walk across N simulated accelerators\n\
+         \x20          and charges boundary features to an inter-chip link; --chips 1\n\
+         \x20          is the unchanged single-chip engine)\n\
          \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
          \x20          [--seed N] [--force]\n\
          \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
@@ -316,6 +324,32 @@ fn parse_sim_threads(flags: &HashMap<String, String>) -> Result<Option<SimThread
     }
 }
 
+/// Parses `--chips` (simulated accelerator count; 1 = the single-chip
+/// engine, unchanged). Zero and garbage are rejected by name, matching
+/// the `--sim-threads` error style.
+fn parse_chips(flags: &HashMap<String, String>) -> Result<usize, String> {
+    flags.get("chips").map_or(Ok(1), |s| {
+        s.parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--chips must be a positive integer, got `{s}`"))
+    })
+}
+
+/// Parses `--partitioner` (how the graph is sharded across chips);
+/// `None` keeps the configuration default. Only meaningful with
+/// `--chips` > 1, but harmless otherwise.
+fn parse_partitioner(
+    flags: &HashMap<String, String>,
+) -> Result<Option<PartitionerKind>, String> {
+    match flags.get("partitioner") {
+        None => Ok(None),
+        Some(s) => {
+            s.parse::<PartitionerKind>().map(Some).map_err(|e| format!("--partitioner: {e}"))
+        }
+    }
+}
+
 fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, String> {
     match flags.get("design").map(|s| s.to_lowercase()).as_deref() {
         None => Ok(None),
@@ -454,6 +488,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(threads) = parse_sim_threads(flags)? {
         config.sim_threads = threads;
     }
+    config.chips = parse_chips(flags)?;
+    if let Some(kind) = parse_partitioner(flags)? {
+        config.partitioner = kind;
+    }
     let heads: usize = flags.get("heads").map_or(Ok(1), |s| {
         s.parse::<usize>()
             .ok()
@@ -511,6 +549,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         evictions,
         refetches
     );
+    // Printed only for multi-chip runs so `--chips 1` output stays
+    // byte-identical to a run without the flag.
+    if engine.config().chips > 1 {
+        println!(
+            "  scaleout {:>12} chips ({} partitioner, {} inter-chip bytes, {} link cycles)",
+            engine.config().chips,
+            engine.config().partitioner,
+            report.inter_chip_bytes(),
+            report.inter_chip_cycles()
+        );
+    }
     println!("  effective {:>11.2} TOPS", report.effective_tops());
     Ok(())
 }
@@ -537,7 +586,11 @@ fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String>
         registry.load_path_with(input, fallback, seed, shards).map_err(|e| e.to_string())?;
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    write_snapshot(&out_path, &loaded.dataset, force).map_err(|e| e.to_string())?;
+    // Freeze the scale-out partition tables alongside the graph so a
+    // later `--chips` run can reuse them without re-partitioning.
+    let tables = default_partition_tables(&loaded.dataset.graph);
+    write_snapshot_with_partitions(&out_path, &loaded.dataset, &tables, force)
+        .map_err(|e| e.to_string())?;
     let write_ms = t1.elapsed().as_secs_f64() * 1e3;
 
     warn_dropped_weights(&loaded);
@@ -561,6 +614,7 @@ fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String>
         ds.features.cols(),
         ds.features.sparsity() * 100.0
     );
+    println!("  partitions {:>8} tables frozen (range+edgecut at 2/4/8 chips)", tables.len());
     println!("  parse+build {:>8.1} ms over {} shard(s)", load_ms, shards);
     let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
     println!(
@@ -690,10 +744,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             // between the daemon and scoped paths (and across
             // --sim-threads settings).
             eprintln!("[daemon: {workers} request workers, sim-threads {sim_threads}]");
-            let daemon = Daemon::new(DaemonConfig { workers, sim_threads });
+            let daemon = Daemon::new(DaemonConfig { workers, sim_threads, chips: 1 });
             let report = daemon.serve_online(&trace, &cfg);
+            let stats = daemon.profile_cache_stats();
             daemon.shutdown();
-            eprintln!("[daemon: drained and joined]");
+            eprintln!(
+                "[daemon: drained and joined; profile cache {} hits / {} misses, {} entries]",
+                stats.hits, stats.misses, stats.entries
+            );
             report
         } else {
             Server::new(ServeConfig { policy, max_batch, workers, sim_threads })
@@ -1108,6 +1166,34 @@ mod tests {
         assert!(parse_sim_threads(&flags(&[("sim-threads", "lots")])).is_err());
         assert!(allowed_flags("run").contains(&"sim-threads"));
         assert!(allowed_flags("serve").contains(&"sim-threads"));
+    }
+
+    #[test]
+    fn parse_chips_defaults_to_one_and_rejects_zero_by_name() {
+        assert_eq!(parse_chips(&flags(&[])).unwrap(), 1);
+        assert_eq!(parse_chips(&flags(&[("chips", "4")])).unwrap(), 4);
+        let err = parse_chips(&flags(&[("chips", "0")])).unwrap_err();
+        assert!(err.contains("--chips") && err.contains("positive"), "{err}");
+        let err = parse_chips(&flags(&[("chips", "many")])).unwrap_err();
+        assert!(err.contains("--chips") && err.contains("many"), "{err}");
+        assert!(allowed_flags("run").contains(&"chips"));
+    }
+
+    #[test]
+    fn parse_partitioner_maps_tokens_and_names_typos() {
+        assert_eq!(parse_partitioner(&flags(&[])).unwrap(), None);
+        assert_eq!(
+            parse_partitioner(&flags(&[("partitioner", "range")])).unwrap(),
+            Some(PartitionerKind::Range)
+        );
+        assert_eq!(
+            parse_partitioner(&flags(&[("partitioner", "EdgeCut")])).unwrap(),
+            Some(PartitionerKind::EdgeCut)
+        );
+        let err = parse_partitioner(&flags(&[("partitioner", "metis")])).unwrap_err();
+        assert!(err.contains("--partitioner"), "flag named: {err}");
+        assert!(err.contains("metis") && err.contains("range|edgecut"), "{err}");
+        assert!(allowed_flags("run").contains(&"partitioner"));
     }
 
     #[test]

@@ -100,6 +100,84 @@ fn sim_threads_keeps_reports_byte_identical_and_rejects_zero() {
 }
 
 #[test]
+fn chips_one_is_byte_identical_to_the_flagless_run() {
+    // `--chips 1` must take the untouched single-chip path: same report,
+    // byte for byte, as a run that never mentions the flag — and no
+    // scaleout line in either.
+    let base = ["run", "--model", "gcn", "--dataset", "cora", "--scale", "0.05"];
+    let flagless = run_args(&base);
+    assert!(flagless.status.success(), "{}", String::from_utf8_lossy(&flagless.stderr));
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--chips", "1"]);
+    let single = run_args(&args);
+    assert!(single.status.success(), "{}", String::from_utf8_lossy(&single.stderr));
+    assert_eq!(
+        String::from_utf8_lossy(&flagless.stdout),
+        String::from_utf8_lossy(&single.stdout),
+        "--chips 1 must not change the report"
+    );
+    assert!(!String::from_utf8_lossy(&single.stdout).contains("scaleout"));
+}
+
+#[test]
+fn multi_chip_runs_report_inter_chip_traffic() {
+    for partitioner in ["range", "edgecut"] {
+        let out = run_args(&[
+            "run",
+            "--model",
+            "gcn",
+            "--dataset",
+            "cora",
+            "--scale",
+            "0.05",
+            "--chips",
+            "4",
+            "--partitioner",
+            partitioner,
+        ]);
+        assert!(
+            out.status.success(),
+            "--partitioner {partitioner}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("scaleout"), "scaleout line expected:\n{stdout}");
+        assert!(stdout.contains("4 chips"), "{stdout}");
+        assert!(stdout.contains(partitioner), "partitioner echoed:\n{stdout}");
+        assert!(stdout.contains("inter-chip bytes"), "{stdout}");
+    }
+}
+
+#[test]
+fn chips_and_partitioner_flags_are_validated_by_name() {
+    // Same named-flag error path as `--sim-threads 0`: the offending
+    // flag and the valid alternatives both appear in the message.
+    let cases: &[(&str, &str, &[&str])] = &[
+        ("--chips", "0", &["--chips", "positive integer", "`0`"]),
+        ("--chips", "many", &["--chips", "positive integer", "`many`"]),
+        ("--partitioner", "metis", &["--partitioner", "metis", "range|edgecut"]),
+    ];
+    for (flag, value, needles) in cases {
+        let out = run_args(&[
+            "run",
+            "--model",
+            "gcn",
+            "--dataset",
+            "cora",
+            "--scale",
+            "0.05",
+            flag,
+            value,
+        ]);
+        assert!(!out.status.success(), "{flag} {value} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        for needle in *needles {
+            assert!(stderr.contains(needle), "{flag} {value}: `{needle}` missing:\n{stderr}");
+        }
+    }
+}
+
+#[test]
 fn env_sim_threads_matches_the_flag_byte_for_byte() {
     // The CI thread matrix exercises exactly this path: GNNIE_SIM_THREADS
     // must behave like --sim-threads and keep reports byte-identical.

@@ -5,8 +5,9 @@ use proptest::prelude::*;
 use gnnie::core::config::AcceleratorConfig;
 use gnnie::core::cpe::CpeArray;
 use gnnie::core::weighting::{schedule, BlockProfile, WeightingMode};
+use gnnie::graph::partition::{count_induced_edges, induced_degree};
 use gnnie::graph::reorder::Permutation;
-use gnnie::graph::{CsrGraph, EdgeList};
+use gnnie::graph::{CsrGraph, EdgeList, GraphPartition, PartitionerKind};
 use gnnie::mem::{CacheConfig, DegreeAwareCache, HbmModel};
 use gnnie::tensor::{CsrMatrix, SparseVec};
 
@@ -134,6 +135,72 @@ proptest! {
         let g2 = perm.apply(&g);
         let degs: Vec<usize> = (0..n).map(|v| g2.degree(v)).collect();
         prop_assert!(degs.windows(2).all(|w| w[0] >= w[1]), "degrees {:?}", degs);
+    }
+
+    /// Both partitioners produce a true vertex partition with exact edge
+    /// conservation: every vertex lands in exactly one part, each part's
+    /// CSR is the induced subgraph over its members, and induced edges
+    /// plus distinct cut edges account for the whole graph (boundary
+    /// edges counted once).
+    #[test]
+    fn partitioners_hold_their_invariants(
+        g in arb_graph(),
+        k in 1usize..10,
+        kind_idx in 0usize..2,
+    ) {
+        let kind = PartitionerKind::ALL[kind_idx];
+        let part = GraphPartition::build(&g, k, kind);
+        prop_assert_eq!(part.num_parts(), k);
+        prop_assert_eq!(part.assignment().len(), g.num_vertices());
+
+        // Every vertex in exactly one partition, and the per-part member
+        // lists agree with the assignment vector.
+        let members: usize = part.parts().iter().map(|p| p.vertices.len()).sum();
+        prop_assert_eq!(members, g.num_vertices());
+        let mut induced = 0u64;
+        let mut directed_cut = 0u64;
+        for (p, view) in part.parts().iter().enumerate() {
+            let mut in_set = vec![false; g.num_vertices()];
+            for &gv in &view.vertices {
+                prop_assert_eq!(part.assignment()[gv as usize] as usize, p);
+                in_set[gv as usize] = true;
+            }
+            // The part's CSR is exactly the induced subgraph, vertex by
+            // vertex (local degree == induced degree of the global id).
+            prop_assert_eq!(view.graph.num_vertices(), view.vertices.len());
+            prop_assert_eq!(view.graph.num_edges(), count_induced_edges(&g, &in_set));
+            for (lu, &gu) in view.vertices.iter().enumerate() {
+                prop_assert_eq!(
+                    view.graph.degree(lu),
+                    induced_degree(&g, &in_set, gu as usize),
+                    "part {} vertex {}", p, gu
+                );
+            }
+            // Boundary members are exactly the vertices with an external
+            // neighbor, i.e. induced degree < global degree.
+            for (lu, &gu) in view.vertices.iter().enumerate() {
+                let external =
+                    induced_degree(&g, &in_set, gu as usize) < g.degree(gu as usize);
+                prop_assert_eq!(view.boundary.contains(&(lu as u32)), external);
+            }
+            induced += view.graph.num_edges() as u64;
+            directed_cut += view.cut_edges;
+        }
+
+        // Edge conservation: each edge is either inside exactly one part
+        // or cut (counted once globally, once from each side per part).
+        prop_assert_eq!(induced + part.cut_edges(), g.num_edges() as u64);
+        prop_assert_eq!(directed_cut, 2 * part.cut_edges());
+
+        // The stored assignment rebuilds the identical split.
+        let stored = part.to_assignment();
+        let rebuilt = GraphPartition::from_assignment(
+            &g,
+            stored.assignment,
+            stored.num_parts as usize,
+            stored.kind,
+        );
+        prop_assert_eq!(rebuilt, part);
     }
 
     /// RLC round-trips arbitrary sparse vectors through the codec the
