@@ -1,0 +1,62 @@
+//! Regenerates the tiered feature-cache split sweep; see
+//! `gnnie_bench::experiments::tiered_cache`.
+//!
+//! With `--json <path>`, additionally writes the sweep as JSON — CI
+//! uploads it as the `BENCH_tiered_cache.json` artifact and the
+//! `bench_check` gate compares its headline metrics (the workload
+//! split's mean on-chip hit rate, how many datasets it wins on total
+//! cycles, and the mean even/workload cycle ratio) against
+//! `bench/baselines/tiered_cache.json`. Every gated number is simulated
+//! cycles, deterministic run to run.
+
+use gnnie_bench::experiments::tiered_cache;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--json" => Some(path.clone()),
+        other => {
+            eprintln!("usage: tiered_cache [--json <path>] (got {other:?})");
+            std::process::exit(2);
+        }
+    };
+
+    let ctx = gnnie_bench::Ctx::from_env();
+    // One sweep feeds both the printed table and the JSON artifact.
+    let rows = tiered_cache::sweep(&ctx);
+    tiered_cache::render(&rows).print();
+
+    if let Some(path) = json_path {
+        let json = render_json(&rows);
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("error: cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("[tiered_cache: wrote {path}]");
+    }
+}
+
+/// Hand-rolled JSON (the workspace's serde is an offline no-op shim):
+/// every value is a number or a known identifier, so no escaping is
+/// needed.
+fn render_json(rows: &[tiered_cache::TieredRow]) -> String {
+    let mut out = String::from("{\n  \"sweep\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"mode\": \"{}\", \"budget_bytes\": {}, \
+             \"onchip_hit_rate\": {:.4}, \"dram_hit_rate\": {:.4}, \
+             \"ssd_read_bytes\": {}, \"total_cycles\": {}}}{}\n",
+            r.dataset.abbrev(),
+            r.mode.name(),
+            r.budget_bytes,
+            r.onchip_hit_rate,
+            r.dram_hit_rate,
+            r.ssd_read_bytes,
+            r.total_cycles,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -16,6 +16,12 @@
 //! every dataset — it never evicts below capacity and surrenders only
 //! the single furthest-needed vertex per iteration, bounding from below
 //! what any replacement decision could achieve.
+//!
+//! The rendered table ends with a tier-split sweep (the
+//! [`tiered_cache`](crate::experiments::tiered_cache) rows): the same
+//! global capacity budget divided even vs workload-aware across the
+//! on-chip → DRAM → SSD hierarchy, so the replacement-policy and
+//! capacity-split ablations read side by side.
 
 use gnnie_core::aggregation::{simulate_aggregation, AggregationParams};
 use gnnie_core::config::AcceleratorConfig;
@@ -110,6 +116,22 @@ pub fn run(ctx: &Ctx) -> ExperimentResult {
          oracle bounds evictions from below"
             .to_string(),
     );
+    lines.push(String::new());
+    lines.push(
+        "tier-split sweep (one global budget = the paper input buffer, divided \
+         across on-chip/DRAM/SSD):"
+            .to_string(),
+    );
+    let mut s = Table::new(&["dataset", "split", "on-chip hit", "total cycles"]);
+    for r in crate::experiments::tiered_cache::sweep(ctx) {
+        s.row(vec![
+            r.dataset.abbrev().to_string(),
+            r.mode.name().to_string(),
+            format!("{:.1}%", r.onchip_hit_rate * 100.0),
+            r.total_cycles.to_string(),
+        ]);
+    }
+    lines.extend(s.render());
     ExperimentResult {
         id: "Ablation CP",
         title: "Cache replacement policy (α/γ vs LRU/LFU/Belady)",

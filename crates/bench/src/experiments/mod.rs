@@ -33,3 +33,4 @@ pub mod table2_datasets;
 pub mod table3_configs;
 pub mod table4_scaling;
 pub mod table4_throughput;
+pub mod tiered_cache;

@@ -75,6 +75,7 @@ fn artifact_stem(artifact: &str) -> Option<&str> {
         "BENCH_parallel_speedup",
         "BENCH_online_serving",
         "BENCH_scaleout",
+        "BENCH_tiered_cache",
     ]
     .into_iter()
     .find(|&known| known == stem)
@@ -105,6 +106,7 @@ pub fn headline_metrics(artifact: &str, json: &Json) -> Result<Vec<Metric>, Stri
         Some("BENCH_parallel_speedup") => parallel_metrics(json),
         Some("BENCH_online_serving") => online_metrics(json),
         Some("BENCH_scaleout") => scaleout_metrics(json),
+        Some("BENCH_tiered_cache") => tiered_metrics(json),
         _ => Err(format!("`{artifact}` is not a gated BENCH_* artifact")),
     }
 }
@@ -253,6 +255,59 @@ fn scaleout_metrics(json: &Json) -> Result<Vec<Metric>, String> {
     Ok(vec![
         Metric::new("max_speedup_at_4_chips", max_speedup),
         Metric::new("datasets_scaling_at_4_chips", scaling_datasets),
+    ])
+}
+
+/// Tiered feature cache: how well the workload-aware split of one
+/// global budget holds up against the naive even split. The sweep pairs
+/// an `even` and a `workload` row per dataset; the gate reduces the
+/// pairs to the workload split's mean on-chip hit rate, the number of
+/// datasets it wins on total cycles (the acceptance bar is at least
+/// two), and the mean even/workload cycle ratio (> 1 means the workload
+/// split is faster). Simulated cycles, deterministic run to run, so the
+/// baselines stay tight.
+fn tiered_metrics(json: &Json) -> Result<Vec<Metric>, String> {
+    let rows = json
+        .get("sweep")
+        .and_then(Json::as_arr)
+        .ok_or("tiered artifact: expected a `sweep` array")?;
+    // Pair rows by dataset: mode "even" holds the baseline cycles the
+    // matching "workload" row is judged against.
+    let mut even_cycles: Vec<(String, f64)> = Vec::new();
+    let mut hit_sum = 0.0;
+    let mut ratio_sum = 0.0;
+    let mut wins = 0.0;
+    let mut pairs = 0.0;
+    for row in rows {
+        let dataset = match row.get("dataset") {
+            Some(Json::Str(s)) => s.clone(),
+            _ => return Err("tiered artifact: row is missing string `dataset`".into()),
+        };
+        let cycles = field(row, "total_cycles", "tiered")?;
+        match row.get("mode") {
+            Some(Json::Str(m)) if m == "even" => even_cycles.push((dataset, cycles)),
+            Some(Json::Str(m)) if m == "workload" => {
+                let (_, even) =
+                    even_cycles.iter().find(|(d, _)| *d == dataset).ok_or_else(|| {
+                        format!("tiered artifact: workload row for `{dataset}` has no even row")
+                    })?;
+                hit_sum += field(row, "onchip_hit_rate", "tiered")?;
+                ratio_sum += even / cycles.max(1.0);
+                if cycles < *even {
+                    wins += 1.0;
+                }
+                pairs += 1.0;
+            }
+            _ => return Err("tiered artifact: row is missing `mode` even|workload".into()),
+        }
+    }
+    if pairs == 0.0 {
+        return Err("tiered artifact: no even/workload pairs to gate".into());
+    }
+    Ok(vec![
+        Metric::new("workload_mean_onchip_hit_rate", hit_sum / pairs),
+        Metric::new("datasets_won_by_workload_split", wins),
+        Metric::new("mean_cycle_ratio_even_over_workload", ratio_sum / pairs),
     ])
 }
 
@@ -501,6 +556,38 @@ mod tests {
         let trivial =
             Json::parse(r#"{"sweep": [{"chips": 1, "speedup_vs_single_chip": 1.0}]}"#).unwrap();
         assert!(headline_metrics("BENCH_scaleout.json", &trivial).is_err());
+    }
+
+    #[test]
+    fn tiered_metrics_pair_even_and_workload_rows_per_dataset() {
+        let doc = Json::parse(
+            r#"{"sweep": [
+                  {"dataset": "cr", "mode": "even", "onchip_hit_rate": 0.10, "total_cycles": 1000},
+                  {"dataset": "cr", "mode": "workload", "onchip_hit_rate": 0.60, "total_cycles": 800},
+                  {"dataset": "rd", "mode": "even", "onchip_hit_rate": 0.05, "total_cycles": 4000},
+                  {"dataset": "rd", "mode": "workload", "onchip_hit_rate": 0.40, "total_cycles": 5000}]}"#,
+        )
+        .unwrap();
+        let m = headline_metrics("BENCH_tiered_cache.json", &doc).unwrap();
+        assert_eq!(m[0], Metric::new("workload_mean_onchip_hit_rate", 0.5));
+        assert_eq!(m[1], Metric::new("datasets_won_by_workload_split", 1.0));
+        // (1000/800 + 4000/5000) / 2 = (1.25 + 0.8) / 2
+        assert!((m[2].value - 1.025).abs() < 1e-12, "{:?}", m[2]);
+        assert_eq!(baseline_file_for("BENCH_tiered_cache.json").unwrap(), "tiered_cache.json");
+        // Simulated-cycle numbers, not wall clock: gated tightly even on
+        // a single-core runner.
+        assert!(!is_wall_clock("workload_mean_onchip_hit_rate"));
+        assert!(!is_wall_clock("datasets_won_by_workload_split"));
+        // A workload row with no even partner, and an empty sweep, fail
+        // loudly rather than gating nothing.
+        let orphan = Json::parse(
+            r#"{"sweep": [{"dataset": "cr", "mode": "workload",
+                           "onchip_hit_rate": 0.6, "total_cycles": 800}]}"#,
+        )
+        .unwrap();
+        assert!(headline_metrics("BENCH_tiered_cache.json", &orphan).is_err());
+        let empty = Json::parse(r#"{"sweep": []}"#).unwrap();
+        assert!(headline_metrics("BENCH_tiered_cache.json", &empty).is_err());
     }
 
     #[test]

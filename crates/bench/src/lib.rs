@@ -85,5 +85,6 @@ pub fn all_experiments() -> Vec<(&'static str, ExperimentFn)> {
         ("parallel_speedup", experiments::parallel_speedup::run),
         ("scaleout", experiments::scaleout::run),
         ("serving_throughput", experiments::serving_throughput::run),
+        ("tiered_cache", experiments::tiered_cache::run),
     ]
 }

@@ -19,11 +19,15 @@
 //! DRAM fetches overlap compute through double buffering; the phase total
 //! uses `gnnie-mem`'s [`DoubleBuffer`] accounting.
 
+use std::borrow::Cow;
+
 use serde::{Deserialize, Serialize};
 
 use gnnie_graph::{CsrGraph, GraphPartition, Permutation};
 use gnnie_mem::cache::IterationStats;
-use gnnie_mem::{CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel, SimThreads};
+use gnnie_mem::{
+    CacheConfig, CacheSim, CacheSimResult, DoubleBuffer, HbmModel, MemoryHierarchy, SimThreads,
+};
 
 use crate::config::AcceleratorConfig;
 use crate::cpe::{div_ceil, CpeArray};
@@ -195,7 +199,42 @@ fn simulate_single_chip(
         // The replacement decision is pluggable (`AcceleratorConfig::
         // cache_policy`); the walk and its traffic accounting are shared.
         let mut policy = cfg.cache_policy.instantiate();
-        let result = CacheSim::new(graph, cache_cfg).run(policy.as_mut(), dram);
+        let result = match &cfg.tiers {
+            // Tiered feature store: the walk streams against the
+            // on-chip → DRAM → SSD hierarchy, and the hierarchy's DRAM
+            // tier folds back into the session channel so the report's
+            // energy/traffic totals stay coherent.
+            Some(spec) => {
+                let line = payload + connectivity_bytes + 4;
+                let tier_cfgs = spec.resolve(graph, line);
+                // The on-chip tier is carved out of the same SRAM the
+                // walk's input buffer lives in, so pinning features
+                // on-chip shrinks the dynamic subgraph window — the
+                // real cost a naive even split pays for over-allocating
+                // the fast tier, and what the workload-aware split's
+                // hot-prefix sizing avoids.
+                let onchip_bytes = tier_cfgs
+                    .iter()
+                    .take(tier_cfgs.len().saturating_sub(1))
+                    .find(|t| t.name == "onchip")
+                    .map_or(0, |t| t.capacity_bytes);
+                let avail = (cfg.input_buffer_bytes as u64).saturating_sub(onchip_bytes);
+                let mut tiered_cfg =
+                    CacheConfig::with_capacity((avail / line.max(1)).max(4) as usize, payload);
+                tiered_cfg.gamma = cfg.gamma;
+                tiered_cfg.sim_threads = sim_threads;
+                let mut hier = MemoryHierarchy::new(
+                    &tier_cfgs,
+                    cfg.clock_hz,
+                    graph.num_vertices() as u32,
+                    line,
+                );
+                let r = CacheSim::new(graph, tiered_cfg).run_tiered(policy.as_mut(), &mut hier);
+                dram.absorb_counters(&hier.dram_counters());
+                r
+            }
+            None => CacheSim::new(graph, cache_cfg).run(policy.as_mut(), dram),
+        };
         let cycles = result.dram_cycles;
         (result.iteration_stats.clone(), Some(result), cycles)
     } else {
@@ -305,8 +344,29 @@ fn simulate_scaleout(
             part.graph.clone()
         };
         let mut chip_dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
-        let r =
-            simulate_single_chip(cfg, arr, &chip_graph, params, &mut chip_dram, sim_threads);
+        // A tiered run divides the global capacity budget across chips:
+        // evenly for explicit/even specs, by edge share for the
+        // workload-aware split (busy partitions get more cache).
+        let chip_cfg = match &cfg.tiers {
+            Some(spec) => {
+                let mut c = cfg.clone();
+                c.tiers = Some(spec.for_chip(
+                    cfg.chips as u64,
+                    chip_graph.num_edges() as u64,
+                    graph.num_edges() as u64,
+                ));
+                Cow::Owned(c)
+            }
+            None => Cow::Borrowed(cfg),
+        };
+        let r = simulate_single_chip(
+            &chip_cfg,
+            arr,
+            &chip_graph,
+            params,
+            &mut chip_dram,
+            sim_threads,
+        );
         dram.absorb_counters(chip_dram.counters());
 
         // Every distinct external neighbor's feature crosses the link once.
@@ -365,6 +425,11 @@ fn merge_cache_results(acc: &mut CacheSimResult, chip: &CacheSimResult) {
     acc.gamma_raises += chip.gamma_raises;
     acc.recovery_rounds += chip.recovery_rounds;
     acc.counters.merge(&chip.counters);
+    // Tier stacks line up positionally across chips (every chip resolves
+    // the same onchip/dram/ssd shape from the shared spec).
+    for (a, c) in acc.tiers.iter_mut().zip(&chip.tiers) {
+        a.merge(c);
+    }
 }
 
 /// Directed updates of one iteration: each undirected edge updates both
@@ -628,6 +693,54 @@ mod tests {
             "session DRAM counters must equal the merged cache counters"
         );
         assert!(dram.counters().total_bytes() > 0);
+    }
+
+    #[test]
+    fn a_tiered_run_surfaces_per_tier_accounting() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(400, 2000, 2.0, 7));
+        cfg.tiers = Some(gnnie_mem::TierSpec::Split {
+            total_bytes: 64 * 1024,
+            mode: gnnie_mem::SplitMode::Workload,
+        });
+        let params = AggregationParams { f_out: 32, is_gat: false };
+        let mut dram = HbmModel::hbm2_256gbps(cfg.clock_hz);
+        let r = simulate_aggregation(&cfg, &arr, &g, params, &mut dram);
+        let cache = r.cache.as_ref().expect("cache policy on");
+        assert!(cache.completed);
+        assert_eq!(r.edge_updates, 2 * g.num_edges() as u64, "tiering is traffic, not work");
+        assert_eq!(cache.tiers.len(), 3, "onchip + dram + ssd backstop");
+        assert!(cache.tiers[0].hits > 0, "the hot prefix serves on-chip hits");
+        assert_eq!(
+            *dram.counters(),
+            cache.counters,
+            "the hierarchy's DRAM tier must fold into the session channel"
+        );
+    }
+
+    #[test]
+    fn an_untiered_run_reports_no_tier_stats() {
+        let (cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(200, 1000, 2.0, 5));
+        let r = run(&cfg, &arr, &g, AggregationParams { f_out: 32, is_gat: false });
+        assert!(r.cache.as_ref().unwrap().tiers.is_empty());
+    }
+
+    #[test]
+    fn scaleout_divides_the_tier_budget_and_merges_tier_stats() {
+        let (mut cfg, arr) = paper_setup();
+        let g = degree_ordered(&generate::powerlaw_chung_lu(600, 4200, 2.0, 11));
+        cfg.chips = 4;
+        cfg.tiers = Some(gnnie_mem::TierSpec::Split {
+            total_bytes: 128 * 1024,
+            mode: gnnie_mem::SplitMode::Workload,
+        });
+        let params = AggregationParams { f_out: 32, is_gat: false };
+        let r = run(&cfg, &arr, &g, params);
+        let cache = r.cache.as_ref().expect("cache policy on");
+        assert_eq!(cache.tiers.len(), 3, "chips share the stack shape");
+        let per_chip_hits: u64 = cache.tiers.iter().map(|t| t.hits).sum();
+        assert!(per_chip_hits > 0, "merged tier stats must accumulate across chips");
     }
 
     #[test]

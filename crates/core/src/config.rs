@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 
 use gnnie_graph::{Dataset, PartitionerKind};
 use gnnie_mem::cache::CachePolicyKind;
-use gnnie_mem::SimThreads;
+use gnnie_mem::{SimThreads, TierSpec};
 
 /// A group of CPE rows sharing a MAC count (the FM architecture, §IV-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -131,6 +131,10 @@ pub struct AcceleratorConfig {
     /// Fixed per-transfer link latency in cycles (serialization +
     /// handshake before the first byte lands).
     pub link_latency_cycles: u64,
+    /// Tiered feature-cache hierarchy (on-chip → DRAM → SSD) for the
+    /// Aggregation cache walk. `None` keeps the flat single-channel
+    /// DRAM engine, byte-identical to the pre-tier simulator.
+    pub tiers: Option<TierSpec>,
 }
 
 impl AcceleratorConfig {
@@ -168,6 +172,7 @@ impl AcceleratorConfig {
             partitioner: PartitionerKind::Range,
             link_bytes_per_cycle: 32,
             link_latency_cycles: 500,
+            tiers: None,
         }
     }
 
@@ -214,6 +219,9 @@ impl AcceleratorConfig {
                 self.link_bytes_per_cycle > 0,
                 "inter-chip link bandwidth must be positive"
             );
+        }
+        if let Some(TierSpec::Split { total_bytes, .. }) = self.tiers {
+            assert!(total_bytes > 0, "tier split budget must be positive");
         }
     }
 
@@ -393,6 +401,28 @@ mod tests {
         let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
         cfg.chips = 4;
         cfg.link_bytes_per_cycle = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "tier split budget must be positive")]
+    fn validate_rejects_an_empty_tier_split_budget() {
+        let mut cfg = AcceleratorConfig::with_design(Design::E, 1024);
+        cfg.tiers = Some(TierSpec::Split { total_bytes: 0, mode: gnnie_mem::SplitMode::Even });
+        cfg.validate();
+    }
+
+    #[test]
+    fn explicit_tier_budgets_may_be_degenerate() {
+        // Zero-capacity explicit tiers are a legitimate degenerate
+        // hierarchy (the backstop absorbs everything); only the split
+        // modes need a real budget to divide.
+        let mut cfg = AcceleratorConfig::paper(Dataset::Cora);
+        cfg.tiers = Some(TierSpec::Explicit(gnnie_mem::TierBudgets {
+            onchip_bytes: 0,
+            dram_bytes: 0,
+            ssd_bytes: Some(0),
+        }));
         cfg.validate();
     }
 

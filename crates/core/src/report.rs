@@ -94,6 +94,25 @@ impl InferenceReport {
         self.layers.iter().map(|l| l.aggregation.inter_chip_cycles).sum()
     }
 
+    /// Per-tier feature-cache accounting summed over all layers, in
+    /// stack order (on-chip first). Empty unless the run used a tiered
+    /// hierarchy (`AcceleratorConfig::tiers`); tier stacks line up
+    /// positionally across layers.
+    pub fn tier_stats(&self) -> Vec<gnnie_mem::TierStats> {
+        let mut merged: Vec<gnnie_mem::TierStats> = Vec::new();
+        for layer in &self.layers {
+            let Some(cache) = layer.aggregation.cache.as_ref() else { continue };
+            if merged.is_empty() {
+                merged = cache.tiers.clone();
+            } else {
+                for (a, t) in merged.iter_mut().zip(&cache.tiers) {
+                    a.merge(t);
+                }
+            }
+        }
+        merged
+    }
+
     /// Effective throughput in TOPS (executed ops over latency).
     ///
     /// A degenerate run (zero cycles, hence zero or non-finite latency)

@@ -59,6 +59,6 @@ pub use format::{detect_file_format, EdgeListFormat, FileFormat};
 pub use parse::{parse_edge_list, parse_edge_list_path, ParsedEdgeList, RecordedSpec};
 pub use registry::{DatasetRegistry, LoadOutcome, SourceKind};
 pub use snapshot::{
-    default_partition_tables, read_snapshot, read_snapshot_with_partitions, write_snapshot,
-    write_snapshot_with_partitions,
+    default_partition_tables, peek_snapshot_version, read_snapshot,
+    read_snapshot_with_partitions, write_snapshot, write_snapshot_with_partitions,
 };

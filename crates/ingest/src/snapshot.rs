@@ -86,6 +86,22 @@ pub fn read_snapshot(path: &Path) -> Result<GraphDataset, IngestError> {
     decode_snapshot(&data, &path.display().to_string())
 }
 
+/// Reads just the snapshot-format version from `path`'s 12-byte header,
+/// without decoding the body. `None` when the file cannot be read or
+/// does not start with the snapshot magic — callers use this to label
+/// listings (`v1` carries no partition tables, `v2` does), so a broken
+/// file degrades to "no version" rather than an error.
+pub fn peek_snapshot_version(path: &Path) -> Option<u32> {
+    use std::io::Read;
+    let mut header = [0u8; 12];
+    let mut file = std::fs::File::open(path).ok()?;
+    file.read_exact(&mut header).ok()?;
+    if header[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    Some(u32::from_le_bytes(header[8..12].try_into().expect("4 bytes")))
+}
+
 /// Reloads the dataset and any persisted partition tables from `path`.
 ///
 /// # Errors
@@ -334,6 +350,27 @@ mod tests {
         // Truncation at any prefix fails.
         assert!(decode_snapshot(&bytes[..bytes.len() - 3], "mem").is_err());
         assert!(decode_snapshot(&[], "mem").is_err());
+    }
+
+    #[test]
+    fn peek_reads_the_version_without_decoding() {
+        let dir = std::env::temp_dir().join(format!("gnnie-peek-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.gnniecsr");
+        write_snapshot(&path, &tiny(), true).unwrap();
+        assert_eq!(peek_snapshot_version(&path), Some(SNAPSHOT_VERSION));
+        // A v1 header peeks as 1 even though this build writes v2.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 1;
+        let v1 = dir.join("old.gnniecsr");
+        std::fs::write(&v1, &bytes).unwrap();
+        assert_eq!(peek_snapshot_version(&v1), Some(1));
+        // Non-snapshot bytes and missing files peek as None, not errors.
+        let junk = dir.join("junk.gnniecsr");
+        std::fs::write(&junk, b"not a snapshot at all").unwrap();
+        assert_eq!(peek_snapshot_version(&junk), None);
+        assert_eq!(peek_snapshot_version(&dir.join("absent.gnniecsr")), None);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

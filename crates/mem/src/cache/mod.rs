@@ -32,7 +32,8 @@ pub mod policy;
 pub mod sim;
 
 pub use policy::{
-    BeladyOracle, CachePolicy, CachePolicyKind, Lfu, Lru, PaperAlphaGamma, PolicyCtx,
+    BeladyOracle, CachePolicy, CachePolicyKind, DegreePinned, Lfu, Lru, PaperAlphaGamma,
+    PolicyCtx, WorkloadSplit,
 };
 pub use sim::CacheSim;
 
@@ -157,6 +158,10 @@ pub struct CacheSimResult {
     pub iteration_stats: Vec<IterationStats>,
     /// DRAM byte/transaction counters attributable to the cache.
     pub counters: DramCounters,
+    /// Per-tier accounting when the walk ran against a
+    /// [`MemoryHierarchy`](crate::tier::MemoryHierarchy); empty on the
+    /// flat single-channel path.
+    pub tiers: Vec<crate::tier::TierStats>,
 }
 
 /// Builds the undirected edge-id map: entry `p` of the flat CSR neighbor

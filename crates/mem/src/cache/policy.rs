@@ -3,7 +3,7 @@
 //! [`CacheSim`](super::CacheSim) owns everything every policy shares — the
 //! sequential DRAM stream walk, block skipping, psum spill accounting, α
 //! histograms, liveness recovery — and delegates the *replacement
-//! decision* to a [`CachePolicy`]. Four policies ship:
+//! decision* to a [`CachePolicy`]. Six policies ship:
 //!
 //! * [`PaperAlphaGamma`] — the paper's §VI policy: evict vertices whose
 //!   unprocessed-edge count α fell below γ, in dictionary order, raising
@@ -11,9 +11,15 @@
 //! * [`Lru`] — least-recently-used by last processed edge;
 //! * [`Lfu`] — least-frequently-used by edges processed while resident;
 //! * [`BeladyOracle`] — the offline comparator: evict the vertex whose
-//!   next use lies furthest ahead in the edge-processing schedule.
+//!   next use lies furthest ahead in the edge-processing schedule;
+//! * [`DegreePinned`] — the α/γ policy with a fixed quota of top-degree
+//!   vertices statically pinned resident;
+//! * [`WorkloadSplit`] — degree pinning with the quota sized by a
+//!   profiling pre-pass over the graph's edge-coverage CDF (the same
+//!   pre-pass the tiered hierarchy's workload-aware capacity splitter
+//!   uses, see [`crate::tier`]).
 //!
-//! All four are driven by the same walk and measured under identical
+//! All of them are driven by the same walk and measured under identical
 //! traffic accounting, so their [`CacheSimResult`](super::CacheSimResult)s
 //! are directly comparable (the Ginex/DCI-style ablation).
 
@@ -403,6 +409,122 @@ impl CachePolicy for BeladyOracle {
     }
 }
 
+/// The α/γ policy with **degree-based static pinning**: the `quota`
+/// lowest-id vertices — the highest-degree ones, under the engine's
+/// descending-degree relabeling — are never selected as victims, so the
+/// hubs every Round touches stay resident across the whole walk (the
+/// classic degree-property cache). Everything else behaves exactly like
+/// [`PaperAlphaGamma`], dictionary-order batches included, so DRAM
+/// traffic stays sequential.
+#[derive(Debug, Clone, Default)]
+pub struct DegreePinned {
+    gamma: u32,
+    quota: u32,
+}
+
+impl DegreePinned {
+    /// Creates the policy; the pin quota (a quarter of the cache) and γ
+    /// are derived from the [`CacheConfig`] at reset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for DegreePinned {
+    fn name(&self) -> &'static str {
+        "pinned"
+    }
+
+    fn reset(&mut self, _graph: &CsrGraph, config: &CacheConfig) {
+        self.gamma = config.gamma;
+        self.quota = (config.capacity_vertices / 4) as u32;
+    }
+
+    fn select_victims(
+        &mut self,
+        cached: &[u32],
+        max_victims: usize,
+        ctx: &PolicyCtx,
+        out: &mut Vec<u32>,
+    ) {
+        out.extend(
+            cached
+                .iter()
+                .copied()
+                .filter(|&v| v >= self.quota && ctx.alpha[v as usize] < self.gamma),
+        );
+        out.sort_unstable();
+        out.truncate(max_victims);
+    }
+
+    fn on_deadlock(&mut self, _ctx: &PolicyCtx) -> bool {
+        self.gamma = self.gamma.saturating_mul(2).max(self.gamma.saturating_add(1));
+        true
+    }
+
+    fn current_gamma(&self) -> Option<u32> {
+        Some(self.gamma)
+    }
+}
+
+/// [`DegreePinned`] with a **workload-aware** pin quota: at reset, a
+/// profiling pre-pass finds the hot vertex prefix covering half of all
+/// edge endpoints ([`crate::tier::hot_prefix_len`] — the same pre-pass
+/// that sizes the tiered hierarchy's on-chip budget) and pins exactly
+/// that, clamped to half the cache so the stream always has working
+/// room. Skewed graphs pin a handful of hubs; uniform graphs degrade
+/// toward the plain α/γ policy.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadSplit {
+    gamma: u32,
+    quota: u32,
+}
+
+impl WorkloadSplit {
+    /// Creates the policy; the quota is profiled from the graph at reset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl CachePolicy for WorkloadSplit {
+    fn name(&self) -> &'static str {
+        "split"
+    }
+
+    fn reset(&mut self, graph: &CsrGraph, config: &CacheConfig) {
+        self.gamma = config.gamma;
+        let hot = crate::tier::hot_prefix_len(graph, 1, 2);
+        self.quota = hot.min((config.capacity_vertices / 2) as u64) as u32;
+    }
+
+    fn select_victims(
+        &mut self,
+        cached: &[u32],
+        max_victims: usize,
+        ctx: &PolicyCtx,
+        out: &mut Vec<u32>,
+    ) {
+        out.extend(
+            cached
+                .iter()
+                .copied()
+                .filter(|&v| v >= self.quota && ctx.alpha[v as usize] < self.gamma),
+        );
+        out.sort_unstable();
+        out.truncate(max_victims);
+    }
+
+    fn on_deadlock(&mut self, _ctx: &PolicyCtx) -> bool {
+        self.gamma = self.gamma.saturating_mul(2).max(self.gamma.saturating_add(1));
+        true
+    }
+
+    fn current_gamma(&self) -> Option<u32> {
+        Some(self.gamma)
+    }
+}
+
 /// Selectable policy kind, threaded through `AcceleratorConfig` and the
 /// `gnnie` CLI (`--cache-policy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -415,15 +537,21 @@ pub enum CachePolicyKind {
     Lfu,
     /// Offline Belady/MIN oracle ([`BeladyOracle`]).
     Belady,
+    /// α/γ with a static top-degree pin quota ([`DegreePinned`]).
+    Pinned,
+    /// α/γ with a workload-profiled pin quota ([`WorkloadSplit`]).
+    Split,
 }
 
 impl CachePolicyKind {
     /// All kinds, paper first (ablation sweep order).
-    pub const ALL: [CachePolicyKind; 4] = [
+    pub const ALL: [CachePolicyKind; 6] = [
         CachePolicyKind::Paper,
         CachePolicyKind::Lru,
         CachePolicyKind::Lfu,
         CachePolicyKind::Belady,
+        CachePolicyKind::Pinned,
+        CachePolicyKind::Split,
     ];
 
     /// The CLI/Display token for this kind.
@@ -433,6 +561,8 @@ impl CachePolicyKind {
             CachePolicyKind::Lru => "lru",
             CachePolicyKind::Lfu => "lfu",
             CachePolicyKind::Belady => "belady",
+            CachePolicyKind::Pinned => "pinned",
+            CachePolicyKind::Split => "split",
         }
     }
 
@@ -444,6 +574,8 @@ impl CachePolicyKind {
             CachePolicyKind::Lru => Box::new(Lru::new()),
             CachePolicyKind::Lfu => Box::new(Lfu::new()),
             CachePolicyKind::Belady => Box::new(BeladyOracle::new()),
+            CachePolicyKind::Pinned => Box::new(DegreePinned::new()),
+            CachePolicyKind::Split => Box::new(WorkloadSplit::new()),
         }
     }
 }
@@ -463,7 +595,11 @@ impl std::str::FromStr for CachePolicyKind {
             "lru" => Ok(CachePolicyKind::Lru),
             "lfu" => Ok(CachePolicyKind::Lfu),
             "belady" | "opt" | "min" => Ok(CachePolicyKind::Belady),
-            other => Err(format!("unknown cache policy `{other}` (use paper|lru|lfu|belady)")),
+            "pinned" | "degree-pinned" => Ok(CachePolicyKind::Pinned),
+            "split" | "workload-split" => Ok(CachePolicyKind::Split),
+            other => Err(format!(
+                "unknown cache policy `{other}` (use paper|lru|lfu|belady|pinned|split)"
+            )),
         }
     }
 }
@@ -548,6 +684,35 @@ mod tests {
         out.clear();
         p.select_victims(&[0, 1], 2, &ctx, &mut out);
         assert!(out.is_empty(), "LRU never evicts below capacity");
+    }
+
+    #[test]
+    fn pinned_policies_never_surrender_their_quota() {
+        // Star around vertex 0: the hot prefix is one vertex, so both
+        // pinning policies protect vertex 0 and surrender the rest.
+        let g = CsrGraph::from_edges(8, (1..8u32).map(|v| (0, v)));
+        let cfg = CacheConfig::with_capacity(8, 32);
+        let edge_ids = super::super::build_edge_index(&g);
+        let alpha = [1u32; 8];
+        let in_cache = [true; 8];
+        let edge_done = vec![false; g.num_edges()];
+        let ctx = ctx_fixture(&g, &cfg, &alpha, &in_cache, &edge_done, &edge_ids);
+        let cached: Vec<u32> = (0..8).collect();
+
+        let mut pinned = DegreePinned::new();
+        pinned.reset(&g, &cfg);
+        let mut out = Vec::new();
+        pinned.select_victims(&cached, 8, &ctx, &mut out);
+        assert!(out.iter().all(|&v| v >= 2), "quota of capacity/4 = 2 protected: {out:?}");
+        assert_eq!(out.len(), 6);
+
+        let mut split = WorkloadSplit::new();
+        split.reset(&g, &cfg);
+        out.clear();
+        split.select_victims(&cached, 8, &ctx, &mut out);
+        assert!(!out.contains(&0), "the star hub is the hot prefix");
+        assert!(out.contains(&7), "cold vertices stay evictable");
+        assert!(out.windows(2).all(|w| w[0] < w[1]), "dictionary order keeps DRAM sequential");
     }
 
     #[test]

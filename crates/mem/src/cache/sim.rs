@@ -33,6 +33,7 @@ use gnnie_tensor::stats::Histogram;
 
 use crate::dram::HbmModel;
 use crate::par::SimPool;
+use crate::tier::{MemoryHierarchy, VertexMemory};
 
 use super::policy::{CachePolicy, PolicyCtx};
 use super::{build_edge_index_pooled, CacheConfig, CacheSimResult, IterationStats};
@@ -52,7 +53,7 @@ enum Spill {
 /// Charges one vertex's eviction writeback (α word, plus the psum spill
 /// when partially aggregated) and records the reload class.
 #[allow(clippy::too_many_arguments)]
-fn writeback(
+fn writeback<M: VertexMemory>(
     v: usize,
     ordered: bool,
     g: &CsrGraph,
@@ -61,7 +62,7 @@ fn writeback(
     in_cache: &mut [bool],
     spill: &mut [Spill],
     result: &mut CacheSimResult,
-    dram: &mut HbmModel,
+    mem: &mut M,
 ) {
     in_cache[v] = false;
     result.evictions += 1;
@@ -74,15 +75,16 @@ fn writeback(
     // partial sum. Numerator/denominator live adjacently (§VI), so an
     // address-ordered batch streams; an out-of-order batch scatters.
     let partial = alpha[v] < g.degree(v) as u32;
+    let id = v as u32;
     if ordered {
-        result.dram_cycles += dram.write_seq(4);
+        result.dram_cycles += mem.write_seq(id, 4);
         if partial {
-            result.dram_cycles += dram.write_seq(cfg.psum_bytes_per_vertex);
+            result.dram_cycles += mem.write_seq(id, cfg.psum_bytes_per_vertex);
         }
     } else {
-        result.dram_cycles += dram.write_random(4);
+        result.dram_cycles += mem.write_random(id, 4);
         if partial {
-            result.dram_cycles += dram.write_random(cfg.psum_bytes_per_vertex);
+            result.dram_cycles += mem.write_random(id, cfg.psum_bytes_per_vertex);
         }
     }
     if partial {
@@ -143,6 +145,42 @@ impl<'a> CacheSim<'a> {
         &self,
         policy: &mut dyn CachePolicy,
         dram: &mut HbmModel,
+        on_edge: impl FnMut(u32, u32),
+    ) -> CacheSimResult {
+        self.run_channel(policy, dram, on_edge)
+    }
+
+    /// Runs the walk against a tiered [`MemoryHierarchy`] instead of a
+    /// flat DRAM channel: every fetch/spill/reload is charged to the
+    /// tier its vertex is resident in, and the per-tier accounting comes
+    /// back in `CacheSimResult::tiers`.
+    pub fn run_tiered(
+        &self,
+        policy: &mut dyn CachePolicy,
+        hierarchy: &mut MemoryHierarchy,
+    ) -> CacheSimResult {
+        self.run_tiered_with(policy, hierarchy, |_, _| {})
+    }
+
+    /// [`CacheSim::run_tiered`] with the per-edge callback of
+    /// [`CacheSim::run_with`].
+    pub fn run_tiered_with(
+        &self,
+        policy: &mut dyn CachePolicy,
+        hierarchy: &mut MemoryHierarchy,
+        on_edge: impl FnMut(u32, u32),
+    ) -> CacheSimResult {
+        self.run_channel(policy, hierarchy, on_edge)
+    }
+
+    /// The shared walk, generic over the memory channel. The flat
+    /// [`HbmModel`] impl ignores the vertex id and delegates 1:1, so the
+    /// untiered paths charge byte-identically to the pre-hierarchy
+    /// engine.
+    fn run_channel<M: VertexMemory>(
+        &self,
+        policy: &mut dyn CachePolicy,
+        mem: &mut M,
         mut on_edge: impl FnMut(u32, u32),
     ) -> CacheSimResult {
         let g = self.graph;
@@ -186,6 +224,7 @@ impl<'a> CacheSim<'a> {
             alpha_histograms: Vec::new(),
             iteration_stats: Vec::new(),
             counters: Default::default(),
+            tiers: Vec::new(),
         };
 
         let mut stream_pos = 0usize; // next DRAM position to consider
@@ -199,7 +238,7 @@ impl<'a> CacheSim<'a> {
         let max_iterations = 64 * (n as u64 / cfg.evict_per_iteration as u64 + 1)
             + 32 * (n as u64 + 32)
             + 16 * total_edges;
-        let before = *dram.counters();
+        let before = mem.counter_snapshot();
 
         // Fetches the partial sum back for a vertex that spilled one,
         // charged in the locality class its spill batch earned.
@@ -208,11 +247,13 @@ impl<'a> CacheSim<'a> {
                 match spill[$v] {
                     Spill::None => {}
                     Spill::Seq => {
-                        result.dram_cycles += dram.read_seq(cfg.psum_bytes_per_vertex);
+                        result.dram_cycles +=
+                            mem.read_seq($v as u32, cfg.psum_bytes_per_vertex);
                         spill[$v] = Spill::None;
                     }
                     Spill::Rand => {
-                        result.dram_cycles += dram.read_random(cfg.psum_bytes_per_vertex);
+                        result.dram_cycles +=
+                            mem.read_random($v as u32, cfg.psum_bytes_per_vertex);
                         spill[$v] = Spill::None;
                     }
                 }
@@ -244,7 +285,7 @@ impl<'a> CacheSim<'a> {
                         &mut in_cache,
                         &mut spill,
                         &mut result,
-                        dram,
+                        mem,
                     );
                     policy.on_leave(v);
                 }
@@ -274,7 +315,7 @@ impl<'a> CacheSim<'a> {
                         &mut in_cache,
                         &mut spill,
                         &mut result,
-                        dram,
+                        mem,
                     );
                     policy.on_leave(v);
                 }
@@ -284,7 +325,7 @@ impl<'a> CacheSim<'a> {
                 while cached.len() < quota && pos < n {
                     if alpha[pos] > 0 {
                         let bytes = cfg.feature_bytes_per_vertex + 4 * g.degree(pos) as u64 + 4;
-                        result.dram_cycles += dram.read_seq(bytes);
+                        result.dram_cycles += mem.read_seq(pos as u32, bytes);
                         reload_psum!(pos);
                         in_cache[pos] = true;
                         pinned[pos] = true;
@@ -356,7 +397,7 @@ impl<'a> CacheSim<'a> {
                 // connectivity (4 B per neighbor) + alpha word, plus the
                 // spilled partial sum when one exists.
                 let bytes = cfg.feature_bytes_per_vertex + 4 * g.degree(v) as u64 + 4;
-                result.dram_cycles += dram.read_seq(bytes);
+                result.dram_cycles += mem.read_seq(v as u32, bytes);
                 reload_psum!(v);
                 in_cache[v] = true;
                 cached.push(v as u32);
@@ -446,7 +487,7 @@ impl<'a> CacheSim<'a> {
                         &mut in_cache,
                         &mut spill,
                         &mut result,
-                        dram,
+                        mem,
                     );
                     policy.on_leave(v);
                 }
@@ -507,7 +548,7 @@ impl<'a> CacheSim<'a> {
                     &mut in_cache,
                     &mut spill,
                     &mut result,
-                    dram,
+                    mem,
                 );
                 policy.on_leave(v);
             }
@@ -515,7 +556,8 @@ impl<'a> CacheSim<'a> {
 
         result.completed = result.edges_processed == total_edges;
         result.final_gamma = policy.current_gamma().unwrap_or(cfg.gamma);
-        let mut delta = *dram.counters();
+        result.tiers = mem.tier_stats();
+        let mut delta = mem.counter_snapshot();
         // Attribute only this run's traffic.
         delta.seq_read_bytes -= before.seq_read_bytes;
         delta.seq_write_bytes -= before.seq_write_bytes;

@@ -17,6 +17,9 @@
 //!   decision behind the [`CachePolicy`] trait: the paper's §VI α/γ
 //!   policy ([`DegreeAwareCache`] is its convenience front door) next to
 //!   LRU/LFU/Belady comparators for the cache-policy ablation.
+//! * [`MemoryHierarchy`] — a tiered on-chip → DRAM → SSD feature store
+//!   behind the [`VertexMemory`] trait, with workload-aware capacity
+//!   splitting ([`tier`]).
 //! * [`EnergyLedger`] — per-component energy bookkeeping for Fig. 14/15.
 
 pub mod cache;
@@ -26,6 +29,7 @@ pub mod par;
 pub mod psum;
 pub mod scheduler;
 pub mod sram;
+pub mod tier;
 
 pub use cache::{
     CacheConfig, CachePolicy, CachePolicyKind, CacheSim, CacheSimResult, DegreeAwareCache,
@@ -36,3 +40,6 @@ pub use par::{shard_ranges, SimPool, SimThreads};
 pub use psum::{PsumBuffer, PsumStats, RetentionPolicy};
 pub use scheduler::MemoryScheduler;
 pub use sram::{DoubleBuffer, SramBuffer};
+pub use tier::{
+    MemoryHierarchy, SplitMode, TierBudgets, TierConfig, TierSpec, TierStats, VertexMemory,
+};

@@ -13,7 +13,7 @@ use proptest::prelude::*;
 use gnnie_graph::reorder::Permutation;
 use gnnie_graph::CsrGraph;
 use gnnie_mem::cache::{CacheConfig, CachePolicyKind, CacheSim};
-use gnnie_mem::HbmModel;
+use gnnie_mem::{HbmModel, MemoryHierarchy, TierConfig};
 
 /// Random small graphs: up to 48 vertices, up to 160 raw edge draws
 /// (self-loops dropped, duplicates deduplicated by the CSR builder).
@@ -32,12 +32,12 @@ fn arb_graph() -> impl Strategy<Value = CsrGraph> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The core invariants, swept across all four shipped policies.
+    /// The core invariants, swept across all six shipped policies.
     #[test]
     fn cache_sim_invariants_hold_for_every_policy(
         g in arb_graph(),
         capacity in 4usize..24,
-        policy_idx in 0usize..4,
+        policy_idx in 0usize..6,
     ) {
         let kind = CachePolicyKind::ALL[policy_idx];
         let g = Permutation::descending_degree(&g).apply(&g);
@@ -100,6 +100,81 @@ proptest! {
         if kind == CachePolicyKind::Paper {
             prop_assert_eq!(result.counters.random_bytes(), 0);
             prop_assert_eq!(result.counters.rand_transactions, 0);
+        }
+    }
+
+    /// A single-DRAM-tier hierarchy is the legacy flat engine, byte for
+    /// byte: same result (down to the Debug rendering), same channel
+    /// counters — for every policy on every graph.
+    #[test]
+    fn single_tier_hierarchy_is_byte_identical_to_the_flat_walk(
+        g in arb_graph(),
+        capacity in 4usize..24,
+        policy_idx in 0usize..6,
+    ) {
+        let kind = CachePolicyKind::ALL[policy_idx];
+        let g = Permutation::descending_degree(&g).apply(&g);
+        let cfg = CacheConfig::with_capacity(capacity, 32);
+
+        let mut dram = HbmModel::hbm2_256gbps(1.3e9);
+        let mut flat_policy = kind.instantiate();
+        let flat = CacheSim::new(&g, cfg).run(flat_policy.as_mut(), &mut dram);
+
+        let tiers = [TierConfig::dram(0)];
+        let mut hier =
+            MemoryHierarchy::new(&tiers, 1.3e9, g.num_vertices() as u32, 64);
+        let mut tiered_policy = kind.instantiate();
+        let mut tiered = CacheSim::new(&g, cfg).run_tiered(tiered_policy.as_mut(), &mut hier);
+
+        prop_assert_eq!(tiered.tiers.len(), 1, "{}: one tier surfaced", kind);
+        tiered.tiers.clear(); // the flat path reports no tier stats
+        prop_assert_eq!(
+            format!("{flat:?}"),
+            format!("{tiered:?}"),
+            "{}: tiered walk diverged from the flat engine", kind
+        );
+        prop_assert_eq!(
+            dram.counters(),
+            &hier.dram_counters(),
+            "{}: channel counters diverged", kind
+        );
+    }
+
+    /// Degenerate stacks — a zero-capacity middle tier, an on-chip tier
+    /// smaller than one feature line — never wedge the walk.
+    #[test]
+    fn degenerate_tier_capacities_keep_the_walk_complete(
+        g in arb_graph(),
+        capacity in 4usize..24,
+        policy_idx in 0usize..6,
+        onchip_bytes in 0u64..200,
+    ) {
+        let kind = CachePolicyKind::ALL[policy_idx];
+        let g = Permutation::descending_degree(&g).apply(&g);
+        let cfg = CacheConfig::with_capacity(capacity, 32);
+        // 64-byte lines: onchip_bytes < 64 means the top tier holds
+        // nothing at all; the dram and ssd tiers are both zero-capacity,
+        // leaving the backstop to absorb everything.
+        let tiers = [TierConfig::onchip(onchip_bytes), TierConfig::dram(0), TierConfig::ssd(0)];
+        let mut hier =
+            MemoryHierarchy::new(&tiers, 1.3e9, g.num_vertices() as u32, 64);
+        let mut policy = kind.instantiate();
+        let result = CacheSim::new(&g, cfg).run_tiered(policy.as_mut(), &mut hier);
+
+        prop_assert!(result.completed, "{kind}: walk did not complete");
+        prop_assert_eq!(result.edges_processed, g.num_edges() as u64);
+        prop_assert_eq!(result.tiers.len(), 3);
+        let dram_tier = &result.tiers[1];
+        prop_assert_eq!(dram_tier.capacity_vertices, 0);
+        prop_assert_eq!(
+            dram_tier.hits + dram_tier.evictions, 0,
+            "{}: the zero-capacity middle tier held vertices", kind
+        );
+        if onchip_bytes < 64 {
+            prop_assert_eq!(
+                result.tiers[0].hits, 0,
+                "{}: a sub-line tier cannot hit", kind
+            );
         }
     }
 }

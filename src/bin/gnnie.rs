@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! gnnie run      --model gat (--dataset cora | --graph path) [--scale 1.0] [--design e]
-//!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady]
+//!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady|pinned|split]
 //!                [--sim-threads auto|N] [--chips 4] [--partitioner range|edgecut]
+//!                [--tiers onchip:256KB,dram:16MB,ssd:4GB | auto:SIZE | even:SIZE]
 //! gnnie ingest   <path> [--out snapshot.gnniecsr] [--shards N] [--dataset cora]
 //!                [--seed 42] [--force]
 //! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
@@ -75,6 +76,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "sim-threads",
             "chips",
             "partitioner",
+            "tiers",
         ],
         "ingest" => &["out", "shards", "dataset", "seed", "force"],
         "serve" => &[
@@ -175,11 +177,16 @@ fn usage() {
          \x20 run      --model <gcn|sage|gat|gin|diffpool>\n\
          \x20          (--dataset <cr|cs|pb|ppi|rd> [--scale 0.0-1.0] | --graph <path>)\n\
          \x20          [--design a|b|c|d|e] [--seed N] [--heads K]\n\
-         \x20          [--cache-policy paper|lru|lfu|belady] [--sim-threads auto|N]\n\
+         \x20          [--cache-policy paper|lru|lfu|belady|pinned|split]\n\
+         \x20          [--sim-threads auto|N]\n\
          \x20          [--chips N] [--partitioner range|edgecut]\n\
          \x20          (--chips shards the cache walk across N simulated accelerators\n\
          \x20          and charges boundary features to an inter-chip link; --chips 1\n\
-         \x20          is the unchanged single-chip engine)\n\
+         \x20          is the unchanged single-chip engine; --partitioner needs --chips > 1)\n\
+         \x20          [--tiers onchip:KB,dram:MB[,ssd:GB] | auto:SIZE | even:SIZE]\n\
+         \x20          (tiered feature cache: explicit per-tier budgets, or one global\n\
+         \x20          budget split workload-aware (`auto`) or in naive halves (`even`);\n\
+         \x20          sizes take B/KB/MB/GB suffixes; unset keeps the flat DRAM engine)\n\
          \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
          \x20          [--seed N] [--force]\n\
          \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
@@ -350,6 +357,90 @@ fn parse_partitioner(
     }
 }
 
+/// Parses a size token with an optional B/KB/MB/GB suffix (binary
+/// multiples, case-insensitive); a bare number is bytes.
+fn parse_size_bytes(token: &str) -> Result<u64, String> {
+    let t = token.trim();
+    let upper = t.to_ascii_uppercase();
+    let (digits, mult) = if let Some(d) = upper.strip_suffix("KB") {
+        (d, 1u64 << 10)
+    } else if let Some(d) = upper.strip_suffix("MB") {
+        (d, 1u64 << 20)
+    } else if let Some(d) = upper.strip_suffix("GB") {
+        (d, 1u64 << 30)
+    } else if let Some(d) = upper.strip_suffix('B') {
+        (d, 1)
+    } else {
+        (upper.as_str(), 1)
+    };
+    let n: u64 = digits.trim().parse().map_err(|_| {
+        format!("bad size `{t}` (use a number with an optional B/KB/MB/GB suffix)")
+    })?;
+    n.checked_mul(mult).ok_or_else(|| format!("size `{t}` overflows"))
+}
+
+/// Parses `--tiers`. Three forms:
+///
+/// * `onchip:SIZE,dram:SIZE[,ssd:SIZE]` — explicit per-tier budgets;
+/// * `auto:SIZE` — one global budget, workload-aware split;
+/// * `even:SIZE` — one global budget, naive even split.
+///
+/// `None` means the flag was absent and the engine stays on the flat
+/// single-channel DRAM path, byte-identical to builds without tiering.
+fn parse_tiers(
+    flags: &HashMap<String, String>,
+) -> Result<Option<gnnie::mem::TierSpec>, String> {
+    use gnnie::mem::{SplitMode, TierBudgets, TierSpec};
+    let Some(spec) = flags.get("tiers") else {
+        return Ok(None);
+    };
+    let parts: Vec<&str> = spec.split(',').map(str::trim).collect();
+    let mut fields: Vec<(&str, &str)> = Vec::new();
+    for part in &parts {
+        let Some((name, size)) = part.split_once(':') else {
+            return Err(format!(
+                "--tiers: `{part}` is not `name:SIZE` (use onchip:...,dram:...[,ssd:...], \
+                 auto:SIZE, or even:SIZE)"
+            ));
+        };
+        fields.push((name.trim(), size.trim()));
+    }
+    // Split forms: a single `auto:SIZE` / `even:SIZE` entry.
+    if let [(mode @ ("auto" | "even"), size)] = fields.as_slice() {
+        let total_bytes = parse_size_bytes(size).map_err(|e| format!("--tiers: {e}"))?;
+        if total_bytes == 0 {
+            return Err(format!("--tiers: {mode} budget must be positive"));
+        }
+        let mode = if *mode == "auto" { SplitMode::Workload } else { SplitMode::Even };
+        return Ok(Some(TierSpec::Split { total_bytes, mode }));
+    }
+    // Explicit form: onchip and dram required, ssd optional, order fixed.
+    let mut onchip = None;
+    let mut dram = None;
+    let mut ssd = None;
+    for (name, size) in &fields {
+        let bytes = parse_size_bytes(size).map_err(|e| format!("--tiers {name}: {e}"))?;
+        let slot = match *name {
+            "onchip" => &mut onchip,
+            "dram" => &mut dram,
+            "ssd" => &mut ssd,
+            other => {
+                return Err(format!(
+                    "--tiers: unknown tier `{other}` (use onchip, dram, ssd — or a single \
+                     auto:SIZE / even:SIZE split)"
+                ))
+            }
+        };
+        if slot.replace(bytes).is_some() {
+            return Err(format!("--tiers: tier `{name}` given more than once"));
+        }
+    }
+    let (Some(onchip_bytes), Some(dram_bytes)) = (onchip, dram) else {
+        return Err("--tiers: explicit form needs both onchip:SIZE and dram:SIZE".into());
+    };
+    Ok(Some(TierSpec::Explicit(TierBudgets { onchip_bytes, dram_bytes, ssd_bytes: ssd })))
+}
+
 fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, String> {
     match flags.get("design").map(|s| s.to_lowercase()).as_deref() {
         None => Ok(None),
@@ -490,8 +581,18 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     config.chips = parse_chips(flags)?;
     if let Some(kind) = parse_partitioner(flags)? {
+        // A partitioner only runs when the graph is actually split, so
+        // accepting it on a single-chip run would silently do nothing.
+        if config.chips <= 1 {
+            return Err(
+                "--partitioner has no effect without --chips > 1 (pass --chips N to shard \
+                 the graph)"
+                    .into(),
+            );
+        }
         config.partitioner = kind;
     }
+    config.tiers = parse_tiers(flags)?;
     let heads: usize = flags.get("heads").map_or(Ok(1), |s| {
         s.parse::<usize>()
             .ok()
@@ -559,6 +660,17 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
             report.inter_chip_bytes(),
             report.inter_chip_cycles()
         );
+    }
+    // Printed only for tiered runs so an untiered run's output stays
+    // byte-identical to builds without the tier subsystem.
+    let tier_stats = report.tier_stats();
+    if !tier_stats.is_empty() {
+        let levels = tier_stats
+            .iter()
+            .map(|t| format!("{} {:.1}% hit", t.name, 100.0 * t.hit_rate()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        println!("  tiers    {:>12} levels ({levels})", tier_stats.len());
     }
     println!("  effective {:>11.2} TOPS", report.effective_tops());
     Ok(())
@@ -972,20 +1084,27 @@ fn cmd_comm(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_datasets() -> Result<(), String> {
     let registry = DatasetRegistry::from_env();
     println!(
-        "{:6} {:>9} {:>12} {:>6} {:>7} {:>9}  source",
-        "name", "|V|", "|E|", "feat", "labels", "sparsity"
+        "{:6} {:>9} {:>12} {:>6} {:>7} {:>9} {:>5}  source",
+        "name", "|V|", "|E|", "feat", "labels", "sparsity", "snap"
     );
     for dataset in Dataset::ALL {
         let s = dataset.spec();
         let source = registry.source_for(dataset);
+        // Snapshot layout version: v2 carries partition tables for
+        // `--chips` runs, v1 does not; non-snapshot sources show `-`.
+        let snap = match source.path().and_then(gnnie::ingest::peek_snapshot_version) {
+            Some(v) if matches!(source, SourceKind::Snapshot(_)) => format!("v{v}"),
+            _ => "-".to_string(),
+        };
         println!(
-            "{:6} {:>9} {:>12} {:>6} {:>7} {:>8.2}%  {}",
+            "{:6} {:>9} {:>12} {:>6} {:>7} {:>8.2}% {:>5}  {}",
             dataset.abbrev(),
             s.vertices,
             s.edges,
             s.feature_len,
             s.labels,
             s.feature_sparsity * 100.0,
+            snap,
             source
         );
     }
@@ -1070,6 +1189,64 @@ mod tests {
         assert_eq!(f.get("shards").map(String::as_str), Some("4"));
         // Without the boolean table, --force would swallow the next flag.
         assert!(parse_flags(&args(&["--force"]), allowed_flags("ingest"), &[]).is_err());
+    }
+
+    #[test]
+    fn parse_size_bytes_accepts_suffixes_and_names_garbage() {
+        assert_eq!(parse_size_bytes("512"), Ok(512));
+        assert_eq!(parse_size_bytes("64B"), Ok(64));
+        assert_eq!(parse_size_bytes("256kb"), Ok(256 << 10));
+        assert_eq!(parse_size_bytes("16MB"), Ok(16 << 20));
+        assert_eq!(parse_size_bytes("4GB"), Ok(4u64 << 30));
+        let err = parse_size_bytes("lots").unwrap_err();
+        assert!(err.contains("lots") && err.contains("KB"), "{err}");
+    }
+
+    #[test]
+    fn parse_tiers_accepts_all_three_forms() {
+        use gnnie::mem::{SplitMode, TierBudgets, TierSpec};
+        assert_eq!(parse_tiers(&flags(&[])), Ok(None), "unset keeps the flat engine");
+        let explicit = parse_tiers(&flags(&[("tiers", "onchip:256KB,dram:16MB,ssd:4GB")]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            explicit,
+            TierSpec::Explicit(TierBudgets {
+                onchip_bytes: 256 << 10,
+                dram_bytes: 16 << 20,
+                ssd_bytes: Some(4 << 30),
+            })
+        );
+        let no_ssd =
+            parse_tiers(&flags(&[("tiers", "onchip:64KB,dram:1MB")])).unwrap().unwrap();
+        assert_eq!(
+            no_ssd,
+            TierSpec::Explicit(TierBudgets {
+                onchip_bytes: 64 << 10,
+                dram_bytes: 1 << 20,
+                ssd_bytes: None,
+            })
+        );
+        let auto = parse_tiers(&flags(&[("tiers", "auto:2MB")])).unwrap().unwrap();
+        assert_eq!(auto, TierSpec::Split { total_bytes: 2 << 20, mode: SplitMode::Workload });
+        let even = parse_tiers(&flags(&[("tiers", "even:2MB")])).unwrap().unwrap();
+        assert_eq!(even, TierSpec::Split { total_bytes: 2 << 20, mode: SplitMode::Even });
+    }
+
+    #[test]
+    fn parse_tiers_rejects_malformed_specs_by_name() {
+        for (spec, needle) in [
+            ("onchip:64KB", "dram"),    // missing required tier
+            ("l2:64KB,dram:1MB", "l2"), // unknown tier name
+            ("onchip:64KB,onchip:1MB,dram:1MB", "more than once"),
+            ("auto:0", "positive"),           // empty split budget
+            ("auto:64KB,dram:1MB", "auto"),   // split mixed with explicit
+            ("onchip", "name:SIZE"),          // no colon
+            ("onchip:fast,dram:1MB", "fast"), // garbage size
+        ] {
+            let err = parse_tiers(&flags(&[("tiers", spec)])).unwrap_err();
+            assert!(err.contains(needle), "`{spec}` error must name `{needle}`: {err}");
+        }
     }
 
     #[test]

@@ -428,11 +428,106 @@ fn datasets_listing_shows_provenance() {
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("source"), "source column present:\n{stdout}");
+    assert!(stdout.contains("snap"), "snapshot-version column present:\n{stdout}");
     // No GNNIE_DATA_DIR in the test environment: everything synthesizes.
     for abbrev in ["CR", "CS", "PB", "PPI", "RD"] {
         assert!(stdout.contains(abbrev), "{abbrev} listed:\n{stdout}");
     }
     assert!(stdout.contains("synthetic"), "synthetic provenance shown:\n{stdout}");
+}
+
+#[test]
+fn partitioner_without_chips_is_rejected_not_ignored() {
+    // `--partitioner` only runs when the graph is split; silently
+    // accepting it on a single-chip run hid typos like a forgotten
+    // `--chips`. Both the bare form and an explicit `--chips 1` fail.
+    for chips in [None, Some("1")] {
+        let mut args = vec!["run", "--model", "gcn", "--dataset", "cora", "--scale", "0.05"];
+        if let Some(n) = chips {
+            args.extend(["--chips", n]);
+        }
+        args.extend(["--partitioner", "edgecut"]);
+        let out = run_args(&args);
+        assert!(!out.status.success(), "chips={chips:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--partitioner") && stderr.contains("--chips"),
+            "error names both flags:\n{stderr}"
+        );
+    }
+    // With chips > 1 the same spelling is accepted.
+    let out = run_args(&[
+        "run",
+        "--model",
+        "gcn",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--chips",
+        "2",
+        "--partitioner",
+        "edgecut",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn untiered_runs_never_mention_tiers_and_tiered_runs_report_hit_rates() {
+    let base = ["run", "--model", "gcn", "--dataset", "cora", "--scale", "0.05"];
+    let flat = run_args(&base);
+    assert!(flat.status.success(), "{}", String::from_utf8_lossy(&flat.stderr));
+    let flat_stdout = String::from_utf8_lossy(&flat.stdout).into_owned();
+    assert!(
+        !flat_stdout.contains("tiers"),
+        "flat report must not mention tiers:\n{flat_stdout}"
+    );
+    // Deterministic: the flat path is byte-stable across invocations.
+    let again = run_args(&base);
+    assert_eq!(flat_stdout, String::from_utf8_lossy(&again.stdout));
+
+    for spec in ["auto:256KB", "even:256KB", "onchip:32KB,dram:192KB,ssd:1GB"] {
+        let mut args: Vec<&str> = base.to_vec();
+        args.extend(["--tiers", spec]);
+        let out = run_args(&args);
+        assert!(
+            out.status.success(),
+            "--tiers {spec}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("tiers"), "--tiers {spec} reports the stack:\n{stdout}");
+        assert!(stdout.contains("onchip"), "--tiers {spec} names the top tier:\n{stdout}");
+        assert!(stdout.contains("% hit"), "--tiers {spec} shows hit rates:\n{stdout}");
+    }
+}
+
+#[test]
+fn tiers_flag_is_validated_by_name() {
+    let cases: &[(&str, &[&str])] = &[
+        ("onchip:64KB", &["--tiers", "dram"]),
+        ("l2:64KB,dram:1MB", &["--tiers", "l2"]),
+        ("auto:0", &["--tiers", "positive"]),
+        ("onchip:fast,dram:1MB", &["--tiers", "fast"]),
+    ];
+    for (spec, needles) in cases {
+        let out = run_args(&[
+            "run",
+            "--model",
+            "gcn",
+            "--dataset",
+            "cora",
+            "--scale",
+            "0.05",
+            "--tiers",
+            spec,
+        ]);
+        assert!(!out.status.success(), "--tiers {spec} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        for needle in *needles {
+            assert!(stderr.contains(needle), "--tiers {spec}: `{needle}` missing:\n{stderr}");
+        }
+    }
 }
 
 /// The round-trip acceptance criterion: a Table II dataset exported to an
