@@ -91,30 +91,32 @@ fn check_one(
         // the gate). Changing them is a manual edit of the baseline file.
         // Deterministic metrics are refreshed verbatim.
         let mut to_write = current.clone();
-        if let Ok(prev_text) = std::fs::read_to_string(&baseline_path) {
-            if let Ok(prev) = gate::parse_baseline(&prev_text) {
-                for m in &mut to_write {
-                    if !gate::is_wall_clock(&m.name) {
-                        continue;
-                    }
-                    if let Some(p) = prev.iter().find(|b| b.name == m.name) {
-                        if p.value != m.value {
-                            println!(
-                                "  {}: keeping frozen wall-clock baseline {:.4} \
-                                 (measured {:.4}; change it by editing {})",
-                                m.name, p.value, m.value, baseline_path
-                            );
-                        }
-                        m.value = p.value;
-                    }
+        let prev = std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|text| gate::parse_baseline(&text).ok())
+            .unwrap_or_default();
+        for m in &mut to_write {
+            if !gate::is_wall_clock(&m.name) {
+                continue;
+            }
+            if let Some(p) = prev.iter().find(|b| b.name == m.name) {
+                if p.value != m.value {
+                    println!(
+                        "  {}: keeping frozen wall-clock baseline {:.4} \
+                         (measured {:.4}; change it by editing {})",
+                        m.name, p.value, m.value, baseline_path
+                    );
                 }
+                m.value = p.value;
             }
         }
         std::fs::write(&baseline_path, gate::render_baseline(artifact, &to_write))
             .map_err(|e| format!("write {baseline_path}: {e}"))?;
+        // Say what the refresh actually changed (old -> new, added,
+        // removed, unchanged) instead of rewriting silently.
         println!("{artifact}: wrote {baseline_path}");
-        for m in &to_write {
-            println!("  {:<34} {:.4}", m.name, m.value);
+        for line in gate::render_refresh_summary(&prev, &to_write) {
+            println!("{line}");
         }
         return Ok(false);
     }

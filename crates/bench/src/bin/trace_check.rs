@@ -1,0 +1,39 @@
+//! `trace_check` — validate `gnnie run --trace` output as well-formed
+//! Chrome trace-event JSON (see `gnnie_bench::trace`).
+//!
+//! ```text
+//! trace_check <trace.json>...
+//! ```
+//!
+//! CI runs this over the trace it generates before uploading it as an
+//! artifact: a malformed export fails the job (exit 1) instead of
+//! shipping a file Perfetto cannot load. Valid files print a one-line
+//! content summary.
+
+use gnnie_bench::trace::validate_chrome_trace;
+
+fn main() {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!(
+            "error: at least one trace file is required\nusage: trace_check <trace.json>..."
+        );
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for file in &files {
+        match std::fs::read_to_string(file)
+            .map_err(|e| format!("read: {e}"))
+            .and_then(|text| validate_chrome_trace(&text))
+        {
+            Ok(summary) => println!("{file}: OK — {}", summary.render()),
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -359,6 +359,59 @@ pub fn render_baseline(artifact: &str, metrics: &[Metric]) -> String {
     out
 }
 
+/// One line per metric describing how a `--write-baselines` refresh
+/// changed the committed baseline — `old -> new (+x.x%)`, `new`,
+/// `removed`, or `unchanged` — so a refresh says what it did instead of
+/// rewriting silently. `prev` is the previously committed baseline
+/// (empty when the file did not exist); `next` is what is about to be
+/// written, *after* wall-clock freezing, so a frozen metric correctly
+/// reads `unchanged`. Values are compared at the 4-decimal precision
+/// the baseline file stores, so re-parsing noise never shows as drift.
+pub fn render_refresh_summary(prev: &[Metric], next: &[Metric]) -> Vec<String> {
+    let rounded = |v: f64| format!("{v:.4}");
+    let mut lines = Vec::new();
+    for n in next {
+        match prev.iter().find(|p| p.name == n.name) {
+            None => lines.push(format!(
+                "  {:<34} {:>10} -> {:>10}  new",
+                n.name,
+                "--",
+                rounded(n.value)
+            )),
+            Some(p) if rounded(p.value) == rounded(n.value) => lines.push(format!(
+                "  {:<34} {:>10} -> {:>10}  unchanged",
+                n.name,
+                rounded(p.value),
+                rounded(n.value)
+            )),
+            Some(p) => {
+                let change = if p.value != 0.0 {
+                    format!("  ({:+.1}%)", (n.value / p.value - 1.0) * 100.0)
+                } else {
+                    String::new()
+                };
+                lines.push(format!(
+                    "  {:<34} {:>10} -> {:>10}{change}",
+                    n.name,
+                    rounded(p.value),
+                    rounded(n.value)
+                ));
+            }
+        }
+    }
+    for p in prev {
+        if !next.iter().any(|n| n.name == p.name) {
+            lines.push(format!(
+                "  {:<34} {:>10} -> {:>10}  removed",
+                p.name,
+                rounded(p.value),
+                "--"
+            ));
+        }
+    }
+    lines
+}
+
 /// Compares fresh metrics against the baseline: a metric regresses when
 /// it drops more than `tolerance` below its baseline (all gate metrics
 /// are higher-is-better), or when it disappears from the artifact.
@@ -629,6 +682,30 @@ mod tests {
         assert!(!by_name("extra").regressed, "new metric is informational");
         let rendered = render_deltas("BENCH_x.json", &deltas, DEFAULT_TOLERANCE).join("\n");
         assert!(rendered.contains("REGRESSED") && rendered.contains("ok"), "{rendered}");
+    }
+
+    #[test]
+    fn refresh_summary_names_changed_added_removed_and_unchanged() {
+        let prev = metrics(&[("kept", 2.0), ("moved", 100.0), ("dropped", 5.0)]);
+        let next = metrics(&[("kept", 2.0), ("moved", 120.0), ("added", 7.0)]);
+        let lines = render_refresh_summary(&prev, &next).join("\n");
+        assert!(lines.contains("kept") && lines.contains("unchanged"), "{lines}");
+        assert!(
+            lines.contains("100.0000 ->   120.0000  (+20.0%)"),
+            "change shows old, new, and percent: {lines}"
+        );
+        assert!(lines.contains("added") && lines.contains("new"), "{lines}");
+        assert!(lines.contains("dropped") && lines.contains("removed"), "{lines}");
+        // Values that only differ past the stored 4-decimal precision do
+        // not read as drift.
+        let noisy =
+            render_refresh_summary(&metrics(&[("x", 1.23456789)]), &metrics(&[("x", 1.23459)]))
+                .join("\n");
+        assert!(noisy.contains("unchanged"), "{noisy}");
+        // A first-ever refresh (no committed baseline) lists every
+        // metric as new.
+        let first = render_refresh_summary(&[], &metrics(&[("a", 1.0)])).join("\n");
+        assert!(first.contains("a") && first.contains("new"), "{first}");
     }
 
     #[test]

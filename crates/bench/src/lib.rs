@@ -19,6 +19,7 @@ pub mod experiments;
 pub mod gate;
 pub mod json;
 pub mod table;
+pub mod trace;
 
 pub use ctx::Ctx;
 pub use table::Table;

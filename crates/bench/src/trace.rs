@@ -1,0 +1,239 @@
+//! Well-formedness validator for the Chrome trace-event JSON that
+//! `gnnie run --trace` emits (`gnnie_obs::chrome_trace_json`).
+//!
+//! CI generates a trace on a small dataset and runs this validator over
+//! it (the `trace_check` bin) before uploading the file as an artifact,
+//! so a malformed export fails the job instead of shipping a file
+//! Perfetto cannot load. The checks are structural — built on the
+//! hand-rolled [`crate::json`] parser, no external deps:
+//!
+//! * the document is valid JSON with a `traceEvents` array;
+//! * every event carries a `ph` phase, integer `pid`/`tid`, and a
+//!   string `name`;
+//! * `ph:"X"` spans carry non-negative `ts` and `dur`, `ph:"i"`
+//!   instants carry `ts` and a scope `s`, `ph:"C"` counters carry `ts`
+//!   and a numeric `args.value`;
+//! * every `(pid, tid)` a real event lands on is labeled up front by
+//!   `process_name` / `thread_name` metadata, the way the exporter
+//!   promises.
+
+use crate::json::Json;
+
+/// What a validated trace contains, for the one-line report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// `ph:"X"` complete spans.
+    pub spans: usize,
+    /// `ph:"i"` instant markers.
+    pub instants: usize,
+    /// `ph:"C"` counter samples.
+    pub counters: usize,
+    /// Labeled processes (`process_name` metadata entries).
+    pub processes: usize,
+    /// Labeled tracks (`thread_name` metadata entries).
+    pub tracks: usize,
+    /// Total simulated cycles covered by spans.
+    pub span_cycles: u64,
+}
+
+impl TraceSummary {
+    /// The one-line report `trace_check` prints per valid file.
+    pub fn render(&self) -> String {
+        format!(
+            "{} spans / {} instants / {} counters on {} tracks in {} processes, \
+             {} span cycles",
+            self.spans,
+            self.instants,
+            self.counters,
+            self.tracks,
+            self.processes,
+            self.span_cycles
+        )
+    }
+}
+
+/// A non-negative integer field (ids and cycle timestamps are exact).
+fn int_field(event: &Json, key: &str, at: usize) -> Result<u64, String> {
+    let v = event
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("event {at}: missing numeric `{key}`"))?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("event {at}: `{key}` must be a non-negative integer, got {v}"));
+    }
+    Ok(v as u64)
+}
+
+fn str_field<'a>(event: &'a Json, key: &str, at: usize) -> Result<&'a str, String> {
+    match event.get(key) {
+        Some(Json::Str(s)) => Ok(s),
+        _ => Err(format!("event {at}: missing string `{key}`")),
+    }
+}
+
+/// Validates one exported trace document.
+///
+/// # Errors
+///
+/// The first structural violation, naming the offending event's index in
+/// `traceEvents`.
+pub fn validate_chrome_trace(text: &str) -> Result<TraceSummary, String> {
+    let doc = Json::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("document has no `traceEvents` array")?;
+
+    let mut summary = TraceSummary::default();
+    let mut labeled_pids: Vec<u64> = Vec::new();
+    let mut labeled_tracks: Vec<(u64, u64)> = Vec::new();
+    for (at, event) in events.iter().enumerate() {
+        let ph = str_field(event, "ph", at)?;
+        let pid = int_field(event, "pid", at)?;
+        let tid = int_field(event, "tid", at)?;
+        let name = str_field(event, "name", at)?;
+        if ph != "M" {
+            // The exporter writes all metadata first, so by the time a
+            // real event lands on a track, that track must be labeled.
+            if !labeled_pids.contains(&pid) {
+                return Err(format!("event {at}: pid {pid} has no process_name metadata"));
+            }
+            if !labeled_tracks.contains(&(pid, tid)) {
+                return Err(format!(
+                    "event {at}: track {pid}:{tid} has no thread_name metadata"
+                ));
+            }
+        }
+        match ph {
+            "M" => {
+                match event.get("args").and_then(|a| a.get("name")) {
+                    Some(Json::Str(_)) => {}
+                    _ => {
+                        return Err(format!("event {at}: metadata without string `args.name`"))
+                    }
+                }
+                match name {
+                    "process_name" => {
+                        if labeled_pids.contains(&pid) {
+                            return Err(format!("event {at}: pid {pid} labeled twice"));
+                        }
+                        labeled_pids.push(pid);
+                        summary.processes += 1;
+                    }
+                    "thread_name" => {
+                        // tid 0 doubles as the process_name carrier, so a
+                        // (pid, 0) pair may legally appear in both kinds.
+                        if labeled_tracks.contains(&(pid, tid)) {
+                            return Err(format!("event {at}: track {pid}:{tid} labeled twice"));
+                        }
+                        labeled_tracks.push((pid, tid));
+                        summary.tracks += 1;
+                    }
+                    other => {
+                        return Err(format!("event {at}: unknown metadata `{other}`"));
+                    }
+                }
+            }
+            "X" => {
+                int_field(event, "ts", at)?;
+                summary.span_cycles += int_field(event, "dur", at)?;
+                summary.spans += 1;
+            }
+            "i" => {
+                int_field(event, "ts", at)?;
+                str_field(event, "s", at)?;
+                summary.instants += 1;
+            }
+            "C" => {
+                int_field(event, "ts", at)?;
+                match event.get("args").and_then(|a| a.get("value")).and_then(Json::as_f64) {
+                    Some(_) => {}
+                    None => {
+                        return Err(format!("event {at}: counter without numeric `args.value`"))
+                    }
+                }
+                summary.counters += 1;
+            }
+            other => return Err(format!("event {at}: unknown phase `{other}`")),
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gnnie_obs::{chrome_trace_json, Trace};
+
+    fn sample_json() -> String {
+        let t = Trace::recording();
+        t.span("engine", "phases", "weighting L0", 0, 10, &[("macs", 4u64.into())]);
+        t.span("chips", "chip0", "walk L0", 0, 6, &[]);
+        t.instant("serve", "interactive", "enqueue req0", 2, &[]);
+        t.counter("tiers", "onchip", "evictions", 8, 3);
+        chrome_trace_json(&t.events())
+    }
+
+    #[test]
+    fn accepts_the_exporters_output_and_counts_it() {
+        let summary = validate_chrome_trace(&sample_json()).unwrap();
+        assert_eq!(
+            summary,
+            TraceSummary {
+                spans: 2,
+                instants: 1,
+                counters: 1,
+                processes: 4,
+                tracks: 4,
+                span_cycles: 16,
+            }
+        );
+        let line = summary.render();
+        assert!(line.contains("2 spans") && line.contains("16 span cycles"), "{line}");
+        // The empty export is still a valid (if dull) document.
+        let empty = validate_chrome_trace(&chrome_trace_json(&[])).unwrap();
+        assert_eq!(empty, TraceSummary::default());
+    }
+
+    #[test]
+    fn rejects_malformed_documents_by_event_index() {
+        for (doc, needle) in [
+            ("nonsense", "not valid JSON"),
+            ("{}", "traceEvents"),
+            (r#"{"traceEvents": [{"pid": 0, "tid": 0, "name": "x"}]}"#, "`ph`"),
+            (r#"{"traceEvents": [{"ph": "X", "tid": 0, "name": "x"}]}"#, "`pid`"),
+            (
+                r#"{"traceEvents": [{"ph": "M", "pid": 0.5, "tid": 0, "name": "process_name",
+                     "args": {"name": "p"}}]}"#,
+                "non-negative integer",
+            ),
+            (
+                r#"{"traceEvents": [{"ph": "Q", "pid": 0, "tid": 0, "name": "x"}]}"#,
+                "no process_name",
+            ),
+            (
+                r#"{"traceEvents": [
+                     {"ph": "M", "pid": 0, "tid": 0, "name": "process_name", "args": {"name": "p"}},
+                     {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name", "args": {"name": "t"}},
+                     {"ph": "X", "pid": 0, "tid": 0, "name": "s", "ts": 0}]}"#,
+                "`dur`",
+            ),
+            (
+                r#"{"traceEvents": [
+                     {"ph": "M", "pid": 0, "tid": 0, "name": "process_name", "args": {"name": "p"}},
+                     {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name", "args": {"name": "t"}},
+                     {"ph": "C", "pid": 0, "tid": 0, "name": "c", "ts": 0, "args": {}}]}"#,
+                "args.value",
+            ),
+            (
+                r#"{"traceEvents": [
+                     {"ph": "M", "pid": 0, "tid": 0, "name": "process_name", "args": {"name": "p"}},
+                     {"ph": "X", "pid": 0, "tid": 7, "name": "s", "ts": 0, "dur": 1}]}"#,
+                "thread_name",
+            ),
+        ] {
+            let err = validate_chrome_trace(doc).unwrap_err();
+            assert!(err.contains(needle), "`{needle}` not named for {doc}: {err}");
+        }
+    }
+}

@@ -81,6 +81,33 @@ pub struct AggregationReport {
     pub inter_chip_bytes: u64,
     /// Cycles spent on inter-chip transfers (0 on a single chip).
     pub inter_chip_cycles: u64,
+    /// Per-chip timeline of the scale-out walk, in partition order
+    /// (empty on single-chip runs). Filled by the serial merge loop, so
+    /// it inherits the replay-stable contract of the merged report —
+    /// the tracer reconstructs per-chip span tracks from these lanes
+    /// without touching the sharded walk itself.
+    pub chip_lanes: Vec<ChipLane>,
+}
+
+/// One chip's share of a scale-out Aggregation phase: its own partition
+/// walk, its side of the cut-edge updates, and its halo transfer over
+/// the inter-chip link.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipLane {
+    /// Partition index (chip id).
+    pub chip: usize,
+    /// Cycles of the chip's private cache walk.
+    pub walk_cycles: u64,
+    /// Cycles spent on the chip's side of cut-edge updates.
+    pub cut_cycles: u64,
+    /// Cycles the chip's halo transfer occupied the link.
+    pub link_cycles: u64,
+    /// Boundary feature bytes this chip pulled over the link.
+    pub link_bytes: u64,
+    /// Distinct external neighbors whose features crossed the link.
+    pub halo_vertices: u64,
+    /// Cut edges incident to this chip.
+    pub cut_edges: u64,
 }
 
 impl AggregationReport {
@@ -103,6 +130,7 @@ impl AggregationReport {
             vertices: 0,
             inter_chip_bytes: 0,
             inter_chip_cycles: 0,
+            chip_lanes: Vec::new(),
         }
     }
 
@@ -123,6 +151,20 @@ impl AggregationReport {
         self.exp_evals += other.exp_evals;
         self.inter_chip_bytes += other.inter_chip_bytes;
         self.inter_chip_cycles += other.inter_chip_cycles;
+        // Lanes line up positionally (every head walks the same
+        // partition); cycle and traffic shares add per chip.
+        if self.chip_lanes.is_empty() {
+            self.chip_lanes = other.chip_lanes.clone();
+        } else {
+            for (lane, o) in self.chip_lanes.iter_mut().zip(&other.chip_lanes) {
+                lane.walk_cycles += o.walk_cycles;
+                lane.cut_cycles += o.cut_cycles;
+                lane.link_cycles += o.link_cycles;
+                lane.link_bytes += o.link_bytes;
+                lane.halo_vertices += o.halo_vertices;
+                lane.cut_edges += o.cut_edges;
+            }
+        }
     }
 }
 
@@ -295,6 +337,7 @@ fn simulate_single_chip(
         vertices: graph.num_vertices() as u64,
         inter_chip_bytes: 0,
         inter_chip_cycles: 0,
+        chip_lanes: Vec::new(),
     }
 }
 
@@ -332,7 +375,7 @@ fn simulate_scaleout(
     merged.vertices = graph.num_vertices() as u64;
     let mut merged_cache: Option<CacheSimResult> = None;
     let mut makespan = 0u64;
-    for part in partition.parts() {
+    for (chip, part) in partition.parts().iter().enumerate() {
         if part.vertices.is_empty() {
             continue;
         }
@@ -395,6 +438,15 @@ fn simulate_scaleout(
         merged.inter_chip_bytes += link_bytes;
         merged.inter_chip_cycles += link_cycles;
         makespan = makespan.max(r.total_cycles + cut_compute.max(cut_sfu) + link_cycles);
+        merged.chip_lanes.push(ChipLane {
+            chip,
+            walk_cycles: r.total_cycles,
+            cut_cycles: cut_compute.max(cut_sfu),
+            link_cycles,
+            link_bytes,
+            halo_vertices: part.halo_vertices,
+            cut_edges: cut_updates,
+        });
 
         match (&mut merged_cache, r.cache) {
             (None, Some(chip)) => merged_cache = Some(chip),

@@ -21,6 +21,7 @@ use gnnie_gnn::model::{GnnModel, ModelConfig};
 use gnnie_graph::reorder::Permutation;
 use gnnie_graph::{CsrGraph, EdgeList, GraphDataset};
 use gnnie_mem::{DramCounters, EnergyLedger, HbmModel, SimPool, SimThreads};
+use gnnie_obs::Obs;
 use gnnie_tensor::rlc;
 
 use crate::aggregation::{simulate_aggregation_with, AggregationParams, AggregationReport};
@@ -92,6 +93,22 @@ impl Engine {
     /// datasets produce byte-identical reports regardless of source.
     pub fn run(&self, model: &ModelConfig, ds: &GraphDataset) -> InferenceReport {
         let mut session = self.begin(model, ds);
+        session.run_to_completion();
+        session.finish()
+    }
+
+    /// [`Engine::run`] with an observability bundle attached: the
+    /// finished report's span timeline and metrics land on `obs`.
+    /// `Engine::run(m, ds)` is exactly `run_observed(m, ds, &Obs::off())`
+    /// — a disabled bundle records nothing and changes nothing.
+    pub fn run_observed(
+        &self,
+        model: &ModelConfig,
+        ds: &GraphDataset,
+        obs: &Obs,
+    ) -> InferenceReport {
+        let mut session = self.begin(model, ds);
+        session.attach_obs(obs.clone());
         session.run_to_completion();
         session.finish()
     }
@@ -190,6 +207,7 @@ impl Engine {
             cursor: 0,
             pending_weighting: None,
             diffpool_done: false,
+            obs: Obs::off(),
         }
     }
 
@@ -408,6 +426,11 @@ pub struct RunSession<'a> {
     pending_weighting: Option<WeightingReport>,
     /// DiffPool's irregular schedule ran (all layers emitted).
     diffpool_done: bool,
+    /// Observability bundle; off by default ([`attach_obs`] enables it).
+    /// Kept out of [`RunOptions`] so that stays `Copy`.
+    ///
+    /// [`attach_obs`]: RunSession::attach_obs
+    obs: Obs,
 }
 
 impl<'a> RunSession<'a> {
@@ -424,6 +447,15 @@ impl<'a> RunSession<'a> {
     /// Cycles charged to the one-time preprocessing.
     pub fn preprocessing_cycles(&self) -> u64 {
         self.preprocessing_cycles
+    }
+
+    /// Attaches an observability bundle: [`finish`](RunSession::finish)
+    /// will emit the run's span timeline onto its trace and record its
+    /// metrics into its registry. The default bundle is off, and a
+    /// disabled bundle costs one branch — simulated cycles and the report
+    /// are identical either way.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Whether every phase of the run has executed ([`finish`] is legal).
@@ -640,7 +672,7 @@ impl<'a> RunSession<'a> {
             self.layers.iter().map(|l| l.weighting.weight_dram_cycles).sum();
 
         let dram_counters: DramCounters = *self.dram.counters();
-        InferenceReport {
+        let report = InferenceReport {
             model: self.model.model,
             dataset: self.ds.spec.dataset,
             scale: self.ds.spec.vertices as f64 / self.ds.spec.dataset.spec().vertices as f64,
@@ -657,7 +689,9 @@ impl<'a> RunSession<'a> {
             effective_ops,
             weight_load_cycles,
             weights_resident: self.opts.weights_resident,
-        }
+        };
+        report.record_obs(&self.obs);
+        report
     }
 
     /// Independent attention heads per layer (1 for non-GAT models).

@@ -50,6 +50,7 @@ pub mod engine;
 pub mod gat;
 pub mod mpe;
 pub mod noc;
+pub mod obs;
 pub mod report;
 pub mod verify;
 pub mod weighting;

@@ -164,6 +164,31 @@ pub struct CacheSimResult {
     pub tiers: Vec<crate::tier::TierStats>,
 }
 
+impl CacheSimResult {
+    /// Records the walk's accounting into the registry under
+    /// `mem.cache.*`, plus each tier's under `mem.tier.<name>.*`. Called
+    /// once per layer walk; counters accumulate into whole-run totals.
+    pub fn record_metrics(&self, metrics: &gnnie_obs::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics.counter_add("mem.cache.iterations", self.iterations);
+        metrics.counter_add("mem.cache.edges_processed", self.edges_processed);
+        metrics.counter_add("mem.cache.evictions", self.evictions);
+        metrics.counter_add("mem.cache.partial_spills", self.partial_spills);
+        metrics.counter_add("mem.cache.refetches", self.refetches);
+        metrics.counter_add("mem.cache.fetched_vertices", self.fetched_vertices);
+        metrics.counter_add("mem.cache.skipped_blocks", self.skipped_blocks);
+        metrics.counter_add("mem.cache.dram_cycles", self.dram_cycles);
+        metrics.counter_add("mem.cache.gamma_raises", self.gamma_raises as u64);
+        metrics.counter_add("mem.cache.recovery_rounds", self.recovery_rounds as u64);
+        metrics.gauge_set("mem.cache.final_gamma", self.final_gamma as f64);
+        for tier in &self.tiers {
+            tier.record_metrics(metrics);
+        }
+    }
+}
+
 /// Builds the undirected edge-id map: entry `p` of the flat CSR neighbor
 /// array gets the id of its undirected edge, so each edge has one id shared
 /// by both directions. Ids are dense in `0..num_edges`.

@@ -194,6 +194,33 @@ impl TierStats {
         self.fill_bytes += other.fill_bytes;
         self.cycles += other.cycles;
     }
+
+    /// Records this tier's accounting into the registry under
+    /// `mem.tier.<name>.*`. Counters accumulate across layers (one
+    /// `TierStats` is produced per layer walk), so the registry ends up
+    /// with whole-run totals; `hit_rate` is re-derived from them.
+    pub fn record_metrics(&self, metrics: &gnnie_obs::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        let p = format!("mem.tier.{}", self.name);
+        metrics.counter_add(&format!("{p}.hits"), self.hits);
+        metrics.counter_add(&format!("{p}.misses"), self.misses);
+        metrics.counter_add(&format!("{p}.evictions"), self.evictions);
+        metrics.counter_add(&format!("{p}.read_bytes"), self.read_bytes);
+        metrics.counter_add(&format!("{p}.write_bytes"), self.write_bytes);
+        metrics.counter_add(&format!("{p}.fill_bytes"), self.fill_bytes);
+        metrics.counter_add(&format!("{p}.cycles"), self.cycles);
+        let reg = metrics.snapshot();
+        let total = |name: &str| match reg.get(&format!("{p}.{name}")) {
+            Some(gnnie_obs::Metric::Counter(c)) => *c,
+            _ => 0,
+        };
+        let (hits, misses) = (total("hits"), total("misses"));
+        let probes = hits + misses;
+        let rate = if probes == 0 { 0.0 } else { hits as f64 / probes as f64 };
+        metrics.gauge_set(&format!("{p}.hit_rate"), rate);
+    }
 }
 
 /// Per-tier capacity budgets resolved from a [`TierSpec`].

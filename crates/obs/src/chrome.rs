@@ -1,0 +1,249 @@
+//! Chrome trace-event JSON export (the format Perfetto and
+//! `chrome://tracing` load).
+//!
+//! The writer is hand-rolled — the workspace's `serde` is an offline
+//! no-op shim — and fully deterministic: pids are assigned to processes
+//! in first-use order, tids to tracks in first-use order within their
+//! process, and events are written in emission order. Two equal event
+//! streams therefore serialize to byte-identical JSON, which is what the
+//! trace determinism property tests compare.
+
+use crate::trace::{ArgValue, TraceEvent};
+
+/// One line of provenance embedded in the export: Chrome's `ts` field is
+/// nominally microseconds, but every timestamp here is a simulated cycle.
+/// Perfetto renders them fine either way; absolute units come from the
+/// run's clock.
+pub const CHROME_TIME_UNIT_NOTE: &str = "timestamps are simulated cycles, not microseconds";
+
+/// Renders the event stream as a Chrome trace-event JSON document.
+///
+/// Layout: a `traceEvents` array holding the `process_name` /
+/// `thread_name` metadata first (so viewers label every track before any
+/// span arrives), then the events themselves — spans as `ph:"X"`
+/// complete events, instants as `ph:"i"`, counters as `ph:"C"`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let ids = TrackIds::assign(events);
+    let mut out = String::with_capacity(256 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (pid, process) in ids.processes.iter().enumerate() {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\
+             \"args\":{{\"name\":{}}}}}",
+                json_string(process)
+            ),
+        );
+    }
+    for (tid, (pid, track)) in ids.tracks.iter().enumerate() {
+        push_event(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{}}}}}",
+                json_string(track)
+            ),
+        );
+    }
+    for event in events {
+        let (pid, tid) = ids.of(event);
+        let body = match event {
+            TraceEvent::Span { name, start, dur, args, .. } => format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{start},\"dur\":{dur},\
+                 \"name\":{}{}}}",
+                json_string(name),
+                json_args(args)
+            ),
+            TraceEvent::Instant { name, at, args, .. } => format!(
+                "{{\"ph\":\"i\",\"pid\":{pid},\"tid\":{tid},\"ts\":{at},\"s\":\"t\",\
+                 \"name\":{}{}}}",
+                json_string(name),
+                json_args(args)
+            ),
+            TraceEvent::Counter { name, at, value, .. } => format!(
+                "{{\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{at},\"name\":{},\
+                 \"args\":{{\"value\":{value}}}}}",
+                json_string(name)
+            ),
+        };
+        push_event(&mut out, &mut first, &body);
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ns\",\"otherData\":{{\"timeUnit\":{}}}}}\n",
+        json_string(CHROME_TIME_UNIT_NOTE)
+    ));
+    out
+}
+
+/// Deterministic pid/tid tables: processes in first-use order, tracks in
+/// first-use order keyed by `(pid, track)`.
+struct TrackIds {
+    processes: Vec<String>,
+    tracks: Vec<(usize, String)>,
+}
+
+impl TrackIds {
+    fn assign(events: &[TraceEvent]) -> Self {
+        let mut ids = TrackIds { processes: Vec::new(), tracks: Vec::new() };
+        for event in events {
+            let (_, _) = ids.intern(event.process(), event.track());
+        }
+        ids
+    }
+
+    fn intern(&mut self, process: &str, track: &str) -> (usize, usize) {
+        let pid = match self.processes.iter().position(|p| p == process) {
+            Some(i) => i,
+            None => {
+                self.processes.push(process.to_string());
+                self.processes.len() - 1
+            }
+        };
+        let key = (pid, track.to_string());
+        let tid = match self.tracks.iter().position(|t| *t == key) {
+            Some(i) => i,
+            None => {
+                self.tracks.push(key);
+                self.tracks.len() - 1
+            }
+        };
+        (pid, tid)
+    }
+
+    fn of(&self, event: &TraceEvent) -> (usize, usize) {
+        let pid = self
+            .processes
+            .iter()
+            .position(|p| p == event.process())
+            .expect("interned during assignment");
+        let tid = self
+            .tracks
+            .iter()
+            .position(|(p, t)| *p == pid && t == event.track())
+            .expect("interned during assignment");
+        (pid, tid)
+    }
+}
+
+fn push_event(out: &mut String, first: &mut bool, body: &str) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push('\n');
+    out.push_str(body);
+}
+
+/// Renders the `,"args":{...}` suffix, or nothing when there are none.
+fn json_args(args: &[(String, ArgValue)]) -> String {
+    if args.is_empty() {
+        return String::new();
+    }
+    let body = args
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), json_value(v)))
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(",\"args\":{{{body}}}")
+}
+
+fn json_value(v: &ArgValue) -> String {
+    match v {
+        ArgValue::U64(n) => n.to_string(),
+        // Rust's shortest-roundtrip float formatting is deterministic;
+        // guard the JSON grammar against non-finite values.
+        ArgValue::F64(x) if x.is_finite() => format!("{x}"),
+        ArgValue::F64(_) => "null".to_string(),
+        ArgValue::Str(s) => json_string(s),
+    }
+}
+
+/// Escapes a string per the JSON grammar (quotes, backslashes, control
+/// characters).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn sample() -> Vec<TraceEvent> {
+        let t = Trace::recording();
+        t.span("engine", "phases", "Weighting L0", 0, 10, &[("cycles", 10u64.into())]);
+        t.span("chips", "chip0", "walk L0", 10, 5, &[]);
+        t.span("chips", "chip1", "walk L0", 10, 7, &[("halo_vertices", 3u64.into())]);
+        t.instant("serve", "interactive", "enqueue req0", 2, &[]);
+        t.counter("tiers", "onchip", "evictions", 15, 4);
+        t.events()
+    }
+
+    #[test]
+    fn export_is_deterministic_and_labels_every_track() {
+        let events = sample();
+        let a = chrome_trace_json(&events);
+        let b = chrome_trace_json(&events);
+        assert_eq!(a, b, "equal streams must serialize byte-identically");
+        for needle in [
+            "\"traceEvents\":[",
+            "\"process_name\"",
+            "\"thread_name\"",
+            "\"name\":\"engine\"",
+            "\"name\":\"chip1\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"i\"",
+            "\"ph\":\"C\"",
+            "\"ts\":10,\"dur\":7",
+            "\"halo_vertices\":3",
+        ] {
+            assert!(a.contains(needle), "missing {needle} in:\n{a}");
+        }
+    }
+
+    #[test]
+    fn pids_and_tids_follow_first_use_order() {
+        let a = chrome_trace_json(&sample());
+        // engine is pid 0, chips pid 1, serve pid 2, tiers pid 3.
+        assert!(a.contains(
+            "\"pid\":0,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"engine\"}"
+        ));
+        assert!(a.contains(
+            "\"pid\":3,\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"tiers\"}"
+        ));
+        // chip0 and chip1 are distinct tids under the same pid.
+        assert!(a.contains("\"args\":{\"name\":\"chip0\"}"));
+        assert!(a.contains("\"args\":{\"name\":\"chip1\"}"));
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn an_empty_stream_is_still_a_valid_document() {
+        let doc = chrome_trace_json(&[]);
+        assert!(doc.starts_with("{\"traceEvents\":["));
+        assert!(doc.contains("\"otherData\""));
+    }
+}

@@ -28,7 +28,7 @@ use gnnie_core::report::InferenceReport;
 use gnnie_core::{SimPool, SimThreads};
 
 use crate::clock::SimClock;
-use crate::online::{schedule_online, OnlineConfig, OnlineReport, RequestCost};
+use crate::online::{OnlineConfig, OnlineReport, RequestCost};
 use crate::request::{InferenceRequest, ModelKey, OnlineRequest};
 
 /// Daemon parameters.
@@ -232,13 +232,37 @@ impl Daemon {
     /// [`Server::run_online`](crate::Server::run_online) on the same
     /// trace and config.
     pub fn serve_online(&self, trace: &[OnlineRequest], cfg: &OnlineConfig) -> OnlineReport {
+        self.serve_online_observed(trace, cfg, &gnnie_obs::Obs::off())
+    }
+
+    /// [`serve_online`](Self::serve_online) with an observability bundle:
+    /// batch lifecycles land on the trace, and the metrics registry gains
+    /// the per-SLA-class queue-wait/latency histograms plus the profile
+    /// cache's hit/miss counters — the surface the drain report prints
+    /// from. A disabled bundle records nothing; the report is identical
+    /// either way.
+    pub fn serve_online_observed(
+        &self,
+        trace: &[OnlineRequest],
+        cfg: &OnlineConfig,
+        obs: &gnnie_obs::Obs,
+    ) -> OnlineReport {
         let requests: Vec<InferenceRequest> = trace.iter().map(|r| r.request).collect();
         let costs = self.profile_costs(&requests);
         let clock = trace
             .first()
             .map(|r| SimClock::paper(r.request.dataset))
             .unwrap_or_else(|| SimClock::new(1.3e9));
-        schedule_online(trace, &costs, cfg, &clock)
+        let report = crate::online::schedule_online_observed(trace, &costs, cfg, &clock, obs);
+        if obs.metrics.enabled() {
+            let stats = self.profile_cache_stats();
+            // Gauges, not counters: the stats are already lifetime
+            // totals, so re-serving must overwrite rather than re-add.
+            obs.metrics.gauge_set("serve.daemon.profile_cache.hits", stats.hits as f64);
+            obs.metrics.gauge_set("serve.daemon.profile_cache.misses", stats.misses as f64);
+            obs.metrics.gauge_set("serve.daemon.profile_cache.entries", stats.entries as f64);
+        }
+        report
     }
 
     /// Graceful drain: closes the job queue, lets every worker finish

@@ -89,8 +89,8 @@ pub use clock::{Cycle, SimClock};
 pub use daemon::{Daemon, DaemonConfig, ProfileCacheStats};
 pub use loadgen::{ArrivalProcess, LoadGen, SlaMix};
 pub use online::{
-    schedule_online, OnlineBatchReport, OnlineConfig, OnlineOutcome, OnlineReport,
-    RejectedRequest, RequestCost,
+    schedule_online, schedule_online_observed, OnlineBatchReport, OnlineConfig, OnlineOutcome,
+    OnlineReport, RejectedRequest, RequestCost,
 };
 pub use pipeline::{pipeline, BatchProfile, PhasePair, PipelineSchedule, PipelineState};
 pub use request::{InferenceRequest, ModelKey, OnlineRequest, QualityTier, SlaClass};

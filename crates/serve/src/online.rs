@@ -244,6 +244,113 @@ impl OnlineReport {
         self.outcomes.iter().map(|o| o.request.id()).collect()
     }
 
+    /// Nearest-rank queue-wait (arrival → dispatch) percentile, in
+    /// simulated seconds, over requests that arrived in `sla`.
+    pub fn class_queue_wait_percentile(&self, sla: SlaClass, q: f64) -> f64 {
+        let waits: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter(|o| o.request.sla == sla)
+            .map(|o| o.dispatch.saturating_sub(o.request.arrival) as f64 / self.clock_hz)
+            .collect();
+        percentile_nearest_rank(&waits, q)
+    }
+
+    /// Queue wait of one outcome in simulated seconds.
+    fn queue_wait_s(&self, o: &OnlineOutcome) -> f64 {
+        o.dispatch.saturating_sub(o.request.arrival) as f64 / self.clock_hz
+    }
+
+    /// Emits the serving timeline onto `trace` (no-op when off): per SLA
+    /// class, each request's `enqueue` marker at arrival, its `wait` span
+    /// (arrival → dispatch; admission decides at arrival in this
+    /// scheduler, so admit coincides with enqueue), and its `service`
+    /// span (dispatch → completion); rejected requests get a `reject`
+    /// marker; the `serve/batches` track carries one span per dispatched
+    /// batch. Derived purely from the report, which is already
+    /// bit-identical at any host thread count.
+    pub fn emit_trace(&self, trace: &gnnie_obs::Trace) {
+        if !trace.enabled() {
+            return;
+        }
+        for o in &self.outcomes {
+            let id = o.request.id();
+            let class = o.request.sla.name();
+            trace.instant("serve", class, &format!("enqueue req{id}"), o.request.arrival, &[]);
+            trace.span(
+                "serve",
+                class,
+                &format!("wait req{id}"),
+                o.request.arrival,
+                o.dispatch.saturating_sub(o.request.arrival),
+                &[
+                    ("batch", (o.batch as u64).into()),
+                    ("degraded", if o.degraded { "yes" } else { "no" }.into()),
+                ],
+            );
+            trace.span(
+                "serve",
+                class,
+                &format!("service req{id}"),
+                o.dispatch,
+                o.completion.saturating_sub(o.dispatch),
+                &[("deadline_met", if o.deadline_met { "yes" } else { "no" }.into())],
+            );
+        }
+        for r in &self.rejected {
+            trace.instant(
+                "serve",
+                r.request.sla.name(),
+                &format!("reject req{}", r.request.id()),
+                r.request.arrival,
+                &[("predicted_completion", r.predicted_completion.into())],
+            );
+        }
+        for b in &self.batches {
+            trace.span(
+                "serve",
+                "batches",
+                &format!("batch{} x{}", b.index, b.size),
+                b.dispatch,
+                b.completion.saturating_sub(b.dispatch),
+                &[
+                    ("size", (b.size as u64).into()),
+                    ("leader_resident", if b.leader_resident { "yes" } else { "no" }.into()),
+                ],
+            );
+        }
+    }
+
+    /// Records the run's serving metrics (no-op when off): `serve.online.*`
+    /// totals plus per-SLA-class `serve.queue_wait_us.<class>` and
+    /// `serve.latency_us.<class>` histograms — the registry surface the
+    /// daemon drain report reads its queue-wait percentiles from.
+    pub fn record_metrics(&self, metrics: &gnnie_obs::Metrics) {
+        if !metrics.enabled() {
+            return;
+        }
+        metrics.counter_add("serve.online.served", self.outcomes.len() as u64);
+        metrics.counter_add("serve.online.rejected", self.rejected.len() as u64);
+        metrics.counter_add(
+            "serve.online.degraded",
+            self.outcomes.iter().filter(|o| o.degraded).count() as u64,
+        );
+        metrics.counter_add("serve.online.batches", self.batches.len() as u64);
+        metrics.counter_add("serve.online.makespan_cycles", self.makespan_cycles);
+        for o in &self.outcomes {
+            let class = o.request.sla.name();
+            metrics
+                .observe(&format!("serve.queue_wait_us.{class}"), self.queue_wait_s(o) * 1e6);
+            metrics.observe(&format!("serve.latency_us.{class}"), o.latency_s * 1e6);
+        }
+    }
+
+    /// Both surfaces at once.
+    pub fn record_obs(&self, obs: &gnnie_obs::Obs) {
+        self.emit_trace(&obs.trace);
+        self.record_metrics(&obs.metrics);
+    }
+
     fn latencies(&self, keep: impl Fn(&OnlineOutcome) -> bool) -> Vec<f64> {
         self.outcomes.iter().filter(|o| keep(o)).map(|o| o.latency_s).collect()
     }
@@ -263,6 +370,23 @@ impl Pending {
     fn urgency(&self) -> (Cycle, Cycle, u64) {
         (self.deadline.unwrap_or(Cycle::MAX), self.req.arrival, self.req.id())
     }
+}
+
+/// [`schedule_online`] with an observability bundle: the report's batch
+/// lifecycles land on `obs.trace` and its per-class queue-wait/latency
+/// histograms in `obs.metrics`. The returned report is byte-identical to
+/// the unobserved call — observability is emitted *from* the finished
+/// report, never woven into the scheduling loop.
+pub fn schedule_online_observed(
+    trace: &[OnlineRequest],
+    costs: &HashMap<u64, RequestCost>,
+    cfg: &OnlineConfig,
+    clock: &SimClock,
+    obs: &gnnie_obs::Obs,
+) -> OnlineReport {
+    let report = schedule_online(trace, costs, cfg, clock);
+    report.record_obs(obs);
+    report
 }
 
 /// Replays `trace` through the continuous-batching scheduler using the

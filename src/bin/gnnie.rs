@@ -5,11 +5,12 @@
 //!                [--seed 42] [--heads 8] [--cache-policy paper|lru|lfu|belady|pinned|split]
 //!                [--sim-threads auto|N] [--chips 4] [--partitioner range|edgecut]
 //!                [--tiers onchip:256KB,dram:16MB,ssd:4GB | auto:SIZE | even:SIZE]
+//!                [--trace out.json] [--trace-summary] [--metrics]
 //! gnnie ingest   <path> [--out snapshot.gnniecsr] [--shards N] [--dataset cora]
 //!                [--seed 42] [--force]
 //! gnnie serve    [--requests 16] [--models gcn,gat] [--datasets cora,pubmed] [--scale 0.25]
 //!                [--batch 8] [--policy fifo|affinity] [--workers 4] [--seed 42]
-//!                [--sim-threads auto|N]
+//!                [--sim-threads auto|N] [--trace out.json] [--metrics]
 //! gnnie compare  --dataset pubmed [--scale 1.0]
 //! gnnie verify   --model gcn [--vertices 300] [--edges 1500] [--seed 42]
 //! gnnie comm     --dataset pubmed [--scale 1.0]
@@ -77,6 +78,9 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "chips",
             "partitioner",
             "tiers",
+            "trace",
+            "trace-summary",
+            "metrics",
         ],
         "ingest" => &["out", "shards", "dataset", "seed", "force"],
         "serve" => &[
@@ -94,6 +98,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "rate",
             "burst",
             "sla",
+            "trace",
+            "metrics",
         ],
         "compare" | "comm" => &["dataset", "scale", "seed"],
         "verify" => &["model", "vertices", "edges", "seed"],
@@ -105,7 +111,8 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
 fn boolean_flags(command: &str) -> &'static [&'static str] {
     match command {
         "ingest" => &["force"],
-        "serve" => &["daemon"],
+        "serve" => &["daemon", "metrics"],
+        "run" => &["trace-summary", "metrics"],
         _ => &[],
     }
 }
@@ -187,6 +194,10 @@ fn usage() {
          \x20          (tiered feature cache: explicit per-tier budgets, or one global\n\
          \x20          budget split workload-aware (`auto`) or in naive halves (`even`);\n\
          \x20          sizes take B/KB/MB/GB suffixes; unset keeps the flat DRAM engine)\n\
+         \x20          [--trace out.json] [--trace-summary] [--metrics]\n\
+         \x20          (--trace writes the simulated timeline as Chrome trace-event JSON\n\
+         \x20          — open in Perfetto; timestamps are cycles. --trace-summary prints\n\
+         \x20          a text flamegraph, --metrics dumps the metrics registry)\n\
          \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
          \x20          [--seed N] [--force]\n\
          \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
@@ -200,6 +211,8 @@ fn usage() {
          \x20          [--rate RPS] [--burst N] [--sla interactive|standard|batch|mixed]\n\
          \x20          requests arrive on the simulated clock; --daemon serves them on a\n\
          \x20          long-lived worker pool with one persistent SimPool (graceful drain)\n\
+         \x20          [--trace out.json] [--metrics] trace batch lifecycles / dump the\n\
+         \x20          registry — online paths only (needs --daemon or a generated arrival)\n\
          \x20 compare  --dataset <...> [--scale ...]   GNNIE vs all baselines\n\
          \x20 verify   --model <...> [--vertices N] [--edges M] [--seed N]\n\
          \x20 comm     --dataset <...> [--scale ...]   inter-PE rebalancing traffic\n\
@@ -453,6 +466,67 @@ fn parse_design(flags: &HashMap<String, String>) -> Result<Option<Design>, Strin
     }
 }
 
+/// The observability selections of a command: an optional Chrome-trace
+/// output path (`--trace out.json`, viewable in Perfetto), a text
+/// flamegraph summary (`--trace-summary`), and a metrics-registry dump
+/// (`--metrics`). All default off, and a flagless run never constructs
+/// a recording sink, so its output stays byte-identical to
+/// pre-observability builds.
+#[derive(Debug)]
+struct ObsFlags {
+    trace_path: Option<PathBuf>,
+    trace_summary: bool,
+    metrics: bool,
+}
+
+impl ObsFlags {
+    fn from_flags(flags: &HashMap<String, String>) -> Self {
+        ObsFlags {
+            trace_path: flags.get("trace").map(PathBuf::from),
+            trace_summary: flags.contains_key("trace-summary"),
+            metrics: flags.contains_key("metrics"),
+        }
+    }
+
+    /// Builds the bundle to thread through the engine/scheduler: each
+    /// surface records only if a flag asked for it.
+    fn build(&self) -> gnnie::obs::Obs {
+        gnnie::obs::Obs {
+            trace: if self.trace_path.is_some() || self.trace_summary {
+                gnnie::obs::Trace::recording()
+            } else {
+                gnnie::obs::Trace::off()
+            },
+            metrics: if self.metrics {
+                gnnie::obs::Metrics::recording()
+            } else {
+                gnnie::obs::Metrics::off()
+            },
+        }
+    }
+
+    /// Emits everything the flags asked for, after the normal report:
+    /// the trace file (errors name the path), the flamegraph summary,
+    /// and the metrics dump.
+    fn emit(&self, obs: &gnnie::obs::Obs) -> Result<(), String> {
+        if let Some(path) = &self.trace_path {
+            let events = obs.trace.events();
+            let json = gnnie::obs::chrome_trace_json(&events);
+            std::fs::write(path, json)
+                .map_err(|e| format!("--trace {}: {e}", path.display()))?;
+            println!("  trace    {:>12} events -> {}", events.len(), path.display());
+        }
+        if self.trace_summary {
+            print!("{}", gnnie::obs::flame_summary(&obs.trace.events()));
+        }
+        if self.metrics {
+            println!("metrics:");
+            print!("{}", obs.metrics.snapshot().render());
+        }
+        Ok(())
+    }
+}
+
 /// A dataset resolved for `run`, plus how to title it in the report.
 #[derive(Debug)]
 struct RunDataset {
@@ -608,7 +682,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         ModelConfig::paper(model, &ds.spec)
     };
     let engine = Engine::new(config);
-    let report = engine.run(&model_config, &ds);
+    // With every flag off this is `Obs::off()` and `run_observed` is
+    // exactly `run` — the flagless report and stdout are unchanged.
+    let obs_flags = ObsFlags::from_flags(flags);
+    let obs = obs_flags.build();
+    let report = engine.run_observed(&model_config, &ds, &obs);
     let size = match scale {
         Some(s) => {
             format!("scale {s:.2}: {} vertices, {} edges", report.vertices, report.edges)
@@ -673,6 +751,8 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         println!("  tiers    {:>12} levels ({levels})", tier_stats.len());
     }
     println!("  effective {:>11.2} TOPS", report.effective_tops());
+    // Strictly flag-gated so flagless stdout stays byte-identical.
+    obs_flags.emit(&obs)?;
     Ok(())
 }
 
@@ -836,6 +916,18 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         Some(s) => s.parse()?,
         None => SlaMix::Mixed,
     };
+    // `--trace`/`--metrics` observe the online scheduler; on the legacy
+    // static batch planner they would silently record nothing, so they
+    // are rejected by name — mirroring the `--sla` rule above.
+    let obs_flags = ObsFlags::from_flags(flags);
+    if !online {
+        if obs_flags.trace_path.is_some() {
+            return Err("--trace requires --daemon or --arrival poisson|bursty".into());
+        }
+        if obs_flags.metrics {
+            return Err("--metrics requires --daemon or --arrival poisson|bursty".into());
+        }
+    }
 
     // The request mix: model varies fastest so a FIFO scheduler sees the
     // worst-case interleaving; every request gets its own seed.
@@ -851,23 +943,53 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let clock = SimClock::paper(datasets[0]);
         let trace = LoadGen { process, sla, seed }.generate(&queue, &clock);
         let cfg = OnlineConfig { max_batch, admission_control: true };
+        let mut obs = obs_flags.build();
+        if daemon_mode && !obs.metrics.enabled() {
+            // The drain report reads its per-class queue-wait percentiles
+            // from the registry, so the daemon path always records
+            // metrics; they reach stdout only under --metrics.
+            obs.metrics = gnnie::obs::Metrics::recording();
+        }
         let report = if daemon_mode {
             // Provenance goes to stderr so stdout stays byte-identical
             // between the daemon and scoped paths (and across
             // --sim-threads settings).
             eprintln!("[daemon: {workers} request workers, sim-threads {sim_threads}]");
             let daemon = Daemon::new(DaemonConfig { workers, sim_threads, chips: 1 });
-            let report = daemon.serve_online(&trace, &cfg);
+            let report = daemon.serve_online_observed(&trace, &cfg, &obs);
             let stats = daemon.profile_cache_stats();
             daemon.shutdown();
             eprintln!(
                 "[daemon: drained and joined; profile cache {} hits / {} misses, {} entries]",
                 stats.hits, stats.misses, stats.entries
             );
+            // Drain report: per-SLA-class queue wait alongside service
+            // latency, read back from the registry histograms.
+            let registry = obs.metrics.snapshot();
+            for class in gnnie::serve::SlaClass::ALL {
+                let name = class.name();
+                let wait = registry.histogram(&format!("serve.queue_wait_us.{name}"));
+                let service = registry.histogram(&format!("serve.latency_us.{name}"));
+                if let (Some(wait), Some(service)) = (wait, service) {
+                    eprintln!(
+                        "[daemon: {name} x{}: queue-wait {:.2} us p50 / {:.2} us p95, \
+                         service {:.2} us p50 / {:.2} us p95]",
+                        wait.count(),
+                        wait.percentile(0.50),
+                        wait.percentile(0.95),
+                        service.percentile(0.50),
+                        service.percentile(0.95),
+                    );
+                }
+            }
             report
         } else {
-            Server::new(ServeConfig { policy, max_batch, workers, sim_threads })
-                .run_online(&trace, &cfg)
+            let report = Server::new(ServeConfig { policy, max_batch, workers, sim_threads })
+                .run_online(&trace, &cfg);
+            // The scoped server returns the same OnlineReport; derive the
+            // observability surfaces from it post hoc, like the daemon.
+            report.record_obs(&obs);
+            report
         };
 
         println!(
@@ -916,6 +1038,8 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
             report.deadline_hit_rate() * 100.0,
             report.makespan_cycles
         );
+        // Strictly flag-gated so flagless stdout stays byte-identical.
+        obs_flags.emit(&obs)?;
         return Ok(());
     }
 
@@ -1371,6 +1495,48 @@ mod tests {
         assert!(err.contains("--partitioner"), "flag named: {err}");
         assert!(err.contains("metis") && err.contains("range|edgecut"), "{err}");
         assert!(allowed_flags("run").contains(&"partitioner"));
+    }
+
+    #[test]
+    fn obs_flags_default_off_and_map_the_three_knobs() {
+        let off = ObsFlags::from_flags(&flags(&[]));
+        let obs = off.build();
+        assert!(
+            !obs.trace.enabled() && !obs.metrics.enabled(),
+            "flagless runs observe nothing"
+        );
+
+        let on = ObsFlags::from_flags(&flags(&[
+            ("trace", "/tmp/out.json"),
+            ("trace-summary", "true"),
+            ("metrics", "true"),
+        ]));
+        assert_eq!(on.trace_path.as_deref(), Some(Path::new("/tmp/out.json")));
+        let obs = on.build();
+        assert!(obs.trace.enabled() && obs.metrics.enabled());
+        // --trace-summary alone records a trace but no metrics.
+        let summary_only = ObsFlags::from_flags(&flags(&[("trace-summary", "true")])).build();
+        assert!(summary_only.trace.enabled() && !summary_only.metrics.enabled());
+        // The flag tables know all three (and serve's two are boolean-correct).
+        assert!(allowed_flags("run").contains(&"trace"));
+        assert!(allowed_flags("run").contains(&"trace-summary"));
+        assert!(allowed_flags("run").contains(&"metrics"));
+        assert!(allowed_flags("serve").contains(&"trace"));
+        assert!(allowed_flags("serve").contains(&"metrics"));
+        assert!(boolean_flags("run").contains(&"metrics"));
+        assert!(boolean_flags("serve").contains(&"metrics"));
+        assert!(!boolean_flags("run").contains(&"trace"), "--trace takes a path");
+    }
+
+    #[test]
+    fn obs_emit_surfaces_bad_trace_paths_by_name() {
+        let obs_flags = ObsFlags {
+            trace_path: Some(PathBuf::from("/no/such/dir/out.json")),
+            trace_summary: false,
+            metrics: false,
+        };
+        let err = obs_flags.emit(&obs_flags.build()).unwrap_err();
+        assert!(err.contains("--trace") && err.contains("/no/such/dir/out.json"), "{err}");
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub use gnnie_gnn as gnn;
 pub use gnnie_graph as graph;
 pub use gnnie_ingest as ingest;
 pub use gnnie_mem as mem;
+pub use gnnie_obs as obs;
 pub use gnnie_serve as serve;
 pub use gnnie_tensor as tensor;
 

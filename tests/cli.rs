@@ -703,3 +703,139 @@ fn foreign_graph_reports_are_labeled_honestly() {
     assert!(stdout.contains("feature profile"), "profile named:\n{stdout}");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `--trace` output is byte-identical across `--sim-threads` settings
+/// (spans are derived from the deterministic report, never from the
+/// sharded loops), and the observability flags leave the normal report
+/// untouched — it is a strict prefix of the flagged run's stdout.
+#[test]
+fn trace_files_are_byte_identical_across_sim_threads() {
+    let dir = tmpdir("trace-determinism");
+    // One shared output path, so the printed `trace ... -> path` line is
+    // identical too; the bytes are read back between runs.
+    let trace_at = |threads: &str| {
+        let path = dir.join("t.json");
+        let out = run_args(&[
+            "run",
+            "--model",
+            "gat",
+            "--dataset",
+            "cora",
+            "--scale",
+            "0.05",
+            "--chips",
+            "4",
+            "--tiers",
+            "auto:1MB",
+            "--sim-threads",
+            threads,
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        (std::fs::read(&path).unwrap(), out.stdout)
+    };
+    let (trace_1, stdout_1) = trace_at("1");
+    let (trace_4, stdout_4) = trace_at("4");
+    assert_eq!(trace_1, trace_4, "trace JSON must not depend on --sim-threads");
+    assert_eq!(stdout_1, stdout_4);
+    let json = String::from_utf8(trace_1).unwrap();
+    assert!(json.starts_with("{\"traceEvents\":["), "Chrome trace shape:\n{json}");
+    for track in ["chip0", "chip3", "onchip", "dram", "phases"] {
+        assert!(json.contains(track), "track `{track}` labeled in:\n{json}");
+    }
+
+    // The flagged run's report is the flagless report plus gated lines.
+    let bare = run_args(&[
+        "run",
+        "--model",
+        "gat",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--chips",
+        "4",
+        "--tiers",
+        "auto:1MB",
+        "--sim-threads",
+        "1",
+    ]);
+    assert!(bare.status.success());
+    let bare_stdout = String::from_utf8(bare.stdout).unwrap();
+    let flagged = String::from_utf8(stdout_1).unwrap();
+    assert!(
+        flagged.starts_with(&bare_stdout),
+        "observability must only append to the report:\n--- flagless:\n{bare_stdout}\n--- flagged:\n{flagged}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--trace`/`--metrics` error paths: unwritable paths are named, and on
+/// `serve` the flags require an online path, mirroring `--sla`.
+#[test]
+fn observability_flag_errors_name_the_problem() {
+    let out = run_args(&[
+        "run",
+        "--model",
+        "gcn",
+        "--dataset",
+        "cora",
+        "--scale",
+        "0.05",
+        "--trace",
+        "/no/such/dir/out.json",
+    ]);
+    assert!(!out.status.success(), "unwritable --trace path must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--trace") && stderr.contains("/no/such/dir/out.json"),
+        "error names the flag and the path:\n{stderr}"
+    );
+
+    let cases: &[(&[&str], &str)] = &[
+        (&["serve", "--trace", "t.json"], "--trace requires"),
+        (&["serve", "--metrics"], "--metrics requires"),
+        (&["run", "--model", "gcn", "--dataset", "cora", "--trace"], "needs a value"),
+    ];
+    for (args, needle) in cases {
+        let out = run_args(args);
+        assert!(!out.status.success(), "{args:?} must be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "{args:?}: expected `{needle}` in:\n{stderr}");
+    }
+}
+
+/// The daemon drain report breaks queue wait out per SLA class next to
+/// service latency (on stderr, so stdout stays byte-identical to the
+/// scoped path), and `--metrics` dumps the registry.
+#[test]
+fn daemon_drain_report_includes_per_class_queue_wait() {
+    let out = run_args(&[
+        "serve",
+        "--daemon",
+        "--arrival",
+        "poisson",
+        "--rate",
+        "50000",
+        "--requests",
+        "6",
+        "--scale",
+        "0.05",
+        "--sla",
+        "mixed",
+        "--seed",
+        "7",
+        "--metrics",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("queue-wait") && stderr.contains("service"),
+        "drain report shows queue wait next to service latency:\n{stderr}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("metrics:"), "{stdout}");
+    assert!(stdout.contains("serve.queue_wait_us."), "{stdout}");
+    assert!(stdout.contains("serve.daemon.profile_cache.entries"), "{stdout}");
+}
