@@ -65,6 +65,22 @@ fn render_json(sweep: &ingest_throughput::IngestSweep) -> String {
             if i + 1 == sweep.cache.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    let oc = &sweep.outofcore;
+    out.push_str(&format!(
+        "  ],\n  \"outofcore\": {{\"vertices\": {}, \"input_edges\": {}, \"chunk_bytes\": {}, \
+         \"chunked_build_ms\": {:.4}, \"inmem_build_ms\": {:.4}, \"bit_identical\": {}, \
+         \"snapshot_load_ms\": {:.4}, \"reparse_ms\": {:.4}, \
+         \"load_speedup_vs_reparse\": {:.4}, \"mmap\": {}}}\n}}\n",
+        oc.vertices,
+        oc.input_edges,
+        oc.chunk_bytes,
+        oc.chunked_build_ms,
+        oc.inmem_build_ms,
+        oc.bit_identical,
+        oc.snapshot_load_ms,
+        oc.reparse_ms,
+        oc.load_speedup_vs_reparse,
+        oc.mmap,
+    ));
     out
 }

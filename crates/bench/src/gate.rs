@@ -167,9 +167,17 @@ fn ingest_metrics(json: &Json) -> Result<Vec<Metric>, String> {
     if max_speedup == f64::NEG_INFINITY {
         return Err("ingest artifact: no multi-shard rows to gate".into());
     }
+    // The out-of-core row: the chunked external builder's bit-identity
+    // is deterministic; the snapshot-load-vs-reparse speedup is wall
+    // clock (conservative baseline, demotable on single-core runners).
+    let oc = json.get("outofcore").ok_or("ingest artifact: missing `outofcore` object")?;
+    let oc_identical = flag(oc, "bit_identical", "ingest outofcore")?;
+    let oc_speedup = field(oc, "load_speedup_vs_reparse", "ingest outofcore")?;
     Ok(vec![
         Metric::new("bit_identical", f64::from(u8::from(all_identical))),
         Metric::new("max_build_speedup_vs_serial", max_speedup),
+        Metric::new("outofcore_bit_identical", f64::from(u8::from(oc_identical))),
+        Metric::new("outofcore_load_speedup_vs_reparse", oc_speedup),
     ])
 }
 
@@ -320,7 +328,12 @@ fn tiered_metrics(json: &Json) -> Result<Vec<Metric>, String> {
 /// baseline file. Everything else is deterministic and refreshed
 /// verbatim.
 pub fn is_wall_clock(name: &str) -> bool {
-    matches!(name, "max_build_speedup_vs_serial" | "max_speedup_vs_serial")
+    matches!(
+        name,
+        "max_build_speedup_vs_serial"
+            | "max_speedup_vs_serial"
+            | "outofcore_load_speedup_vs_reparse"
+    )
 }
 
 /// Reads the `{"artifact": ..., "metrics": {...}}` baseline document.
@@ -534,11 +547,29 @@ mod tests {
             r#"{"sweep": [{"matches_serial": true, "shards": 1, "speedup_vs_serial": 2.5},
                           {"matches_serial": true, "shards": 4, "speedup_vs_serial": 0.9},
                           {"matches_serial": true, "shards": 8, "speedup_vs_serial": 2.1}],
-                "cache": []}"#,
+                "cache": [],
+                "outofcore": {"bit_identical": true, "load_speedup_vs_reparse": 12.5}}"#,
         )
         .unwrap();
         let m = headline_metrics("BENCH_ingest_throughput.json", &ingest).unwrap();
-        assert_eq!(m, metrics(&[("bit_identical", 1.0), ("max_build_speedup_vs_serial", 2.1)]));
+        assert_eq!(
+            m,
+            metrics(&[
+                ("bit_identical", 1.0),
+                ("max_build_speedup_vs_serial", 2.1),
+                ("outofcore_bit_identical", 1.0),
+                ("outofcore_load_speedup_vs_reparse", 12.5),
+            ])
+        );
+        // The snapshot-load speedup is wall clock; the identity flags
+        // are deterministic.
+        assert!(is_wall_clock("outofcore_load_speedup_vs_reparse"));
+        assert!(!is_wall_clock("outofcore_bit_identical"));
+        // An artifact without the out-of-core row fails loudly.
+        let missing_oc =
+            Json::parse(r#"{"sweep": [{"matches_serial": true, "shards": 4, "speedup_vs_serial": 1.5}], "cache": []}"#)
+                .unwrap();
+        assert!(headline_metrics("BENCH_ingest_throughput.json", &missing_oc).is_err());
         let parallel = Json::parse(
             r#"[{"identical": true, "threads": 1, "speedup_vs_serial": 1.0},
                 {"identical": false, "threads": 4, "speedup_vs_serial": 1.8}]"#,

@@ -92,25 +92,36 @@ impl Engine {
     /// snapshots) — the engine consumes both identically, and equal
     /// datasets produce byte-identical reports regardless of source.
     pub fn run(&self, model: &ModelConfig, ds: &GraphDataset) -> InferenceReport {
-        let mut session = self.begin(model, ds);
+        self.run_with(model, ds, RunOptions::default())
+    }
+
+    /// The options-driven single-shot entry point: one inference of
+    /// `model` over `ds` under `opts` — weight residency, a sim-thread
+    /// override, and the observability bundle all ride on
+    /// [`RunOptions`]. [`Engine::run`] is exactly
+    /// `run_with(m, ds, RunOptions::default())`; every option is
+    /// host-side only, so the report is bit-identical across `sim_threads`
+    /// settings and untouched by an enabled `obs` bundle.
+    pub fn run_with(
+        &self,
+        model: &ModelConfig,
+        ds: &GraphDataset,
+        opts: RunOptions,
+    ) -> InferenceReport {
+        let mut session = self.begin_with(model, ds, opts);
         session.run_to_completion();
         session.finish()
     }
 
-    /// [`Engine::run`] with an observability bundle attached: the
-    /// finished report's span timeline and metrics land on `obs`.
-    /// `Engine::run(m, ds)` is exactly `run_observed(m, ds, &Obs::off())`
-    /// — a disabled bundle records nothing and changes nothing.
+    /// [`Engine::run`] with an observability bundle attached.
+    #[deprecated(note = "use run_with with RunOptions { obs, .. } instead")]
     pub fn run_observed(
         &self,
         model: &ModelConfig,
         ds: &GraphDataset,
         obs: &Obs,
     ) -> InferenceReport {
-        let mut session = self.begin(model, ds);
-        session.attach_obs(obs.clone());
-        session.run_to_completion();
-        session.finish()
+        self.run_with(model, ds, RunOptions { obs: obs.clone(), ..RunOptions::default() })
     }
 
     /// Starts a phased run with default options: performs the one-time
@@ -207,7 +218,6 @@ impl Engine {
             cursor: 0,
             pending_weighting: None,
             diffpool_done: false,
-            obs: Obs::off(),
         }
     }
 
@@ -381,8 +391,11 @@ impl Engine {
     }
 }
 
-/// Options for a phased run ([`Engine::begin_with`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Options for a run ([`Engine::run_with`] / [`Engine::begin_with`]).
+///
+/// Every field is host-side only: none of them change the simulated
+/// cycles, traffic, or energy in the report.
+#[derive(Debug, Clone, Default)]
 pub struct RunOptions {
     /// The model's layer weights are already resident on chip — an
     /// earlier request of a model-homogeneous serving batch streamed
@@ -392,6 +405,10 @@ pub struct RunOptions {
     /// `AcceleratorConfig::sim_threads` (`None` = use the config's knob).
     /// Host-side only: the report is bit-identical at any setting.
     pub sim_threads: Option<SimThreads>,
+    /// Observability bundle: the finished report's span timeline and
+    /// metrics land here. The default ([`Obs::off`]) records nothing and
+    /// changes nothing.
+    pub obs: Obs,
 }
 
 /// A phased inference run: the per-run mutable state of one
@@ -426,11 +443,6 @@ pub struct RunSession<'a> {
     pending_weighting: Option<WeightingReport>,
     /// DiffPool's irregular schedule ran (all layers emitted).
     diffpool_done: bool,
-    /// Observability bundle; off by default ([`attach_obs`] enables it).
-    /// Kept out of [`RunOptions`] so that stays `Copy`.
-    ///
-    /// [`attach_obs`]: RunSession::attach_obs
-    obs: Obs,
 }
 
 impl<'a> RunSession<'a> {
@@ -449,13 +461,14 @@ impl<'a> RunSession<'a> {
         self.preprocessing_cycles
     }
 
-    /// Attaches an observability bundle: [`finish`](RunSession::finish)
-    /// will emit the run's span timeline onto its trace and record its
-    /// metrics into its registry. The default bundle is off, and a
-    /// disabled bundle costs one branch — simulated cycles and the report
-    /// are identical either way.
+    /// Attaches an observability bundle (equivalent to having passed it
+    /// in [`RunOptions::obs`]): [`finish`](RunSession::finish) will emit
+    /// the run's span timeline onto its trace and record its metrics
+    /// into its registry. The default bundle is off, and a disabled
+    /// bundle costs one branch — simulated cycles and the report are
+    /// identical either way.
     pub fn attach_obs(&mut self, obs: Obs) {
-        self.obs = obs;
+        self.opts.obs = obs;
     }
 
     /// Whether every phase of the run has executed ([`finish`] is legal).
@@ -690,7 +703,7 @@ impl<'a> RunSession<'a> {
             weight_load_cycles,
             weights_resident: self.opts.weights_resident,
         };
-        report.record_obs(&self.obs);
+        report.record_obs(&self.opts.obs);
         report
     }
 
@@ -749,6 +762,20 @@ mod tests {
         assert!(r.energy.dram_pj() > 0.0, "DRAM traffic must be charged");
         assert!(r.effective_tops() > 0.0);
         assert!(r.inferences_per_kj() > 0.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_observed_matches_run_with() {
+        let ds = small(Dataset::Cora, 0.1);
+        let cfg = AcceleratorConfig::paper(ds.spec.dataset);
+        let mc = ModelConfig::paper(GnnModel::Gcn, &ds.spec);
+        let engine = Engine::new(cfg);
+        let obs = Obs::default();
+        let old = engine.run_observed(&mc, &ds, &obs);
+        let new =
+            engine.run_with(&mc, &ds, RunOptions { obs: obs.clone(), ..RunOptions::default() });
+        assert_eq!(format!("{old:?}"), format!("{new:?}"));
     }
 
     #[test]
@@ -909,7 +936,7 @@ mod tests {
             let mut session = engine.begin_with(
                 &mc,
                 &ds,
-                RunOptions { weights_resident: true, sim_threads: None },
+                RunOptions { weights_resident: true, ..RunOptions::default() },
             );
             session.run_to_completion();
             let hot = session.finish();
@@ -947,6 +974,7 @@ mod tests {
                     RunOptions {
                         weights_resident: false,
                         sim_threads: Some(SimThreads::Fixed(threads)),
+                        ..RunOptions::default()
                     },
                 );
                 session.run_to_completion();
@@ -966,11 +994,11 @@ mod tests {
         for model in [GnnModel::Gcn, GnnModel::Gat] {
             let mc = ModelConfig::paper(model, &ds.spec);
             for resident in [false, true] {
-                let opts = RunOptions { weights_resident: resident, sim_threads: None };
+                let opts = RunOptions { weights_resident: resident, ..RunOptions::default() };
                 let mut scoped = engine.begin_with(
                     &mc,
                     &ds,
-                    RunOptions { sim_threads: Some(SimThreads::Fixed(1)), ..opts },
+                    RunOptions { sim_threads: Some(SimThreads::Fixed(1)), ..opts.clone() },
                 );
                 scoped.run_to_completion();
                 let scoped = format!("{:?}", scoped.finish());

@@ -80,6 +80,7 @@ proptest! {
                 RunOptions {
                     weights_resident: true,
                     sim_threads: Some(SimThreads::Fixed(threads)),
+                    ..RunOptions::default()
                 },
             );
             session.run_to_completion();

@@ -9,6 +9,7 @@
 
 use std::fmt;
 
+use gnnie_tensor::Backing;
 use serde::{Deserialize, Serialize};
 
 use crate::coo::EdgeList;
@@ -85,8 +86,8 @@ pub struct CsrBuildStats {
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CsrGraph {
-    offsets: Vec<usize>,
-    neighbors: Vec<VertexId>,
+    offsets: Backing<usize>,
+    neighbors: Backing<VertexId>,
     num_edges: usize,
 }
 
@@ -118,7 +119,7 @@ impl CsrGraph {
         for v in 0..n {
             neighbors[offsets[v]..offsets[v + 1]].sort_unstable();
         }
-        Self { offsets, neighbors, num_edges: edges.len() }
+        Self { offsets: offsets.into(), neighbors: neighbors.into(), num_edges: edges.len() }
     }
 
     /// Builds a graph directly from `(u, v)` pairs over `n` vertices.
@@ -199,7 +200,17 @@ impl CsrGraph {
         neighbors: Vec<VertexId>,
         num_edges: usize,
     ) -> Result<Self, GraphBuildError> {
+        let graph = Self { offsets: offsets.into(), neighbors: neighbors.into(), num_edges };
+        graph.validate_full()?;
+        Ok(graph)
+    }
+
+    /// Full structural validation shared by [`Self::from_raw_parts`] and
+    /// the `debug_assertions` arm of [`Self::from_raw_parts_trusted`].
+    fn validate_full(&self) -> Result<(), GraphBuildError> {
         let invalid = |msg: String| Err(GraphBuildError::InvalidCsr(msg));
+        let offsets = &self.offsets[..];
+        let neighbors = &self.neighbors[..];
         let Some((&first, _)) = offsets.split_first() else {
             return invalid("offsets array is empty (need n + 1 entries)".into());
         };
@@ -220,15 +231,14 @@ impl CsrGraph {
         if neighbors.len() % 2 != 0 {
             return invalid(format!("odd neighbor count {} (undirected)", neighbors.len()));
         }
-        if num_edges != neighbors.len() / 2 {
+        if self.num_edges != neighbors.len() / 2 {
             return invalid(format!(
-                "num_edges {num_edges} does not match {} neighbor entries / 2",
+                "num_edges {} does not match {} neighbor entries / 2",
+                self.num_edges,
                 neighbors.len()
             ));
         }
-        let graph = Self { offsets, neighbors, num_edges };
-        graph.validate_lists(n)?;
-        Ok(graph)
+        self.validate_lists(n)
     }
 
     fn validate_lists(&self, n: usize) -> Result<(), GraphBuildError> {
@@ -253,7 +263,9 @@ impl CsrGraph {
 
     /// [`CsrGraph::from_raw_parts`] for callers that construct the
     /// invariants by design (the shard-parallel builder in
-    /// `gnnie-ingest`): full validation runs only under
+    /// `gnnie-ingest`, or the mmap snapshot loader handing in
+    /// [`Backing::from_shared`] views whose bytes were produced by the
+    /// snapshot writer): full validation runs only under
     /// `debug_assertions`, so release ingest is not taxed with an
     /// `O(E log d)` re-check of arrays it just produced. Untrusted input
     /// (snapshot reload, foreign files) must go through the validating
@@ -265,15 +277,21 @@ impl CsrGraph {
     /// invariant. Without them, a violating input produces a graph whose
     /// accessors may panic or return wrong results later.
     pub fn from_raw_parts_trusted(
-        offsets: Vec<usize>,
-        neighbors: Vec<VertexId>,
+        offsets: impl Into<Backing<usize>>,
+        neighbors: impl Into<Backing<VertexId>>,
         num_edges: usize,
     ) -> Self {
+        let graph = Self { offsets: offsets.into(), neighbors: neighbors.into(), num_edges };
         if cfg!(debug_assertions) {
-            return Self::from_raw_parts(offsets, neighbors, num_edges)
-                .expect("trusted caller violated CSR invariants");
+            graph.validate_full().expect("trusted caller violated CSR invariants");
         }
-        Self { offsets, neighbors, num_edges }
+        graph
+    }
+
+    /// `true` when the CSR arrays borrow shared storage (for example a
+    /// memory-mapped snapshot) instead of owning their `Vec`s.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.offsets.is_shared() || self.neighbors.is_shared()
     }
 
     /// Number of vertices.

@@ -45,20 +45,30 @@
 
 pub mod build;
 pub mod bytes;
+pub mod chunked;
 pub mod error;
 pub mod export;
 pub mod format;
+#[cfg(unix)]
+pub mod mmapfile;
 pub mod parse;
 pub mod registry;
 pub mod snapshot;
+pub mod source;
 
 pub use build::{build_csr_parallel, build_csr_serial, default_shards, MAX_SHARDS};
+pub use chunked::build_csr_chunked;
 pub use error::IngestError;
 pub use export::{export_edge_list, render_edge_list, write_binary_csr};
 pub use format::{detect_file_format, EdgeListFormat, FileFormat};
-pub use parse::{parse_edge_list, parse_edge_list_path, ParsedEdgeList, RecordedSpec};
+pub use parse::{
+    parse_edge_list, parse_edge_list_path, scan_edge_list, scan_edge_list_reader, EdgeListMeta,
+    ParsedEdgeList, RecordedSpec,
+};
 pub use registry::{DatasetRegistry, LoadOutcome, SourceKind};
 pub use snapshot::{
-    default_partition_tables, peek_snapshot_version, read_snapshot,
-    read_snapshot_with_partitions, write_snapshot, write_snapshot_with_partitions,
+    default_partition_tables, mmap_supported, open_snapshot, peek_snapshot_info,
+    peek_snapshot_version, read_snapshot, read_snapshot_with_partitions, write_snapshot,
+    write_snapshot_with_partitions, SnapshotInfo, SnapshotLoad,
 };
+pub use source::{DataSource, Provenance, Resolved};

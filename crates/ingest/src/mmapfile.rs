@@ -1,0 +1,142 @@
+//! A minimal read-only `mmap` wrapper (no external crates).
+//!
+//! The snapshot v3 loader maps `.gnniecsr` files and hands the graph/feature
+//! constructors zero-copy slices into the mapping. Only Unix is supported;
+//! on other platforms the loader falls back to the copying decoder, so this
+//! module is compiled exclusively under `cfg(unix)`.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the file contents can never
+//! be mutated through it, which is what makes sharing `&[u8]` views across
+//! threads sound. The file descriptor is closed as soon as the mapping is
+//! established — POSIX keeps the mapping valid independently of the fd.
+
+#![cfg(unix)]
+
+use std::fs::File;
+use std::os::unix::io::AsRawFd;
+use std::path::Path;
+use std::sync::Arc;
+
+use crate::error::IngestError;
+
+const PROT_READ: i32 = 1;
+const MAP_PRIVATE: i32 = 2;
+
+extern "C" {
+    fn mmap(
+        addr: *mut std::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut std::ffi::c_void;
+    fn munmap(addr: *mut std::ffi::c_void, len: usize) -> i32;
+}
+
+/// A read-only memory mapping of an entire file.
+///
+/// Dropping the value unmaps the region; holding it in an `Arc` (as the
+/// `owner` of a [`gnnie_tensor::Backing`]) keeps every borrowed slice valid.
+#[derive(Debug)]
+pub struct MmapFile {
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only (`PROT_READ`) and private, so concurrent
+// `&[u8]` access from multiple threads can never race with a writer.
+unsafe impl Send for MmapFile {}
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Maps `path` read-only in its entirety.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::Io`] if the file cannot be opened, is empty
+    /// (POSIX rejects zero-length mappings), or the `mmap` call fails.
+    pub fn open(path: &Path) -> Result<Arc<Self>, IngestError> {
+        let file = File::open(path).map_err(|e| IngestError::io(path, e.to_string()))?;
+        let len = file.metadata().map_err(|e| IngestError::io(path, e.to_string()))?.len();
+        if len == 0 {
+            return Err(IngestError::io(path, "cannot mmap an empty file"));
+        }
+        let len = usize::try_from(len)
+            .map_err(|_| IngestError::io(path, "file too large to map on this platform"))?;
+        // SAFETY: fd is a valid open descriptor; addr=null lets the kernel
+        // pick a page-aligned address; failures return MAP_FAILED, checked
+        // below before the pointer is ever used.
+        let ptr = unsafe {
+            mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+        };
+        if ptr as usize == usize::MAX {
+            return Err(IngestError::io(path, "mmap failed"));
+        }
+        Ok(Arc::new(MmapFile { ptr: ptr as *const u8, len }))
+    }
+
+    /// The mapped file contents.
+    pub fn as_slice(&self) -> &[u8] {
+        // SAFETY: `ptr` spans `len` mapped, readable bytes for the lifetime
+        // of `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if the mapping is empty (never constructed; kept for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` describe exactly the region mapped in `open`.
+        unsafe {
+            munmap(self.ptr as *mut std::ffi::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("gnnie-mmap-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn maps_a_file_read_only() {
+        let path = temp_path("basic");
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mmap").unwrap();
+        drop(f);
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.as_slice(), b"hello mmap");
+        assert_eq!(map.len(), 10);
+        assert!(!map.is_empty());
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_files_are_rejected() {
+        let path = temp_path("empty");
+        File::create(&path).unwrap();
+        assert!(MmapFile::open(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_files_are_an_io_error() {
+        assert!(MmapFile::open(Path::new("/nonexistent/gnnie.gnniecsr")).is_err());
+    }
+}

@@ -32,6 +32,40 @@ pub struct RecordedSpec {
     pub seed: u64,
 }
 
+/// Everything a streaming scan learns about an edge list *besides* the
+/// pairs themselves (which go to the caller's sink).
+///
+/// This is the bounded-memory core shared by the collecting parser
+/// ([`parse_edge_list`]) and the out-of-core chunked ingest path, which
+/// replays the file through [`scan_edge_list`] instead of materializing
+/// `pairs`.
+#[derive(Debug, Clone)]
+pub struct EdgeListMeta {
+    /// The dialect that was parsed.
+    pub format: EdgeListFormat,
+    /// Vertex count from a `gnnie vertices` directive, if present.
+    pub declared_vertices: Option<usize>,
+    /// Spec + seed from a `gnnie spec` directive, if present.
+    pub recorded: Option<RecordedSpec>,
+    /// Lines that carried a third (edge weight) column. GNNIE graphs are
+    /// unweighted, so the column is dropped — callers surface a warning
+    /// so users know (see `gnnie ingest`).
+    pub weighted_lines: usize,
+    /// 1-based line number of the first dropped weight column.
+    pub first_weight_line: Option<usize>,
+    /// Largest id seen and the 1-based line it first appeared on.
+    max_seen: Option<(VertexId, usize)>,
+}
+
+impl EdgeListMeta {
+    /// The vertex count: the declared count when a directive is present,
+    /// otherwise `max id + 1` (0 for an empty file).
+    pub fn num_vertices(&self) -> usize {
+        self.declared_vertices
+            .unwrap_or_else(|| self.max_seen.map_or(0, |(m, _)| m as usize + 1))
+    }
+}
+
 /// The outcome of parsing a text edge list.
 #[derive(Debug, Clone)]
 pub struct ParsedEdgeList {
@@ -94,21 +128,64 @@ pub fn parse_edge_list(
 }
 
 /// Parses an edge list from any buffered reader; `path` is used only for
-/// error messages. This is the streaming core of [`parse_edge_list`].
+/// error messages.
 ///
 /// # Errors
 ///
 /// See [`parse_edge_list_path`].
 pub fn parse_edge_list_reader<R: BufRead>(
-    mut reader: R,
+    reader: R,
     path: &Path,
     format: EdgeListFormat,
 ) -> Result<ParsedEdgeList, IngestError> {
-    let mut out = ParsedEdgeList {
+    let mut pairs = Vec::new();
+    let meta = scan_edge_list_reader(reader, path, format, |u, v| pairs.push((u, v)))?;
+    Ok(ParsedEdgeList {
+        format: meta.format,
+        declared_vertices: meta.declared_vertices,
+        recorded: meta.recorded,
+        pairs,
+        weighted_lines: meta.weighted_lines,
+        first_weight_line: meta.first_weight_line,
+        max_seen: meta.max_seen,
+    })
+}
+
+/// Streams the edge list at `path` through `sink` without collecting the
+/// pairs — the bounded-memory entry point for out-of-core ingest. The
+/// sink receives every `(u, v)` pair in file order (self-loops and
+/// duplicates included); directives, weight-column accounting, and
+/// declared-vertex-count validation behave exactly like
+/// [`parse_edge_list`].
+///
+/// # Errors
+///
+/// See [`parse_edge_list_path`].
+pub fn scan_edge_list(
+    path: &Path,
+    format: EdgeListFormat,
+    sink: impl FnMut(VertexId, VertexId),
+) -> Result<EdgeListMeta, IngestError> {
+    let file = File::open(path).map_err(|e| IngestError::io(path, e))?;
+    scan_edge_list_reader(BufReader::new(file), path, format, sink)
+}
+
+/// [`scan_edge_list`] over any buffered reader; the streaming core under
+/// every text-edge-list entry point.
+///
+/// # Errors
+///
+/// See [`parse_edge_list_path`].
+pub fn scan_edge_list_reader<R: BufRead>(
+    mut reader: R,
+    path: &Path,
+    format: EdgeListFormat,
+    mut sink: impl FnMut(VertexId, VertexId),
+) -> Result<EdgeListMeta, IngestError> {
+    let mut out = EdgeListMeta {
         format,
         declared_vertices: None,
         recorded: None,
-        pairs: Vec::new(),
         weighted_lines: 0,
         first_weight_line: None,
         max_seen: None,
@@ -182,7 +259,7 @@ pub fn parse_edge_list_reader<R: BufRead>(
         if is_new_max {
             out.max_seen = Some((line_max, lineno));
         }
-        out.pairs.push((u, v));
+        sink(u, v);
     }
     // A `vertices` directive may legally appear after edge lines; the
     // per-line check only covers lines parsed after it, so re-validate,
@@ -212,7 +289,7 @@ fn parse_directive(
     line: &str,
     path: &Path,
     lineno: usize,
-    out: &mut ParsedEdgeList,
+    out: &mut EdgeListMeta,
 ) -> Result<(), IngestError> {
     let body = line.trim_start().trim_start_matches(['#', '%']).trim_start_matches("//").trim();
     let Some(rest) = body.strip_prefix("gnnie ") else {

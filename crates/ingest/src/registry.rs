@@ -22,10 +22,11 @@ use gnnie_graph::features::generate_features;
 use gnnie_graph::{CsrBuildStats, Dataset, DatasetSpec, GraphDataset};
 
 use crate::build::{build_csr_parallel, default_shards};
+use crate::chunked::build_csr_chunked;
 use crate::error::IngestError;
 use crate::format::{detect_file_format, FileFormat};
-use crate::parse::{parse_edge_list, read_binary_csr, RecordedSpec};
-use crate::snapshot::read_snapshot;
+use crate::parse::{parse_edge_list, read_binary_csr, scan_edge_list, RecordedSpec};
+use crate::snapshot::open_snapshot;
 
 /// The seed-mixing constant of `DatasetSpec::generate`: features are
 /// always generated with `seed ^ FEATURE_SEED_MIX`, so file-backed loads
@@ -89,6 +90,12 @@ pub struct LoadOutcome {
     /// from the fallback dataset's statistics (foreign edge list,
     /// binary CSR).
     pub recorded_spec: bool,
+    /// The snapshot layout version for snapshot loads, `None` otherwise.
+    pub snapshot_version: Option<u32>,
+    /// `true` when the load was zero-copy via `mmap` (v3 snapshots on
+    /// supported platforms) — the arrays borrow the mapped file instead
+    /// of owning copies.
+    pub mmap: bool,
 }
 
 /// Resolves dataset names and paths to graphs; see the module docs.
@@ -168,13 +175,7 @@ impl DatasetRegistry {
         seed: u64,
     ) -> Result<LoadOutcome, IngestError> {
         match self.source_for(dataset) {
-            SourceKind::Synthetic => Ok(LoadOutcome {
-                dataset: GraphDataset::generate(dataset, scale, seed),
-                source: SourceKind::Synthetic,
-                stats: None,
-                dropped_weights: None,
-                recorded_spec: true,
-            }),
+            SourceKind::Synthetic => Ok(Self::synthesize(dataset, scale, seed)),
             source => {
                 let path = source.path().expect("file-backed source").to_path_buf();
                 let outcome = self.load_path_with(&path, dataset, seed, default_shards())?;
@@ -189,6 +190,25 @@ impl DatasetRegistry {
                 }
                 Ok(outcome)
             }
+        }
+    }
+
+    /// Synthesizes `dataset` at `scale` with `seed`, bypassing any data
+    /// directory — the canonical [`LoadOutcome`] for the in-process
+    /// synthesizer ([`crate::DataSource::Synth`] resolves through this).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    pub fn synthesize(dataset: Dataset, scale: f64, seed: u64) -> LoadOutcome {
+        LoadOutcome {
+            dataset: GraphDataset::generate(dataset, scale, seed),
+            source: SourceKind::Synthetic,
+            stats: None,
+            dropped_weights: None,
+            recorded_spec: true,
+            snapshot_version: None,
+            mmap: false,
         }
     }
 
@@ -224,13 +244,18 @@ impl DatasetRegistry {
         shards: usize,
     ) -> Result<LoadOutcome, IngestError> {
         match detect_file_format(path)? {
-            FileFormat::Snapshot => Ok(LoadOutcome {
-                dataset: read_snapshot(path)?,
-                source: SourceKind::Snapshot(path.to_path_buf()),
-                stats: None,
-                dropped_weights: None,
-                recorded_spec: true,
-            }),
+            FileFormat::Snapshot => {
+                let load = open_snapshot(path)?;
+                Ok(LoadOutcome {
+                    dataset: load.dataset,
+                    source: SourceKind::Snapshot(path.to_path_buf()),
+                    stats: None,
+                    dropped_weights: None,
+                    recorded_spec: true,
+                    snapshot_version: Some(load.version),
+                    mmap: load.mmap,
+                })
+            }
             FileFormat::BinaryCsr => {
                 let graph = read_binary_csr(path)?;
                 let spec = spec_sized_to(fallback, graph.num_vertices(), graph.num_edges());
@@ -241,42 +266,94 @@ impl DatasetRegistry {
                     stats: None,
                     dropped_weights: None,
                     recorded_spec: false,
+                    snapshot_version: None,
+                    mmap: false,
                 })
             }
             FileFormat::EdgeList(format) => {
                 let parsed = parse_edge_list(path, format)?;
                 let (graph, stats) =
                     build_csr_parallel(parsed.num_vertices(), &parsed.pairs, shards)?;
-                let recorded_spec = parsed.recorded.is_some();
-                let (spec, feature_seed) = match parsed.recorded {
-                    Some(RecordedSpec { spec, seed: recorded_seed }) => {
-                        if spec.vertices != graph.num_vertices() {
-                            return Err(IngestError::Format(format!(
-                                "{}: recorded spec says {} vertices but the file has {}",
-                                path.display(),
-                                spec.vertices,
-                                graph.num_vertices()
-                            )));
-                        }
-                        (spec, recorded_seed)
-                    }
-                    None => {
-                        (spec_sized_to(fallback, graph.num_vertices(), graph.num_edges()), seed)
-                    }
-                };
-                let features = regenerate_features(&spec, feature_seed);
-                Ok(LoadOutcome {
-                    dataset: GraphDataset::from_parts(spec, graph, features),
-                    source: SourceKind::EdgeList(path.to_path_buf()),
-                    stats: Some(stats),
-                    dropped_weights: parsed
-                        .first_weight_line
-                        .map(|line| (parsed.weighted_lines, line)),
-                    recorded_spec,
-                })
+                let dropped = parsed.first_weight_line.map(|l| (parsed.weighted_lines, l));
+                edge_list_outcome(path, graph, stats, parsed.recorded, dropped, fallback, seed)
             }
         }
     }
+
+    /// Loads a text edge list with the chunked external COO→CSR builder
+    /// ([`build_csr_chunked`]): the file is streamed three times
+    /// (metadata, degree count, scatter) and intermediate records spill
+    /// to the temp directory, so peak memory stays near `chunk_bytes`
+    /// plus the final CSR — for graphs whose raw edge list does not fit
+    /// in memory. The result is bit-identical to [`Self::load_path`].
+    ///
+    /// Snapshot and binary-CSR files delegate to [`Self::load_path`]:
+    /// those layouts are already compact and loaded without a COO stage.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::load_path`], plus [`IngestError::Io`] from spill-file
+    /// I/O.
+    pub fn load_path_chunked(
+        &self,
+        path: &Path,
+        fallback: Dataset,
+        seed: u64,
+        chunk_bytes: u64,
+    ) -> Result<LoadOutcome, IngestError> {
+        let format = match detect_file_format(path)? {
+            FileFormat::EdgeList(f) => f,
+            _ => return self.load_path(path, fallback, seed),
+        };
+        // Metadata pass: directives and the vertex count, pairs discarded.
+        let meta = scan_edge_list(path, format, |_, _| {})?;
+        let (graph, stats) =
+            build_csr_chunked(meta.num_vertices(), chunk_bytes, None, |sink| {
+                scan_edge_list(path, format, sink).map(|_| ())
+            })?;
+        let dropped = meta.first_weight_line.map(|l| (meta.weighted_lines, l));
+        edge_list_outcome(path, graph, stats, meta.recorded, dropped, fallback, seed)
+    }
+}
+
+/// Builds the [`LoadOutcome`] for a parsed-and-built edge list: recorded
+/// specs are honored (and cross-checked against the actual vertex
+/// count), foreign files get `fallback`-shaped features. Shared by the
+/// in-memory and chunked load paths so they stay bit-identical.
+fn edge_list_outcome(
+    path: &Path,
+    graph: gnnie_graph::CsrGraph,
+    stats: CsrBuildStats,
+    recorded: Option<RecordedSpec>,
+    dropped_weights: Option<(usize, usize)>,
+    fallback: Dataset,
+    seed: u64,
+) -> Result<LoadOutcome, IngestError> {
+    let recorded_spec = recorded.is_some();
+    let (spec, feature_seed) = match recorded {
+        Some(RecordedSpec { spec, seed: recorded_seed }) => {
+            if spec.vertices != graph.num_vertices() {
+                return Err(IngestError::Format(format!(
+                    "{}: recorded spec says {} vertices but the file has {}",
+                    path.display(),
+                    spec.vertices,
+                    graph.num_vertices()
+                )));
+            }
+            (spec, recorded_seed)
+        }
+        None => (spec_sized_to(fallback, graph.num_vertices(), graph.num_edges()), seed),
+    };
+    let features = regenerate_features(&spec, feature_seed);
+    Ok(LoadOutcome {
+        dataset: GraphDataset::from_parts(spec, graph, features),
+        source: SourceKind::EdgeList(path.to_path_buf()),
+        stats: Some(stats),
+        dropped_weights,
+        recorded_spec,
+        snapshot_version: None,
+        mmap: false,
+    })
 }
 
 /// `fallback`'s Table II shape parameters, sized to an actual graph.
@@ -392,6 +469,31 @@ mod tests {
         let from_bin = reg.load_path(&bin, Dataset::Cora, 99).unwrap();
         assert_eq!(from_bin.dataset.graph, out.dataset.graph);
         assert_eq!(from_bin.dataset.features, out.dataset.features);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chunked_load_is_bit_identical_to_in_memory_load() {
+        let dir = tmpdir("chunked");
+        let ds = GraphDataset::generate(Dataset::Cora, 0.05, 11);
+        let rec = RecordedSpec { spec: ds.spec, seed: 11 };
+        let path = dir.join("cr.edges");
+        export_edge_list(&path, &ds.graph, EdgeListFormat::Whitespace, Some(&rec)).unwrap();
+        let reg = DatasetRegistry::new(None);
+        let whole = reg.load_path(&path, Dataset::Cora, 11).unwrap();
+        // A deliberately tiny chunk budget forces many spill buckets.
+        let chunked = reg.load_path_chunked(&path, Dataset::Cora, 11, 1024).unwrap();
+        assert_eq!(chunked.dataset.graph, whole.dataset.graph);
+        assert_eq!(chunked.dataset.features, whole.dataset.features);
+        assert_eq!(chunked.dataset.spec, whole.dataset.spec);
+        assert_eq!(chunked.stats, whole.stats);
+        assert_eq!(chunked.recorded_spec, whole.recorded_spec);
+        // Non-edge-list files silently take the regular path.
+        let snap = dir.join("cr.gnniecsr");
+        write_snapshot(&snap, &ds, false).unwrap();
+        let via_chunked = reg.load_path_chunked(&snap, Dataset::Cora, 11, 1024).unwrap();
+        assert!(matches!(via_chunked.source, SourceKind::Snapshot(_)));
+        assert_eq!(via_chunked.dataset.graph, ds.graph);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -22,6 +22,55 @@
 //! reuse precomputed assignments instead of re-partitioning on every
 //! load. Version-1 snapshots (no partition block) still load; they just
 //! carry no tables.
+//!
+//! # Version 3: the mmap-able section layout
+//!
+//! Version 3 (what this build writes) restructures the same content into
+//! **8-byte-aligned, offset-indexed sections** so a loader can `mmap` the
+//! file and hand [`gnnie_graph::CsrGraph::from_raw_parts_trusted`] /
+//! [`CsrMatrix::from_raw_parts_trusted`] borrowed slices straight out of
+//! the mapping, after validating only the header and section table —
+//! no array copies, no feature-buffer allocation:
+//!
+//! ```text
+//! offset  size        field
+//! ------  ----------  ------------------------------------------------
+//!      0  8           magic "GNNIECSR"
+//!      8  4           version (u32 LE) = 3
+//!     12  4           section count C (u32 LE)
+//!     16  32 × C      section table, one 32-byte entry per section:
+//!                       +0  id        (u32 LE, four ASCII bytes)
+//!                       +4  reserved  (u32 LE, 0)
+//!                       +8  offset    (u64 LE, from file start, 8-aligned)
+//!                       +16 len       (u64 LE, payload bytes, unpadded)
+//!                       +24 checksum  (u64 LE, checksum64 of the section's
+//!                                      padded extent [offset, offset+pad8(len)))
+//! 16+32C  8           header checksum (u64 LE, checksum64 of bytes [0, 16+32C))
+//! 24+32C  ...         section payloads, each zero-padded to an 8-byte
+//!                     boundary so every offset stays 8-aligned
+//! ```
+//!
+//! The eight sections this build writes, in file order:
+//!
+//! | id     | payload                                                      |
+//! |--------|--------------------------------------------------------------|
+//! | `SPEC` | dataset index `u32` · vertices/edges/feature_len/labels `u64`·4 · sparsity/gamma/uniform `f64`·3 (60 bytes) |
+//! | `META` | n · e · feature rows · cols · nnz, five `u64`s (40 bytes)    |
+//! | `GOFF` | graph CSR offsets, `(n+1) × u64`                             |
+//! | `GNBR` | flat neighbor ids, `2e × u32`                                |
+//! | `FOFF` | feature CSR offsets, `(rows+1) × u64`                        |
+//! | `FCOL` | feature column indices, `nnz × u32`                          |
+//! | `FVAL` | feature values, `nnz × u32` IEEE-754 bit patterns            |
+//! | `PART` | the v2 partition block (count, then per-table data)          |
+//!
+//! Readers look sections up by id and ignore unknown ids, so the layout
+//! is forward-extensible. The **copying** loader verifies every section
+//! checksum and runs full structural validation; the **mmap** loader
+//! (Unix, 64-bit little-endian only) verifies the header, the section
+//! table, and the small `SPEC`/`META`/`PART` sections, then trusts the
+//! large array payloads — a flipped byte in any header, table entry, or
+//! stored checksum is rejected on *both* paths by construction. Other
+//! platforms, and v1/v2 files, always take the copying path.
 
 use std::path::Path;
 
@@ -32,11 +81,38 @@ use crate::bytes::{checksum64, put_f64, put_u32, put_u64, ByteReader};
 use crate::error::IngestError;
 use crate::format::SNAPSHOT_MAGIC;
 
-/// Version of the snapshot layout this build writes (it reads 1 and 2).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// Version of the snapshot layout this build writes (it reads 1–3).
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Oldest snapshot version this build still reads (no partition block).
 pub const SNAPSHOT_MIN_VERSION: u32 = 1;
+
+/// `true` when this build can take the zero-copy mmap path for v3
+/// snapshots (Unix with 64-bit little-endian pointers, so the on-disk
+/// `u64`/`u32` arrays reinterpret directly as `usize`/`u32` slices).
+pub const fn mmap_supported() -> bool {
+    cfg!(all(unix, target_pointer_width = "64", target_endian = "little"))
+}
+
+/// Section ids for the v3 layout (four ASCII bytes, little-endian).
+const SEC_SPEC: u32 = u32::from_le_bytes(*b"SPEC");
+const SEC_META: u32 = u32::from_le_bytes(*b"META");
+const SEC_GOFF: u32 = u32::from_le_bytes(*b"GOFF");
+const SEC_GNBR: u32 = u32::from_le_bytes(*b"GNBR");
+const SEC_FOFF: u32 = u32::from_le_bytes(*b"FOFF");
+const SEC_FCOL: u32 = u32::from_le_bytes(*b"FCOL");
+const SEC_FVAL: u32 = u32::from_le_bytes(*b"FVAL");
+const SEC_PART: u32 = u32::from_le_bytes(*b"PART");
+
+/// Rounds `len` up to the next 8-byte boundary.
+fn pad8(len: usize) -> usize {
+    len.div_ceil(8) * 8
+}
+
+/// Renders a section id as its four ASCII bytes for error messages.
+fn section_name(id: u32) -> String {
+    String::from_utf8_lossy(&id.to_le_bytes()).into_owned()
+}
 
 /// Serializes `ds` to `path`.
 ///
@@ -129,24 +205,104 @@ pub fn encode_snapshot_with_partitions(
     ds: &GraphDataset,
     tables: &[PartitionAssignment],
 ) -> Result<Vec<u8>, IngestError> {
+    // Build the eight section payloads (see the module docs for the table).
+    let mut spec = Vec::with_capacity(60);
+    encode_spec_block(&mut spec, &ds.spec);
+    let f = &ds.features;
+    let mut meta = Vec::with_capacity(40);
+    put_u64(&mut meta, ds.graph.num_vertices() as u64);
+    put_u64(&mut meta, ds.graph.num_edges() as u64);
+    put_u64(&mut meta, f.rows() as u64);
+    put_u64(&mut meta, f.cols() as u64);
+    put_u64(&mut meta, f.nnz() as u64);
+    let mut goff = Vec::with_capacity(ds.graph.offsets().len() * 8);
+    for &o in ds.graph.offsets() {
+        put_u64(&mut goff, o as u64);
+    }
+    let mut gnbr = Vec::with_capacity(ds.graph.neighbors_flat().len() * 4);
+    for &w in ds.graph.neighbors_flat() {
+        put_u32(&mut gnbr, w);
+    }
+    let mut foff = Vec::with_capacity(f.offsets().len() * 8);
+    for &o in f.offsets() {
+        put_u64(&mut foff, o as u64);
+    }
+    let mut fcol = Vec::with_capacity(f.nnz() * 4);
+    for &c in f.col_indices() {
+        put_u32(&mut fcol, c);
+    }
+    let mut fval = Vec::with_capacity(f.nnz() * 4);
+    for &v in f.values() {
+        put_u32(&mut fval, v.to_bits());
+    }
+    let mut part = Vec::new();
+    encode_partition_block(&mut part, ds, tables)?;
+    let sections: [(u32, Vec<u8>); 8] = [
+        (SEC_SPEC, spec),
+        (SEC_META, meta),
+        (SEC_GOFF, goff),
+        (SEC_GNBR, gnbr),
+        (SEC_FOFF, foff),
+        (SEC_FCOL, fcol),
+        (SEC_FVAL, fval),
+        (SEC_PART, part),
+    ];
+    // Lay the payloads out back to back, each zero-padded to 8 bytes, and
+    // record (offset, len, checksum-of-padded-extent) per section. Padding
+    // bytes are inside the checksummed extent, so no byte of the file goes
+    // unprotected.
+    let count = sections.len();
+    let header_len = 16 + 32 * count + 8;
+    let mut body = Vec::new();
+    let mut entries = Vec::with_capacity(count);
+    for (id, payload) in &sections {
+        let start = body.len();
+        body.extend_from_slice(payload);
+        while body.len() % 8 != 0 {
+            body.push(0);
+        }
+        entries.push((
+            *id,
+            (header_len + start) as u64,
+            payload.len() as u64,
+            checksum64(&body[start..]),
+        ));
+    }
+    let mut buf = Vec::with_capacity(header_len + body.len());
+    buf.extend_from_slice(&SNAPSHOT_MAGIC);
+    put_u32(&mut buf, SNAPSHOT_VERSION);
+    put_u32(&mut buf, count as u32);
+    for (id, offset, len, sum) in &entries {
+        put_u32(&mut buf, *id);
+        put_u32(&mut buf, 0); // reserved
+        put_u64(&mut buf, *offset);
+        put_u64(&mut buf, *len);
+        put_u64(&mut buf, *sum);
+    }
+    let header_sum = checksum64(&buf);
+    put_u64(&mut buf, header_sum);
+    buf.extend_from_slice(&body);
+    Ok(buf)
+}
+
+/// In-memory serialization of the **previous** (v2) single-stream layout:
+/// magic · version · spec block · graph block · feature block · partition
+/// block · trailing checksum. Retained for the v1/v2 back-compat test
+/// matrix and for downgrade tooling; new snapshots are written as v3.
+///
+/// # Errors
+///
+/// As [`encode_snapshot_with_partitions`].
+pub fn encode_snapshot_v2_with_partitions(
+    ds: &GraphDataset,
+    tables: &[PartitionAssignment],
+) -> Result<Vec<u8>, IngestError> {
     let graph_bytes = ds.graph.offsets().len() * 8 + ds.graph.neighbors_flat().len() * 4;
     let feat_bytes = ds.features.offsets().len() * 8 + ds.features.nnz() * 8;
     let mut buf = Vec::with_capacity(128 + graph_bytes + feat_bytes);
     buf.extend_from_slice(&SNAPSHOT_MAGIC);
-    put_u32(&mut buf, SNAPSHOT_VERSION);
-    // Spec block.
-    let spec = &ds.spec;
-    let dataset_index =
-        Dataset::ALL.iter().position(|&d| d == spec.dataset).expect("Dataset::ALL is total")
-            as u32;
-    put_u32(&mut buf, dataset_index);
-    put_u64(&mut buf, spec.vertices as u64);
-    put_u64(&mut buf, spec.edges as u64);
-    put_u64(&mut buf, spec.feature_len as u64);
-    put_u64(&mut buf, spec.labels as u64);
-    put_f64(&mut buf, spec.feature_sparsity);
-    put_f64(&mut buf, spec.degree_gamma);
-    put_f64(&mut buf, spec.uniform_frac);
+    put_u32(&mut buf, 2);
+    encode_spec_block(&mut buf, &ds.spec);
     // Graph block.
     put_u64(&mut buf, ds.graph.num_vertices() as u64);
     put_u64(&mut buf, ds.graph.num_edges() as u64);
@@ -170,8 +326,36 @@ pub fn encode_snapshot_with_partitions(
     for &v in f.values() {
         put_u32(&mut buf, v.to_bits());
     }
-    // Partition block (v2).
-    put_u32(&mut buf, tables.len() as u32);
+    encode_partition_block(&mut buf, ds, tables)?;
+    let checksum = checksum64(&buf);
+    put_u64(&mut buf, checksum);
+    Ok(buf)
+}
+
+/// Encodes the 60-byte spec block (shared by the v2 stream and the v3
+/// `SPEC` section).
+fn encode_spec_block(buf: &mut Vec<u8>, spec: &DatasetSpec) {
+    let dataset_index =
+        Dataset::ALL.iter().position(|&d| d == spec.dataset).expect("Dataset::ALL is total")
+            as u32;
+    put_u32(buf, dataset_index);
+    put_u64(buf, spec.vertices as u64);
+    put_u64(buf, spec.edges as u64);
+    put_u64(buf, spec.feature_len as u64);
+    put_u64(buf, spec.labels as u64);
+    put_f64(buf, spec.feature_sparsity);
+    put_f64(buf, spec.degree_gamma);
+    put_f64(buf, spec.uniform_frac);
+}
+
+/// Encodes the partition block (shared by the v2 stream and the v3 `PART`
+/// section), validating that every table covers the graph.
+fn encode_partition_block(
+    buf: &mut Vec<u8>,
+    ds: &GraphDataset,
+    tables: &[PartitionAssignment],
+) -> Result<(), IngestError> {
+    put_u32(buf, tables.len() as u32);
     for t in tables {
         if t.assignment.len() != ds.graph.num_vertices() {
             return Err(IngestError::Snapshot(format!(
@@ -182,15 +366,13 @@ pub fn encode_snapshot_with_partitions(
                 ds.graph.num_vertices()
             )));
         }
-        put_u32(&mut buf, t.kind.code());
-        put_u32(&mut buf, t.num_parts);
+        put_u32(buf, t.kind.code());
+        put_u32(buf, t.num_parts);
         for &p in &t.assignment {
-            put_u32(&mut buf, p);
+            put_u32(buf, p);
         }
     }
-    let checksum = checksum64(&buf);
-    put_u64(&mut buf, checksum);
-    Ok(buf)
+    Ok(())
 }
 
 /// In-memory deserialization; `what` names the source in errors.
@@ -212,6 +394,24 @@ pub fn decode_snapshot_with_partitions(
     data: &[u8],
     what: &str,
 ) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
+    // Dispatch on the 12-byte prefix: v3 files carry no trailing whole-file
+    // checksum (each section is checksummed individually), so the legacy
+    // verify-then-parse order only applies to v1/v2.
+    if data.len() >= 12 && data[..8] == SNAPSHOT_MAGIC {
+        let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+        if version >= 3 {
+            return decode_snapshot_v3(data, what);
+        }
+    }
+    decode_snapshot_legacy(data, what)
+}
+
+/// The v1/v2 single-stream decoder: whole-file checksum first, then one
+/// sequential parse.
+fn decode_snapshot_legacy(
+    data: &[u8],
+    what: &str,
+) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
     let body = crate::parse::verify_checksummed(data, what)?;
     let mut r = ByteReader::new(body, what);
     let magic = r.bytes::<8>()?;
@@ -227,21 +427,7 @@ pub fn decode_snapshot_with_partitions(
              {SNAPSHOT_MIN_VERSION}-{SNAPSHOT_VERSION}"
         )));
     }
-    // Spec block.
-    let dataset_index = r.u32()? as usize;
-    let dataset = *Dataset::ALL.get(dataset_index).ok_or_else(|| {
-        IngestError::Snapshot(format!("{what}: dataset index {dataset_index} out of range"))
-    })?;
-    let spec = DatasetSpec {
-        dataset,
-        vertices: r.len(usize::MAX)?,
-        edges: r.len(usize::MAX)?,
-        feature_len: r.len(usize::MAX)?,
-        labels: r.len(usize::MAX)?,
-        feature_sparsity: r.f64()?,
-        degree_gamma: r.f64()?,
-        uniform_frac: r.f64()?,
-    };
+    let spec = decode_spec_block(&mut r, what)?;
     // Graph block. Counts are capped by the bytes actually present so a
     // corrupted header cannot drive a huge allocation.
     let n = r.len(r.remaining() / 8)?;
@@ -257,35 +443,8 @@ pub fn decode_snapshot_with_partitions(
     let col_indices = r.u32_vec(nnz)?;
     let values: Vec<f32> = r.u32_vec(nnz)?.into_iter().map(f32::from_bits).collect();
     // Partition block — absent before v2.
-    let tables = if version >= 2 {
-        let count = r.u32()? as usize;
-        let mut tables = Vec::with_capacity(count.min(r.remaining() / 8));
-        for i in 0..count {
-            let code = r.u32()?;
-            let kind = PartitionerKind::from_code(code).ok_or_else(|| {
-                IngestError::Snapshot(format!(
-                    "{what}: partition table {i}: unknown partitioner code {code}"
-                ))
-            })?;
-            let num_parts = r.u32()?;
-            if num_parts == 0 {
-                return Err(IngestError::Snapshot(format!(
-                    "{what}: partition table {i}: zero partitions"
-                )));
-            }
-            let assignment = r.u32_vec(n)?;
-            if let Some(&p) = assignment.iter().find(|&&p| p >= num_parts) {
-                return Err(IngestError::Snapshot(format!(
-                    "{what}: partition table {i}: partition id {p} out of range \
-                     (num_parts {num_parts})"
-                )));
-            }
-            tables.push(PartitionAssignment { kind, num_parts, assignment });
-        }
-        tables
-    } else {
-        Vec::new()
-    };
+    let tables =
+        if version >= 2 { decode_partition_block(&mut r, n, what)? } else { Vec::new() };
     if r.remaining() != 0 {
         return Err(IngestError::Snapshot(format!(
             "{what}: {} trailing bytes after the last block",
@@ -302,6 +461,420 @@ pub fn decode_snapshot_with_partitions(
         )));
     }
     Ok((GraphDataset::from_parts(spec, graph, features), tables))
+}
+
+/// Decodes the 60-byte spec block (shared by the v1/v2 stream and the v3
+/// `SPEC` section).
+fn decode_spec_block(r: &mut ByteReader<'_>, what: &str) -> Result<DatasetSpec, IngestError> {
+    let dataset_index = r.u32()? as usize;
+    let dataset = *Dataset::ALL.get(dataset_index).ok_or_else(|| {
+        IngestError::Snapshot(format!("{what}: dataset index {dataset_index} out of range"))
+    })?;
+    Ok(DatasetSpec {
+        dataset,
+        vertices: r.len(usize::MAX)?,
+        edges: r.len(usize::MAX)?,
+        feature_len: r.len(usize::MAX)?,
+        labels: r.len(usize::MAX)?,
+        feature_sparsity: r.f64()?,
+        degree_gamma: r.f64()?,
+        uniform_frac: r.f64()?,
+    })
+}
+
+/// Decodes the partition block (shared by the v2 stream and the v3 `PART`
+/// section), validating codes, counts, and per-vertex ids against `n`.
+fn decode_partition_block(
+    r: &mut ByteReader<'_>,
+    n: usize,
+    what: &str,
+) -> Result<Vec<PartitionAssignment>, IngestError> {
+    let count = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(count.min(r.remaining() / 8));
+    for i in 0..count {
+        let code = r.u32()?;
+        let kind = PartitionerKind::from_code(code).ok_or_else(|| {
+            IngestError::Snapshot(format!(
+                "{what}: partition table {i}: unknown partitioner code {code}"
+            ))
+        })?;
+        let num_parts = r.u32()?;
+        if num_parts == 0 {
+            return Err(IngestError::Snapshot(format!(
+                "{what}: partition table {i}: zero partitions"
+            )));
+        }
+        let assignment = r.u32_vec(n)?;
+        if let Some(&p) = assignment.iter().find(|&&p| p >= num_parts) {
+            return Err(IngestError::Snapshot(format!(
+                "{what}: partition table {i}: partition id {p} out of range \
+                 (num_parts {num_parts})"
+            )));
+        }
+        tables.push(PartitionAssignment { kind, num_parts, assignment });
+    }
+    Ok(tables)
+}
+
+/// One entry of the parsed-and-validated v3 section table.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    id: u32,
+    offset: usize,
+    len: usize,
+    checksum: u64,
+}
+
+/// Parses and validates the v3 header and section table: magic, exact
+/// version, header checksum, and per-entry alignment/bounds. Section
+/// payload checksums are *not* verified here — the copying path checks
+/// all of them, the mmap path only the small sections it decodes by copy.
+fn parse_v3_header(data: &[u8], what: &str) -> Result<Vec<SectionEntry>, IngestError> {
+    let snap = |msg: String| IngestError::Snapshot(format!("{what}: {msg}"));
+    if data.len() < 16 || data[..8] != SNAPSHOT_MAGIC {
+        return Err(snap("truncated or non-snapshot v3 header".into()));
+    }
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(snap(format!(
+            "snapshot version {version}, this build reads \
+             {SNAPSHOT_MIN_VERSION}-{SNAPSHOT_VERSION}"
+        )));
+    }
+    let count = u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")) as usize;
+    let table_end = count
+        .checked_mul(32)
+        .and_then(|t| t.checked_add(16))
+        .filter(|&end| end + 8 <= data.len())
+        .ok_or_else(|| snap(format!("truncated section table ({count} sections declared)")))?;
+    let stored =
+        u64::from_le_bytes(data[table_end..table_end + 8].try_into().expect("8 bytes"));
+    if checksum64(&data[..table_end]) != stored {
+        return Err(snap("header/section-table checksum mismatch".into()));
+    }
+    let header_len = table_end + 8;
+    let mut entries = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = 16 + 32 * i;
+        let field_u64 = |at: usize| {
+            u64::from_le_bytes(data[base + at..base + at + 8].try_into().expect("8 bytes"))
+        };
+        let id = u32::from_le_bytes(data[base..base + 4].try_into().expect("4 bytes"));
+        let offset = usize::try_from(field_u64(8))
+            .map_err(|_| snap(format!("section {}: offset overflows", section_name(id))))?;
+        let len = usize::try_from(field_u64(16))
+            .map_err(|_| snap(format!("section {}: length overflows", section_name(id))))?;
+        let checksum = field_u64(24);
+        if offset % 8 != 0 {
+            return Err(snap(format!(
+                "section {} at misaligned offset {offset} (must be 8-byte aligned)",
+                section_name(id)
+            )));
+        }
+        if offset < header_len {
+            return Err(snap(format!(
+                "section {} at offset {offset} overlaps the header",
+                section_name(id)
+            )));
+        }
+        let end = len
+            .checked_next_multiple_of(8)
+            .and_then(|p| offset.checked_add(p))
+            .filter(|&end| end <= data.len())
+            .ok_or_else(|| {
+                snap(format!(
+                    "section {} ({offset}+{len}) runs past the end of the file \
+                     ({} bytes) — truncated?",
+                    section_name(id),
+                    data.len()
+                ))
+            })?;
+        let _ = end;
+        entries.push(SectionEntry { id, offset, len, checksum });
+    }
+    Ok(entries)
+}
+
+/// Finds the required section `id` in the table.
+fn find_section(
+    entries: &[SectionEntry],
+    id: u32,
+    what: &str,
+) -> Result<SectionEntry, IngestError> {
+    entries.iter().copied().find(|e| e.id == id).ok_or_else(|| {
+        IngestError::Snapshot(format!("{what}: missing required section {}", section_name(id)))
+    })
+}
+
+/// The section's payload bytes (unpadded).
+fn section_payload<'a>(data: &'a [u8], e: &SectionEntry) -> &'a [u8] {
+    &data[e.offset..e.offset + e.len]
+}
+
+/// Verifies a section's stored checksum over its padded extent.
+fn verify_section(data: &[u8], e: &SectionEntry, what: &str) -> Result<(), IngestError> {
+    let extent = &data[e.offset..e.offset + pad8(e.len)];
+    if checksum64(extent) != e.checksum {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: section {} checksum mismatch (corrupted?)",
+            section_name(e.id)
+        )));
+    }
+    Ok(())
+}
+
+/// Decoded v3 `META` section: array lengths for the big sections.
+struct MetaBlock {
+    n: usize,
+    num_edges: usize,
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+}
+
+fn decode_meta_block(payload: &[u8], what: &str) -> Result<MetaBlock, IngestError> {
+    let mut r = ByteReader::new(payload, what);
+    let meta = MetaBlock {
+        n: r.len(usize::MAX)?,
+        num_edges: r.len(usize::MAX)?,
+        rows: r.len(usize::MAX)?,
+        cols: r.len(usize::MAX)?,
+        nnz: r.len(usize::MAX)?,
+    };
+    if r.remaining() != 0 {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} trailing bytes in META",
+            r.remaining()
+        )));
+    }
+    Ok(meta)
+}
+
+/// Checks that a section holds exactly `elems` elements of `width` bytes.
+fn expect_section_len(
+    e: &SectionEntry,
+    elems: usize,
+    width: usize,
+    what: &str,
+) -> Result<(), IngestError> {
+    let expected = elems.checked_mul(width);
+    if expected != Some(e.len) {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: section {} holds {} bytes, expected {elems} × {width}",
+            section_name(e.id),
+            e.len
+        )));
+    }
+    Ok(())
+}
+
+/// The copying v3 decoder: verifies every section checksum and runs the
+/// fully validating constructors — the reference the mmap path must match
+/// byte for byte.
+fn decode_snapshot_v3(
+    data: &[u8],
+    what: &str,
+) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
+    let entries = parse_v3_header(data, what)?;
+    for e in &entries {
+        verify_section(data, e, what)?;
+    }
+    let spec_e = find_section(&entries, SEC_SPEC, what)?;
+    let mut r = ByteReader::new(section_payload(data, &spec_e), what);
+    let spec = decode_spec_block(&mut r, what)?;
+    let meta_e = find_section(&entries, SEC_META, what)?;
+    let meta = decode_meta_block(section_payload(data, &meta_e), what)?;
+    let goff_e = find_section(&entries, SEC_GOFF, what)?;
+    let gnbr_e = find_section(&entries, SEC_GNBR, what)?;
+    let foff_e = find_section(&entries, SEC_FOFF, what)?;
+    let fcol_e = find_section(&entries, SEC_FCOL, what)?;
+    let fval_e = find_section(&entries, SEC_FVAL, what)?;
+    expect_section_len(&goff_e, meta.n + 1, 8, what)?;
+    expect_section_len(&gnbr_e, 2 * meta.num_edges, 4, what)?;
+    expect_section_len(&foff_e, meta.rows + 1, 8, what)?;
+    expect_section_len(&fcol_e, meta.nnz, 4, what)?;
+    expect_section_len(&fval_e, meta.nnz, 4, what)?;
+    let mut r = ByteReader::new(section_payload(data, &goff_e), what);
+    let offsets = r.usize_vec(meta.n + 1)?;
+    let mut r = ByteReader::new(section_payload(data, &gnbr_e), what);
+    let neighbors = r.u32_vec(2 * meta.num_edges)?;
+    let graph = gnnie_graph::CsrGraph::from_raw_parts(offsets, neighbors, meta.num_edges)?;
+    let mut r = ByteReader::new(section_payload(data, &foff_e), what);
+    let foffsets = r.usize_vec(meta.rows + 1)?;
+    let mut r = ByteReader::new(section_payload(data, &fcol_e), what);
+    let col_indices = r.u32_vec(meta.nnz)?;
+    let mut r = ByteReader::new(section_payload(data, &fval_e), what);
+    let values: Vec<f32> = r.u32_vec(meta.nnz)?.into_iter().map(f32::from_bits).collect();
+    let features =
+        CsrMatrix::from_raw_parts(meta.rows, meta.cols, foffsets, col_indices, values)
+            .map_err(|e| IngestError::Snapshot(format!("{what}: feature block: {e}")))?;
+    if features.rows() != graph.num_vertices() {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} feature rows but {} vertices",
+            features.rows(),
+            graph.num_vertices()
+        )));
+    }
+    let part_e = find_section(&entries, SEC_PART, what)?;
+    let mut r = ByteReader::new(section_payload(data, &part_e), what);
+    let tables = decode_partition_block(&mut r, meta.n, what)?;
+    if r.remaining() != 0 {
+        return Err(IngestError::Snapshot(format!(
+            "{what}: {} trailing bytes in PART",
+            r.remaining()
+        )));
+    }
+    Ok((GraphDataset::from_parts(spec, graph, features), tables))
+}
+
+/// The zero-copy loader: reinterprets the big v3 sections in place over a
+/// shared mmap. Compiled only where the on-disk layout matches the in-memory
+/// one (64-bit little-endian Unix); everywhere else [`open_snapshot`] uses
+/// the copying decoder.
+#[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+mod zerocopy {
+    use std::sync::Arc;
+
+    use gnnie_tensor::Backing;
+
+    use super::*;
+    use crate::mmapfile::MmapFile;
+
+    /// Borrows section `e` of the mapping as a typed slice.
+    ///
+    /// Alignment holds because `mmap` returns a page-aligned base and the
+    /// section table enforces 8-byte-aligned offsets; `T` is at most 8
+    /// bytes wide here (`usize`, `u32`, `f32`).
+    fn shared<T: Send + Sync + 'static>(map: &Arc<MmapFile>, e: &SectionEntry) -> Backing<T> {
+        let data = map.as_slice();
+        let ptr = data[e.offset..].as_ptr() as *const T;
+        let len = e.len / std::mem::size_of::<T>();
+        let owner: Arc<dyn std::any::Any + Send + Sync> = Arc::clone(map) as _;
+        // SAFETY: `ptr` is aligned (see above) and spans `len` elements of
+        // plain-old-data inside the mapping; the mapping is read-only and
+        // stays alive for as long as `owner` does.
+        unsafe { Backing::from_shared(owner, ptr, len) }
+    }
+
+    /// Decodes a v3 snapshot from an established mapping, borrowing the
+    /// array sections zero-copy. Header, section table, and the small
+    /// `SPEC`/`META`/`PART` sections are checksum-verified; the array
+    /// payloads are handed to the trusted constructors (full validation
+    /// still runs in debug builds).
+    pub(super) fn decode_mmap(
+        map: &Arc<MmapFile>,
+        what: &str,
+    ) -> Result<(GraphDataset, Vec<PartitionAssignment>), IngestError> {
+        let data = map.as_slice();
+        let entries = parse_v3_header(data, what)?;
+        let spec_e = find_section(&entries, SEC_SPEC, what)?;
+        verify_section(data, &spec_e, what)?;
+        let mut r = ByteReader::new(section_payload(data, &spec_e), what);
+        let spec = decode_spec_block(&mut r, what)?;
+        let meta_e = find_section(&entries, SEC_META, what)?;
+        verify_section(data, &meta_e, what)?;
+        let meta = decode_meta_block(section_payload(data, &meta_e), what)?;
+        let goff_e = find_section(&entries, SEC_GOFF, what)?;
+        let gnbr_e = find_section(&entries, SEC_GNBR, what)?;
+        let foff_e = find_section(&entries, SEC_FOFF, what)?;
+        let fcol_e = find_section(&entries, SEC_FCOL, what)?;
+        let fval_e = find_section(&entries, SEC_FVAL, what)?;
+        expect_section_len(&goff_e, meta.n + 1, 8, what)?;
+        expect_section_len(&gnbr_e, 2 * meta.num_edges, 4, what)?;
+        expect_section_len(&foff_e, meta.rows + 1, 8, what)?;
+        expect_section_len(&fcol_e, meta.nnz, 4, what)?;
+        expect_section_len(&fval_e, meta.nnz, 4, what)?;
+        if meta.rows != meta.n {
+            return Err(IngestError::Snapshot(format!(
+                "{what}: {} feature rows but {} vertices",
+                meta.rows, meta.n
+            )));
+        }
+        let graph = gnnie_graph::CsrGraph::from_raw_parts_trusted(
+            shared::<usize>(map, &goff_e),
+            shared::<u32>(map, &gnbr_e),
+            meta.num_edges,
+        );
+        let features = CsrMatrix::from_raw_parts_trusted(
+            meta.rows,
+            meta.cols,
+            shared::<usize>(map, &foff_e),
+            shared::<u32>(map, &fcol_e),
+            shared::<f32>(map, &fval_e),
+        );
+        let part_e = find_section(&entries, SEC_PART, what)?;
+        verify_section(data, &part_e, what)?;
+        let mut r = ByteReader::new(section_payload(data, &part_e), what);
+        let tables = decode_partition_block(&mut r, meta.n, what)?;
+        if r.remaining() != 0 {
+            return Err(IngestError::Snapshot(format!(
+                "{what}: {} trailing bytes in PART",
+                r.remaining()
+            )));
+        }
+        Ok((GraphDataset::from_parts(spec, graph, features), tables))
+    }
+}
+
+/// A loaded snapshot plus provenance: which layout version the file used
+/// and whether the arrays are zero-copy views into a memory mapping.
+#[derive(Debug, Clone)]
+pub struct SnapshotLoad {
+    /// The reloaded dataset (bit-identical to what was frozen).
+    pub dataset: GraphDataset,
+    /// Persisted partition tables (empty for v1 snapshots).
+    pub tables: Vec<PartitionAssignment>,
+    /// Snapshot layout version found in the file.
+    pub version: u32,
+    /// `true` when the zero-copy mmap path was taken (v3 on a supported
+    /// platform); `false` means the copying decoder ran.
+    pub mmap: bool,
+}
+
+/// Opens a snapshot by the best available path: v3 files on supported
+/// platforms are memory-mapped and loaded zero-copy; everything else
+/// (v1/v2 files, unsupported platforms, or an environment where the
+/// `mmap` call itself fails) goes through the copying decoder.
+///
+/// Both paths produce bit-identical datasets — the mmap path only changes
+/// where the arrays live, never their contents.
+///
+/// # Errors
+///
+/// See [`read_snapshot`]; decode failures are *not* papered over by
+/// falling back (a corrupt file fails on either path).
+pub fn open_snapshot(path: &Path) -> Result<SnapshotLoad, IngestError> {
+    let what = path.display().to_string();
+    #[cfg(all(unix, target_pointer_width = "64", target_endian = "little"))]
+    if peek_snapshot_version(path) == Some(SNAPSHOT_VERSION) {
+        // Only a mapping-establishment failure falls through to the
+        // copying path; decode errors propagate.
+        if let Ok(map) = crate::mmapfile::MmapFile::open(path) {
+            let (dataset, tables) = zerocopy::decode_mmap(&map, &what)?;
+            return Ok(SnapshotLoad { dataset, tables, version: SNAPSHOT_VERSION, mmap: true });
+        }
+    }
+    let data = std::fs::read(path).map_err(|e| IngestError::io(path, e))?;
+    let (dataset, tables) = decode_snapshot_with_partitions(&data, &what)?;
+    let version = u32::from_le_bytes(data[8..12].try_into().expect("4 bytes"));
+    Ok(SnapshotLoad { dataset, tables, version, mmap: false })
+}
+
+/// What [`peek_snapshot_info`] learns from a snapshot's 12-byte header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Snapshot layout version.
+    pub version: u32,
+    /// `true` when this build would load the file zero-copy via mmap
+    /// (v3 layout on a supported platform).
+    pub mmap_eligible: bool,
+}
+
+/// Like [`peek_snapshot_version`], but also reports whether the file is
+/// eligible for the zero-copy mmap path on this build.
+pub fn peek_snapshot_info(path: &Path) -> Option<SnapshotInfo> {
+    let version = peek_snapshot_version(path)?;
+    Some(SnapshotInfo { version, mmap_eligible: version >= 3 && mmap_supported() })
 }
 
 /// The partition tables `gnnie ingest` freezes into a snapshot: both
@@ -359,7 +932,7 @@ mod tests {
         let path = dir.join("tiny.gnniecsr");
         write_snapshot(&path, &tiny(), true).unwrap();
         assert_eq!(peek_snapshot_version(&path), Some(SNAPSHOT_VERSION));
-        // A v1 header peeks as 1 even though this build writes v2.
+        // A v1 header peeks as 1 even though this build writes v3.
         let mut bytes = std::fs::read(&path).unwrap();
         bytes[8] = 1;
         let v1 = dir.join("old.gnniecsr");
@@ -430,7 +1003,7 @@ mod tests {
         // A v1 snapshot is the v2 layout minus the partition block: strip
         // the checksum (8 bytes) and the empty table count (4 bytes),
         // rewrite the version field, and re-checksum.
-        let mut bytes = encode_snapshot(&ds);
+        let mut bytes = encode_snapshot_v2_with_partitions(&ds, &[]).unwrap();
         bytes.truncate(bytes.len() - 12);
         bytes[8] = 1;
         let sum = checksum64(&bytes);
@@ -459,6 +1032,136 @@ mod tests {
         let sum = checksum64(&short);
         put_u64(&mut short, sum);
         assert!(decode_snapshot_with_partitions(&short, "mem").is_err());
+    }
+
+    /// Synthesizes v1 bytes: the v2 layout minus the (empty) partition
+    /// block, version field rewritten, trailing checksum recomputed.
+    fn v1_bytes(ds: &GraphDataset) -> Vec<u8> {
+        let mut bytes = encode_snapshot_v2_with_partitions(ds, &[]).unwrap();
+        bytes.truncate(bytes.len() - 12);
+        bytes[8] = 1;
+        let sum = checksum64(&bytes);
+        put_u64(&mut bytes, sum);
+        bytes
+    }
+
+    /// Recomputes the v3 header/section-table checksum after a test
+    /// mutates header bytes (so only the intended defect is visible).
+    fn rehash_v3_header(bytes: &mut [u8]) {
+        let count = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+        let table_end = 16 + 32 * count;
+        let sum = checksum64(&bytes[..table_end]);
+        bytes[table_end..table_end + 8].copy_from_slice(&sum.to_le_bytes());
+    }
+
+    #[test]
+    fn all_supported_versions_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gnnie-vmatrix-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = tiny();
+        let tables = default_partition_tables(&ds.graph);
+        let cases: [(u32, Vec<u8>, usize); 3] = [
+            (1, v1_bytes(&ds), 0),
+            (2, encode_snapshot_v2_with_partitions(&ds, &tables).unwrap(), tables.len()),
+            (3, encode_snapshot_with_partitions(&ds, &tables).unwrap(), tables.len()),
+        ];
+        for (version, bytes, num_tables) in cases {
+            // In-memory decode.
+            let (re, got_tables) = decode_snapshot_with_partitions(&bytes, "mem").unwrap();
+            assert_eq!(re.graph, ds.graph, "v{version}");
+            assert_eq!(re.features, ds.features, "v{version}");
+            assert_eq!(re.spec, ds.spec, "v{version}");
+            assert_eq!(got_tables.len(), num_tables, "v{version}");
+            // File load through the unified opener.
+            let path = dir.join(format!("v{version}.gnniecsr"));
+            std::fs::write(&path, &bytes).unwrap();
+            let load = open_snapshot(&path).unwrap();
+            assert_eq!(load.version, version);
+            assert_eq!(load.mmap, version == 3 && mmap_supported(), "v{version}");
+            assert_eq!(load.dataset.graph, ds.graph, "v{version}");
+            assert_eq!(load.dataset.features, ds.features, "v{version}");
+            assert_eq!(load.tables.len(), num_tables, "v{version}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_section_table_is_rejected() {
+        let ds = tiny();
+        let bytes = encode_snapshot(&ds);
+        // Cut the file mid-table: the declared count no longer fits.
+        let err = decode_snapshot(&bytes[..40], "mem").unwrap_err();
+        assert!(err.to_string().contains("truncated section table"), "{err}");
+        // A hostile count overflows past the end of the file before any
+        // entry is read.
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_snapshot(&bad, "mem").unwrap_err();
+        assert!(err.to_string().contains("truncated section table"), "{err}");
+    }
+
+    #[test]
+    fn misaligned_section_offset_is_rejected() {
+        let ds = tiny();
+        let mut bytes = encode_snapshot(&ds);
+        // Entry 0 starts at byte 16; its offset field is 8 bytes in.
+        bytes[16 + 8] += 4;
+        rehash_v3_header(&mut bytes);
+        let err = decode_snapshot(&bytes, "mem").unwrap_err();
+        assert!(err.to_string().contains("misaligned offset"), "{err}");
+    }
+
+    #[test]
+    fn checksum_flips_are_rejected_on_both_load_paths() {
+        let dir = std::env::temp_dir().join(format!("gnnie-flip-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = tiny();
+        let bytes = encode_snapshot(&ds);
+        // With 8 sections the header is 16 + 8*32 + 8 = 280 bytes, so
+        // byte 281 sits inside the SPEC payload (verified on the mmap
+        // path too) and byte 40 is entry 0's stored section checksum
+        // (protected by the header checksum).
+        for (name, pos) in [("spec payload", 281usize), ("stored checksum", 40)] {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x20;
+            // Copying path.
+            assert!(
+                decode_snapshot_with_partitions(&bad, "mem").is_err(),
+                "{name}: copy path missed the flip"
+            );
+            // Unified opener — takes the mmap path where supported.
+            let path = dir.join("flipped.gnniecsr");
+            std::fs::write(&path, &bad).unwrap();
+            assert!(open_snapshot(&path).is_err(), "{name}: open_snapshot missed the flip");
+            std::fs::remove_file(&path).ok();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mmap_load_matches_copying_loader() {
+        let dir = std::env::temp_dir().join(format!("gnnie-mmapeq-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let ds = tiny();
+        let tables = default_partition_tables(&ds.graph);
+        let path = dir.join("eq.gnniecsr");
+        write_snapshot_with_partitions(&path, &ds, &tables, false).unwrap();
+        let (copied, copied_tables) = read_snapshot_with_partitions(&path).unwrap();
+        let load = open_snapshot(&path).unwrap();
+        assert_eq!(load.version, SNAPSHOT_VERSION);
+        assert_eq!(load.mmap, mmap_supported());
+        assert_eq!(load.dataset.graph, copied.graph);
+        assert_eq!(load.dataset.features, copied.features);
+        assert_eq!(load.dataset.spec, copied.spec);
+        assert_eq!(load.tables, copied_tables);
+        // The arrays really are views into the mapping (when supported).
+        assert_eq!(load.dataset.graph.is_memory_mapped(), mmap_supported());
+        assert_eq!(load.dataset.features.is_memory_mapped(), mmap_supported());
+        assert!(!copied.graph.is_memory_mapped());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,254 @@
+//! The unified dataset-resolution API.
+//!
+//! Before this module existed, three call sites each rolled their own
+//! dataset resolution: the CLI's `--dataset` flag (registry name lookup),
+//! its `--graph` flag (explicit file load), and the bench harness
+//! (in-process synthesis). [`DataSource`] folds all three into one enum
+//! with a single [`DataSource::resolve`] entry point, and [`Resolved`]
+//! carries uniform [`Provenance`] so every consumer can report *where the
+//! bits actually came from* — synthesizer, edge list, binary CSR, or a
+//! versioned snapshot (and, for v3 snapshots, whether the load was
+//! zero-copy via `mmap`).
+
+use std::fmt;
+use std::path::PathBuf;
+
+use gnnie_graph::{Dataset, GraphDataset};
+
+use crate::build::default_shards;
+use crate::error::IngestError;
+use crate::registry::{DatasetRegistry, LoadOutcome, SourceKind};
+
+/// One description of where a dataset should come from.
+///
+/// Construct with [`DataSource::synth`], [`DataSource::named`], or
+/// [`DataSource::file`], then call [`DataSource::resolve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataSource {
+    /// Always the Table II synthesizer — never probes the data
+    /// directory. The bench harness uses this for reproducible inputs.
+    Synth {
+        /// Which Table II dataset to synthesize.
+        dataset: Dataset,
+        /// Scale factor in `(0, 1]`.
+        scale: f64,
+        /// Synthesis seed.
+        seed: u64,
+    },
+    /// A dataset *name*: file-backed when the registry's data directory
+    /// has a candidate file, synthesized otherwise (the CLI `--dataset`
+    /// path).
+    Named {
+        /// Which dataset name to resolve.
+        dataset: Dataset,
+        /// Scale factor for the synthesis fallback.
+        scale: f64,
+        /// Seed for the synthesis fallback.
+        seed: u64,
+    },
+    /// An explicit file path, format auto-detected (the CLI `--graph`
+    /// path).
+    File {
+        /// The file to load.
+        path: PathBuf,
+        /// Spec/feature fallback for files without a recorded spec.
+        fallback: Dataset,
+        /// Feature-synthesis seed for foreign files.
+        seed: u64,
+        /// Shard count for the parallel CSR builder.
+        shards: usize,
+    },
+}
+
+impl DataSource {
+    /// A source that always synthesizes.
+    pub fn synth(dataset: Dataset, scale: f64, seed: u64) -> Self {
+        DataSource::Synth { dataset, scale, seed }
+    }
+
+    /// A source resolving a dataset name through the registry probe.
+    pub fn named(dataset: Dataset, scale: f64, seed: u64) -> Self {
+        DataSource::Named { dataset, scale, seed }
+    }
+
+    /// A source loading an explicit file with the default shard count.
+    pub fn file(path: impl Into<PathBuf>, fallback: Dataset, seed: u64) -> Self {
+        DataSource::File { path: path.into(), fallback, seed, shards: default_shards() }
+    }
+
+    /// Resolves this source to a runnable dataset through `registry`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`IngestError`] from the underlying load; the synthesis paths
+    /// cannot fail (they panic on an out-of-range `scale`, exactly like
+    /// [`GraphDataset::generate`]).
+    pub fn resolve(&self, registry: &DatasetRegistry) -> Result<Resolved, IngestError> {
+        let outcome = match self {
+            DataSource::Synth { dataset, scale, seed } => {
+                DatasetRegistry::synthesize(*dataset, *scale, *seed)
+            }
+            DataSource::Named { dataset, scale, seed } => {
+                registry.load(*dataset, *scale, *seed)?
+            }
+            DataSource::File { path, fallback, seed, shards } => {
+                registry.load_path_with(path, *fallback, *seed, *shards)?
+            }
+        };
+        let provenance = Provenance::of(&outcome);
+        Ok(Resolved { outcome, provenance })
+    }
+}
+
+/// A resolved dataset: the load outcome plus uniform provenance.
+#[derive(Debug, Clone)]
+pub struct Resolved {
+    /// The underlying load (dataset, stats, spec authority, …).
+    pub outcome: LoadOutcome,
+    /// Where the bits came from, in reportable form.
+    pub provenance: Provenance,
+}
+
+impl Resolved {
+    /// The runnable dataset.
+    pub fn dataset(&self) -> &GraphDataset {
+        &self.outcome.dataset
+    }
+
+    /// Consumes the resolution, returning the dataset alone.
+    pub fn into_dataset(self) -> GraphDataset {
+        self.outcome.dataset
+    }
+}
+
+/// Where a resolved dataset's bits came from.
+///
+/// The `Display` form is what `gnnie run` and `gnnie datasets` print:
+/// `synth`, `edge-list <path>`, `binary-csr <path>`, or
+/// `snapshot-v<N> <path>` with an `(mmap)` marker when the load was
+/// zero-copy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// The offline Table II synthesizer.
+    Synth,
+    /// A parsed text edge list.
+    EdgeList(PathBuf),
+    /// A binary CSR file.
+    BinaryCsr(PathBuf),
+    /// A `.gnniecsr` snapshot.
+    Snapshot {
+        /// The snapshot file.
+        path: PathBuf,
+        /// Its layout version (1–3).
+        version: u32,
+        /// `true` when the load was zero-copy via `mmap` (v3 layouts on
+        /// supported platforms).
+        mmap: bool,
+    },
+}
+
+impl Provenance {
+    /// Derives provenance from a registry load outcome.
+    pub fn of(outcome: &LoadOutcome) -> Self {
+        match &outcome.source {
+            SourceKind::Synthetic => Provenance::Synth,
+            SourceKind::EdgeList(p) => Provenance::EdgeList(p.clone()),
+            SourceKind::BinaryCsr(p) => Provenance::BinaryCsr(p.clone()),
+            SourceKind::Snapshot(p) => Provenance::Snapshot {
+                path: p.clone(),
+                version: outcome.snapshot_version.unwrap_or(0),
+                mmap: outcome.mmap,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Provenance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Provenance::Synth => f.write_str("synth"),
+            Provenance::EdgeList(p) => write!(f, "edge-list {}", p.display()),
+            Provenance::BinaryCsr(p) => write!(f, "binary-csr {}", p.display()),
+            Provenance::Snapshot { path, version, mmap } => {
+                write!(f, "snapshot-v{version}")?;
+                if *mmap {
+                    f.write_str(" (mmap)")?;
+                }
+                write!(f, " {}", path.display())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{mmap_supported, write_snapshot, SNAPSHOT_VERSION};
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("gnnie-source-test").join(name);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn synth_matches_direct_generation_and_reports_synth() {
+        let reg = DatasetRegistry::new(None);
+        let r = DataSource::synth(Dataset::Cora, 0.02, 7).resolve(&reg).unwrap();
+        assert_eq!(r.provenance, Provenance::Synth);
+        assert_eq!(r.provenance.to_string(), "synth");
+        let direct = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        assert_eq!(r.dataset().graph, direct.graph);
+        assert_eq!(r.dataset().features, direct.features);
+    }
+
+    #[test]
+    fn synth_never_probes_the_data_directory() {
+        let dir = tmpdir("noprobe");
+        let ds = GraphDataset::generate(Dataset::Cora, 0.02, 7);
+        write_snapshot(&dir.join("cora.gnniecsr"), &ds, false).unwrap();
+        let reg = DatasetRegistry::new(Some(dir.clone()));
+        // Named resolves to the snapshot, Synth ignores it.
+        let named = DataSource::named(Dataset::Cora, 0.02, 7).resolve(&reg).unwrap();
+        assert!(matches!(named.provenance, Provenance::Snapshot { .. }));
+        let synth = DataSource::synth(Dataset::Cora, 0.02, 7).resolve(&reg).unwrap();
+        assert_eq!(synth.provenance, Provenance::Synth);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn file_resolution_reports_snapshot_version_and_mmap() {
+        let dir = tmpdir("snapv3");
+        let ds = GraphDataset::generate(Dataset::Citeseer, 0.05, 42);
+        let path = dir.join("cs.gnniecsr");
+        write_snapshot(&path, &ds, false).unwrap();
+        let reg = DatasetRegistry::new(None);
+        let r = DataSource::file(&path, Dataset::Citeseer, 42).resolve(&reg).unwrap();
+        match &r.provenance {
+            Provenance::Snapshot { version, mmap, .. } => {
+                assert_eq!(*version, SNAPSHOT_VERSION);
+                assert_eq!(*mmap, mmap_supported());
+            }
+            other => panic!("expected snapshot provenance, got {other}"),
+        }
+        let shown = r.provenance.to_string();
+        assert!(shown.starts_with("snapshot-v3"), "{shown}");
+        assert_eq!(shown.contains("(mmap)"), mmap_supported(), "{shown}");
+        assert_eq!(r.dataset().graph, ds.graph);
+        assert_eq!(r.dataset().features, ds.features);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn edge_list_provenance_displays_the_path() {
+        let dir = tmpdir("edges");
+        let path = dir.join("web.edges");
+        std::fs::write(&path, "0 1\n1 2\n2 3\n").unwrap();
+        let reg = DatasetRegistry::new(None);
+        let r = DataSource::file(&path, Dataset::Cora, 9).resolve(&reg).unwrap();
+        assert_eq!(r.provenance, Provenance::EdgeList(path.clone()));
+        assert!(r.provenance.to_string().contains("web.edges"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -128,7 +128,7 @@ impl Daemon {
                     let mut session = engine.begin_pooled(
                         &model,
                         &ds,
-                        RunOptions { weights_resident: job.resident, sim_threads: None },
+                        RunOptions { weights_resident: job.resident, ..RunOptions::default() },
                         &pool,
                     );
                     session.run_to_completion();

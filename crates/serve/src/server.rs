@@ -396,6 +396,7 @@ impl Server {
                             RunOptions {
                                 weights_resident: resident,
                                 sim_threads: Some(self.config.sim_threads),
+                                ..RunOptions::default()
                             },
                         );
                         session.run_to_completion();
@@ -436,6 +437,7 @@ impl Server {
                         RunOptions {
                             weights_resident: job.resident,
                             sim_threads: Some(self.config.sim_threads),
+                            ..RunOptions::default()
                         },
                     );
                     session.run_to_completion();

@@ -1,0 +1,176 @@
+//! Storage backing for large read-only buffers: owned or zero-copy shared.
+//!
+//! [`Backing<T>`] is a `Vec<T>`-shaped container that can either *own* its
+//! elements (the common case — every in-memory constructor produces this) or
+//! *borrow* them from a reference-counted owner such as a memory-mapped
+//! snapshot file. Structures like `CsrMatrix` and `CsrGraph` store their
+//! bulk arrays behind `Backing` so a loader can hand them slices straight
+//! out of an `mmap`ed region without copying, while every existing call
+//! site keeps working through `Deref<Target = [T]>`.
+//!
+//! The shared variant keeps an `Arc<dyn Any + Send + Sync>` alive for as
+//! long as the `Backing` exists, so the pointed-to bytes cannot be unmapped
+//! or freed underneath a reader. Cloning a shared backing is a refcount
+//! bump, not a data copy.
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Element storage that is either owned (`Vec<T>`) or borrowed from a
+/// shared, immutable owner (for example an mmap-backed snapshot).
+///
+/// Dereferences to `&[T]` either way; equality, hashing and debug printing
+/// all operate on the element slice, so two backings with identical
+/// contents compare equal regardless of where the bytes live.
+pub struct Backing<T> {
+    repr: Repr<T>,
+}
+
+enum Repr<T> {
+    Owned(Vec<T>),
+    Shared {
+        /// Keeps the underlying storage (e.g. an mmap) alive.
+        owner: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    },
+}
+
+impl<T> Backing<T> {
+    /// Wraps an owned vector.
+    pub fn from_vec(v: Vec<T>) -> Self {
+        Backing { repr: Repr::Owned(v) }
+    }
+
+    /// Borrows `len` elements at `ptr` from `owner` without copying.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee that:
+    ///
+    /// * `ptr` is properly aligned for `T` and points to `len` consecutive
+    ///   initialized elements of `T`,
+    /// * those elements stay valid and are never mutated for as long as
+    ///   `owner` (or any clone of it) is alive, and
+    /// * the memory is owned (directly or transitively) by `owner`, so that
+    ///   holding the `Arc` keeps the pointer valid.
+    pub unsafe fn from_shared(
+        owner: Arc<dyn Any + Send + Sync>,
+        ptr: *const T,
+        len: usize,
+    ) -> Self {
+        Backing { repr: Repr::Shared { owner, ptr, len } }
+    }
+
+    /// `true` when the elements are borrowed from a shared owner (such as a
+    /// memory-mapped snapshot) rather than held in an owned `Vec`.
+    pub fn is_shared(&self) -> bool {
+        matches!(self.repr, Repr::Shared { .. })
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Owned(v) => v.as_slice(),
+            // SAFETY: upheld by the `from_shared` contract — `ptr`/`len`
+            // describe initialized, immutable elements kept alive by `owner`.
+            Repr::Shared { ptr, len, .. } => unsafe { std::slice::from_raw_parts(*ptr, *len) },
+        }
+    }
+}
+
+// SAFETY: the shared variant only hands out `&[T]` views of immutable
+// memory, and the `Arc` owner is itself `Send + Sync`; a raw pointer to
+// data that is never mutated is safe to move and share across threads
+// whenever `T` itself is.
+unsafe impl<T: Send + Sync> Send for Backing<T> {}
+unsafe impl<T: Send + Sync> Sync for Backing<T> {}
+
+impl<T> Deref for Backing<T> {
+    type Target = [T];
+
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T> From<Vec<T>> for Backing<T> {
+    fn from(v: Vec<T>) -> Self {
+        Backing::from_vec(v)
+    }
+}
+
+impl<T: Clone> Clone for Backing<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            Repr::Owned(v) => Backing { repr: Repr::Owned(v.clone()) },
+            Repr::Shared { owner, ptr, len } => Backing {
+                repr: Repr::Shared { owner: Arc::clone(owner), ptr: *ptr, len: *len },
+            },
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Backing<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: PartialEq> PartialEq for Backing<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Eq> Eq for Backing<T> {}
+
+impl<T> Default for Backing<T> {
+    fn default() -> Self {
+        Backing::from_vec(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_backing_derefs_like_a_vec() {
+        let b = Backing::from(vec![1u32, 2, 3]);
+        assert_eq!(&b[..], &[1, 2, 3]);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_shared());
+    }
+
+    #[test]
+    fn shared_backing_borrows_without_copying() {
+        let owner: Arc<Vec<u32>> = Arc::new(vec![10, 20, 30, 40]);
+        let ptr = owner.as_ptr();
+        let len = owner.len();
+        let erased: Arc<dyn Any + Send + Sync> = owner;
+        // SAFETY: the Arc keeps the Vec (and thus `ptr`) alive, and nothing
+        // mutates it.
+        let b = unsafe { Backing::from_shared(erased, ptr, len) };
+        assert!(b.is_shared());
+        assert_eq!(&b[..], &[10, 20, 30, 40]);
+        let c = b.clone();
+        assert_eq!(b, c);
+        drop(b);
+        assert_eq!(&c[..], &[10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn equality_ignores_the_storage_kind() {
+        let owned = Backing::from(vec![7u32, 8]);
+        let owner: Arc<Vec<u32>> = Arc::new(vec![7, 8]);
+        let ptr = owner.as_ptr();
+        let len = owner.len();
+        let erased: Arc<dyn Any + Send + Sync> = owner;
+        let shared = unsafe { Backing::from_shared(erased, ptr, len) };
+        assert_eq!(owned, shared);
+        assert_eq!(format!("{owned:?}"), format!("{shared:?}"));
+    }
+}

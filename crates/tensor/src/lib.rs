@@ -27,6 +27,7 @@
 //! ```
 
 pub mod activations;
+pub mod backing;
 pub mod dense;
 pub mod error;
 pub mod explut;
@@ -35,6 +36,7 @@ pub mod rlc;
 pub mod sparse;
 pub mod stats;
 
+pub use backing::Backing;
 pub use dense::DenseMatrix;
 pub use error::TensorError;
 pub use explut::ExpLut;

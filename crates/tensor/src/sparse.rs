@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::backing::Backing;
 use crate::dense::DenseMatrix;
 use crate::error::TensorError;
 
@@ -196,9 +197,9 @@ impl SparseVec {
 pub struct CsrMatrix {
     rows: usize,
     cols: usize,
-    offsets: Vec<usize>,
-    col_indices: Vec<u32>,
-    values: Vec<f32>,
+    offsets: Backing<usize>,
+    col_indices: Backing<u32>,
+    values: Backing<f32>,
 }
 
 impl CsrMatrix {
@@ -220,7 +221,13 @@ impl CsrMatrix {
             values.extend_from_slice(row.values());
             offsets.push(col_indices.len());
         }
-        Self { rows: rows.len(), cols, offsets, col_indices, values }
+        Self {
+            rows: rows.len(),
+            cols,
+            offsets: offsets.into(),
+            col_indices: col_indices.into(),
+            values: values.into(),
+        }
     }
 
     /// Builds a CSR matrix from a dense matrix, dropping exact zeros.
@@ -245,7 +252,50 @@ impl CsrMatrix {
         col_indices: Vec<u32>,
         values: Vec<f32>,
     ) -> Result<Self, TensorError> {
+        let m = Self {
+            rows,
+            cols,
+            offsets: offsets.into(),
+            col_indices: col_indices.into(),
+            values: values.into(),
+        };
+        m.validate()?;
+        Ok(m)
+    }
+
+    /// Reassembles a matrix from raw CSR arrays the caller already trusts —
+    /// the zero-copy load path for mmap-backed snapshots, where the arrays
+    /// are [`Backing::from_shared`] views into the mapped file.
+    ///
+    /// In release builds this skips the `O(nnz)` structural validation that
+    /// [`Self::from_raw_parts`] performs; debug builds still validate and
+    /// panic on violation, so tests catch misuse.
+    pub fn from_raw_parts_trusted(
+        rows: usize,
+        cols: usize,
+        offsets: impl Into<Backing<usize>>,
+        col_indices: impl Into<Backing<u32>>,
+        values: impl Into<Backing<f32>>,
+    ) -> Self {
+        let m = Self {
+            rows,
+            cols,
+            offsets: offsets.into(),
+            col_indices: col_indices.into(),
+            values: values.into(),
+        };
+        if cfg!(debug_assertions) {
+            m.validate().expect("trusted caller violated CSR invariants");
+        }
+        m
+    }
+
+    /// Full structural validation shared by the checked constructors.
+    fn validate(&self) -> Result<(), TensorError> {
         let invalid = |msg: String| Err(TensorError::InvalidSparseStructure(msg));
+        let (rows, cols) = (self.rows, self.cols);
+        let offsets = &self.offsets[..];
+        let col_indices = &self.col_indices[..];
         if offsets.len() != rows + 1 {
             return invalid(format!("{} offsets for {rows} rows", offsets.len()));
         }
@@ -255,11 +305,11 @@ impl CsrMatrix {
         if offsets.windows(2).any(|w| w[0] > w[1]) {
             return invalid("offsets are not monotonically nondecreasing".into());
         }
-        if col_indices.len() != values.len() {
+        if col_indices.len() != self.values.len() {
             return invalid(format!(
                 "{} column indices but {} values",
                 col_indices.len(),
-                values.len()
+                self.values.len()
             ));
         }
         if *offsets.last().expect("nonempty") != col_indices.len() {
@@ -280,7 +330,13 @@ impl CsrMatrix {
                 }
             }
         }
-        Ok(Self { rows, cols, offsets, col_indices, values })
+        Ok(())
+    }
+
+    /// `true` when any of the CSR arrays borrow shared storage (for example
+    /// a memory-mapped snapshot) instead of owning a `Vec`.
+    pub fn is_memory_mapped(&self) -> bool {
+        self.offsets.is_shared() || self.col_indices.is_shared() || self.values.is_shared()
     }
 
     /// `(rows, cols)` pair.

@@ -31,7 +31,8 @@ use gnnie::gnn::model::ModelConfig;
 use gnnie::gnn::params::ModelParams;
 use gnnie::graph::{generate, GraphDataset, PartitionerKind, SyntheticDataset};
 use gnnie::ingest::{
-    default_partition_tables, write_snapshot_with_partitions, DatasetRegistry, SourceKind,
+    default_partition_tables, write_snapshot_with_partitions, DataSource, DatasetRegistry,
+    Resolved, SourceKind,
 };
 use gnnie::mem::{CachePolicyKind, SimThreads};
 use gnnie::serve::{InferenceRequest, SchedulerPolicy, ServeConfig, Server};
@@ -82,7 +83,7 @@ fn allowed_flags(command: &str) -> &'static [&'static str] {
             "trace-summary",
             "metrics",
         ],
-        "ingest" => &["out", "shards", "dataset", "seed", "force"],
+        "ingest" => &["out", "shards", "dataset", "seed", "force", "chunk-mb"],
         "serve" => &[
             "requests",
             "models",
@@ -199,8 +200,11 @@ fn usage() {
          \x20          — open in Perfetto; timestamps are cycles. --trace-summary prints\n\
          \x20          a text flamegraph, --metrics dumps the metrics registry)\n\
          \x20 ingest   <path> [--out <snapshot.gnniecsr>] [--shards N] [--dataset <...>]\n\
-         \x20          [--seed N] [--force]\n\
+         \x20          [--seed N] [--force] [--chunk-mb N]\n\
          \x20          parse an edge list / binary CSR and freeze a .gnniecsr snapshot\n\
+         \x20          (--chunk-mb builds the CSR out-of-core: the edge list is streamed\n\
+         \x20          and spilled in ~N MB chunks, for graphs larger than memory;\n\
+         \x20          the result is bit-identical to the in-memory build)\n\
          \x20 serve    [--requests N] [--models gcn,gat] [--datasets cr,pb] [--scale ...]\n\
          \x20          [--batch N] [--policy fifo|affinity] [--workers N] [--seed N]\n\
          \x20          [--sim-threads auto|N]\n\
@@ -540,15 +544,17 @@ struct RunDataset {
 }
 
 /// Emits the stderr provenance line for a file-backed load (stdout stays
-/// byte-comparable across file-backed and synthesized runs).
-fn note_loaded(out: &gnnie::ingest::LoadOutcome) {
+/// byte-comparable across file-backed and synthesized runs). The
+/// provenance names the format — and, for v3 snapshots on supported
+/// platforms, whether the load was zero-copy via `mmap`.
+fn note_loaded(r: &Resolved) {
     eprintln!(
         "[loaded {} vertices / {} edges from {}]",
-        out.dataset.graph.num_vertices(),
-        out.dataset.graph.num_edges(),
-        out.source
+        r.dataset().graph.num_vertices(),
+        r.dataset().graph.num_edges(),
+        r.provenance
     );
-    warn_dropped_weights(out);
+    warn_dropped_weights(&r.outcome);
 }
 
 /// One-line stderr warning when an edge list carried a third (weight)
@@ -571,30 +577,33 @@ fn derived_scale(ds: &GraphDataset) -> f64 {
     ds.spec.vertices as f64 / ds.spec.dataset.spec().vertices as f64
 }
 
-/// Resolves the dataset for `run`. `--graph <path>` loads any supported
-/// file format; `--dataset <name>` goes through the registry too, so a
-/// file in `GNNIE_DATA_DIR` wins over synthesis (exactly what
-/// `gnnie datasets` advertises). With `--graph`, `--dataset` selects the
-/// fallback feature profile for files that carry no recorded spec.
+/// Resolves the dataset for `run` through the unified [`DataSource`]
+/// API. `--graph <path>` loads any supported file format; `--dataset
+/// <name>` goes through the registry too, so a file in `GNNIE_DATA_DIR`
+/// wins over synthesis (exactly what `gnnie datasets` advertises). With
+/// `--graph`, `--dataset` selects the fallback feature profile for files
+/// that carry no recorded spec.
 fn resolve_run_dataset(flags: &HashMap<String, String>) -> Result<RunDataset, String> {
     let seed = parse_seed(flags)?;
     let registry = DatasetRegistry::from_env();
     let Some(path) = flags.get("graph") else {
         let dataset = parse_dataset(flags)?;
         let scale = parse_scale(flags, dataset)?;
-        let out = registry.load(dataset, scale, seed).map_err(|e| e.to_string())?;
-        let scale = match out.source {
+        let r = DataSource::named(dataset, scale, seed)
+            .resolve(&registry)
+            .map_err(|e| e.to_string())?;
+        let scale = match r.outcome.source {
             SourceKind::Synthetic => scale,
             _ => {
                 if flags.contains_key("scale") {
                     eprintln!("[note: --scale ignored, {} is file-backed]", dataset.abbrev());
                 }
-                note_loaded(&out);
-                derived_scale(&out.dataset)
+                note_loaded(&r);
+                derived_scale(r.dataset())
             }
         };
         return Ok(RunDataset {
-            ds: out.dataset,
+            ds: r.into_dataset(),
             label: dataset.name().to_string(),
             scale: Some(scale),
         });
@@ -606,10 +615,12 @@ fn resolve_run_dataset(flags: &HashMap<String, String>) -> Result<RunDataset, St
         Some(tok) => dataset_token(tok)?,
         None => Dataset::Cora,
     };
-    let out = registry.load_path(Path::new(path), fallback, seed).map_err(|e| e.to_string())?;
-    note_loaded(&out);
-    if out.recorded_spec {
-        let recorded = out.dataset.spec.dataset;
+    let r = DataSource::file(Path::new(path), fallback, seed)
+        .resolve(&registry)
+        .map_err(|e| e.to_string())?;
+    note_loaded(&r);
+    if r.outcome.recorded_spec {
+        let recorded = r.dataset().spec.dataset;
         if flags.contains_key("dataset") && recorded != fallback {
             return Err(format!(
                 "{path}: file records dataset {} but --dataset {} was given",
@@ -617,11 +628,11 @@ fn resolve_run_dataset(flags: &HashMap<String, String>) -> Result<RunDataset, St
                 fallback.abbrev()
             ));
         }
-        let scale = derived_scale(&out.dataset);
+        let scale = derived_scale(r.dataset());
         Ok(RunDataset {
             label: recorded.name().to_string(),
             scale: Some(scale),
-            ds: out.dataset,
+            ds: r.into_dataset(),
         })
     } else {
         // Foreign graph: title it by its file, not a dataset it isn't.
@@ -631,7 +642,7 @@ fn resolve_run_dataset(flags: &HashMap<String, String>) -> Result<RunDataset, St
         Ok(RunDataset {
             label: format!("{file} [{} feature profile]", fallback.name()),
             scale: None,
-            ds: out.dataset,
+            ds: r.into_dataset(),
         })
     }
 }
@@ -682,11 +693,15 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<(), String> {
         ModelConfig::paper(model, &ds.spec)
     };
     let engine = Engine::new(config);
-    // With every flag off this is `Obs::off()` and `run_observed` is
-    // exactly `run` — the flagless report and stdout are unchanged.
+    // With every flag off `obs` is `Obs::off()` and these options are the
+    // default — the flagless report and stdout are unchanged.
     let obs_flags = ObsFlags::from_flags(flags);
     let obs = obs_flags.build();
-    let report = engine.run_observed(&model_config, &ds, &obs);
+    let report = engine.run_with(
+        &model_config,
+        &ds,
+        gnnie::core::engine::RunOptions { obs: obs.clone(), ..Default::default() },
+    );
     let size = match scale {
         Some(s) => {
             format!("scale {s:.2}: {} vertices, {} edges", report.vertices, report.edges)
@@ -772,10 +787,26 @@ fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String>
         None => input.with_extension("gnniecsr"),
     };
 
+    // `--chunk-mb` switches to the out-of-core builder: the edge list is
+    // streamed (never held in memory as COO) and scatter records spill to
+    // temp files in ~N MB chunks. Bit-identical to the in-memory build.
+    let chunk_mb = flags
+        .get("chunk-mb")
+        .map(|s| {
+            s.parse::<u64>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| format!("--chunk-mb must be a positive integer, got `{s}`"))
+        })
+        .transpose()?;
+
     let registry = DatasetRegistry::from_env();
     let t0 = Instant::now();
-    let loaded =
-        registry.load_path_with(input, fallback, seed, shards).map_err(|e| e.to_string())?;
+    let loaded = match chunk_mb {
+        Some(mb) => registry.load_path_chunked(input, fallback, seed, mb << 20),
+        None => registry.load_path_with(input, fallback, seed, shards),
+    }
+    .map_err(|e| e.to_string())?;
     let load_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
     // Freeze the scale-out partition tables alongside the graph so a
@@ -807,7 +838,12 @@ fn cmd_ingest(path: &str, flags: &HashMap<String, String>) -> Result<(), String>
         ds.features.sparsity() * 100.0
     );
     println!("  partitions {:>8} tables frozen (range+edgecut at 2/4/8 chips)", tables.len());
-    println!("  parse+build {:>8.1} ms over {} shard(s)", load_ms, shards);
+    match chunk_mb {
+        Some(mb) => {
+            println!("  parse+build {:>8.1} ms out-of-core ({} MB chunks)", load_ms, mb)
+        }
+        None => println!("  parse+build {:>8.1} ms over {} shard(s)", load_ms, shards),
+    }
     let bytes = std::fs::metadata(&out_path).map(|m| m.len()).unwrap_or(0);
     println!(
         "  snapshot {} ({} bytes, written in {:.1} ms)",
@@ -1214,10 +1250,15 @@ fn cmd_datasets() -> Result<(), String> {
     for dataset in Dataset::ALL {
         let s = dataset.spec();
         let source = registry.source_for(dataset);
-        // Snapshot layout version: v2 carries partition tables for
+        // Snapshot layout version: v2+ carries partition tables for
         // `--chips` runs, v1 does not; non-snapshot sources show `-`.
-        let snap = match source.path().and_then(gnnie::ingest::peek_snapshot_version) {
-            Some(v) if matches!(source, SourceKind::Snapshot(_)) => format!("v{v}"),
+        // A trailing `*` marks v3 snapshots eligible for zero-copy
+        // mmap loading on this platform.
+        let snap = match source.path().and_then(gnnie::ingest::peek_snapshot_info) {
+            Some(info) if matches!(source, SourceKind::Snapshot(_)) => {
+                let mark = if info.mmap_eligible { "*" } else { "" };
+                format!("v{}{}", info.version, mark)
+            }
             _ => "-".to_string(),
         };
         println!(
@@ -1235,7 +1276,8 @@ fn cmd_datasets() -> Result<(), String> {
     match registry.data_dir() {
         Some(dir) => println!(
             "\nfile-backed datasets resolve from GNNIE_DATA_DIR={} for `gnnie run \
-             --dataset` (probe order: .gnniecsr, .bcsr, .edges, .csv, .tsv)",
+             --dataset` (probe order: .gnniecsr, .bcsr, .edges, .csv, .tsv); \
+             snap `*` = zero-copy mmap load",
             dir.display()
         ),
         None => println!(
@@ -1298,6 +1340,7 @@ mod tests {
         assert!(allowed_flags("run").contains(&"cache-policy"));
         assert!(allowed_flags("run").contains(&"graph"));
         assert!(allowed_flags("ingest").contains(&"out"));
+        assert!(allowed_flags("ingest").contains(&"chunk-mb"));
         assert!(COMMANDS.contains(&"ingest"));
     }
 

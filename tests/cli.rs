@@ -613,6 +613,43 @@ fn ingest_is_write_once_unless_forced() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// `--chunk-mb` routes the build through the out-of-core chunked
+/// path; the frozen snapshot must come out byte-identical to the
+/// in-memory build's, and garbage values are usage errors.
+#[test]
+fn ingest_chunk_mb_writes_an_identical_snapshot() {
+    let dir = tmpdir("chunked-ingest");
+    let ds = GraphDataset::generate(Dataset::Citeseer, 0.05, 5);
+    let edges = dir.join("cs.edges");
+    export_edge_list(&edges, &ds.graph, EdgeListFormat::Whitespace, None).unwrap();
+
+    let inmem = dir.join("inmem.gnniecsr");
+    let out = run_args(&["ingest", edges.to_str().unwrap(), "--out", inmem.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let chunked = dir.join("chunked.gnniecsr");
+    let out = run_args(&[
+        "ingest",
+        edges.to_str().unwrap(),
+        "--out",
+        chunked.to_str().unwrap(),
+        "--chunk-mb",
+        "1",
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("out-of-core"), "chunked build announces itself:\n{stdout}");
+    assert_eq!(
+        std::fs::read(&inmem).unwrap(),
+        std::fs::read(&chunked).unwrap(),
+        "chunked and in-memory snapshots must be byte-identical"
+    );
+
+    let bad = run_args(&["ingest", edges.to_str().unwrap(), "--chunk-mb", "zero"]);
+    assert!(!bad.status.success());
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("chunk-mb"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn ingest_reports_parse_errors_with_line_numbers() {
     let dir = tmpdir("parse-error");

@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 use gnnie::core::config::AcceleratorConfig;
-use gnnie::core::engine::Engine;
+use gnnie::core::engine::{Engine, RunOptions};
 use gnnie::gnn::model::ModelConfig;
 use gnnie::graph::{Dataset, SyntheticDataset};
 use gnnie::mem::{SimThreads, SplitMode, TierSpec};
@@ -35,8 +35,11 @@ fn observed_run(
     config.chips = chips;
     config.tiers = Some(TierSpec::Split { total_bytes: 1 << 20, mode: SplitMode::Workload });
     let obs = Obs { trace: Trace::recording(), metrics: Metrics::recording() };
-    let report =
-        Engine::new(config).run_observed(&ModelConfig::paper(model, &ds.spec), &ds, &obs);
+    let report = Engine::new(config).run_with(
+        &ModelConfig::paper(model, &ds.spec),
+        &ds,
+        RunOptions { obs: obs.clone(), ..RunOptions::default() },
+    );
     assert!(report.total_cycles > 0);
     let events = obs.trace.events();
     (chrome_trace_json(&events), flame_summary(&events), obs.metrics.snapshot().render())
@@ -117,7 +120,8 @@ fn observed_report_equals_unobserved_report() {
     let engine = Engine::new(config);
     let bare = engine.run(&model, &ds);
     let obs = Obs { trace: Trace::recording(), metrics: Metrics::recording() };
-    let observed = engine.run_observed(&model, &ds, &obs);
+    let observed =
+        engine.run_with(&model, &ds, RunOptions { obs: obs.clone(), ..RunOptions::default() });
     assert_eq!(bare.total_cycles, observed.total_cycles);
     assert_eq!(bare.energy.total_pj(), observed.energy.total_pj());
     assert_eq!(bare.dram.total_bytes(), observed.dram.total_bytes());
